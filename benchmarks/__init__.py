@@ -1,0 +1,1 @@
+"""Benchmark package: one pytest-benchmark module per paper figure/claim."""

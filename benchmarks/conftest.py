@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one experiment harness exactly once per round (the
+experiments are deterministic simulations, not micro-benchmarks), prints the
+reproduced table so the run's output can be compared with the paper, and
+records the wall-clock cost through pytest-benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the src/ layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_experiment(benchmark, run_callable, *args, **kwargs):
+    """Run an experiment once through pytest-benchmark and print its table."""
+    result = benchmark.pedantic(run_callable, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    return result

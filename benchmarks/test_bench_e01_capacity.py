@@ -1,0 +1,10 @@
+"""Bench E01: the section 3.5 capacity table."""
+
+from repro.experiments import e01_capacity
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e01_capacity(benchmark):
+    result = run_experiment(benchmark, e01_capacity.run)
+    assert result.notes["within_tolerance"]

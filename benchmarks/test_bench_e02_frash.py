@@ -1,0 +1,12 @@
+"""Bench E02: figures 5/6 — FRASH links and operating points."""
+
+from repro.experiments import e02_frash
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e02_frash(benchmark):
+    result = run_experiment(benchmark, e02_frash.run)
+    assert result.notes["fe_favours_fast"]
+    assert result.notes["ps_more_acid_than_fe"]
+    assert result.notes["pc_on_partition"]

@@ -1,0 +1,11 @@
+"""Bench E03: FE vs PS availability during a backbone partition."""
+
+from repro.experiments import e03_partition
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e03_partition(benchmark):
+    result = run_experiment(benchmark, e03_partition.run)
+    assert result.notes["fe_keeps_working"]
+    assert result.notes["ps_mostly_fails"]

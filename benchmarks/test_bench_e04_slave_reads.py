@@ -1,0 +1,11 @@
+"""Bench E04: slave reads — latency win vs stale reads."""
+
+from repro.experiments import e04_slave_reads
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e04_slave_reads(benchmark):
+    result = run_experiment(benchmark, e04_slave_reads.run)
+    assert result.notes["latency_win_factor"] > 1.5
+    assert result.notes["stale_fraction_master_only"] == 0.0

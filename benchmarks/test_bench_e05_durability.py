@@ -1,0 +1,14 @@
+"""Bench E05: durability vs latency across replication modes."""
+
+from repro.experiments import e05_durability
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e05_durability(benchmark):
+    result = run_experiment(benchmark, e05_durability.run)
+    assert result.notes["async_lost"] > 0, \
+        "asynchronous replication loses the un-shipped tail on a crash"
+    assert result.notes["dual_lost"] == 0
+    assert result.notes["quorum_lost"] == 0
+    assert result.notes["dual_latency_penalty"] > 1.0

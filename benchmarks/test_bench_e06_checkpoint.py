@@ -1,0 +1,10 @@
+"""Bench E06: checkpoint period sweep (F-R trade-off)."""
+
+from repro.experiments import e06_checkpoint
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e06_checkpoint(benchmark):
+    result = run_experiment(benchmark, e06_checkpoint.run)
+    assert result.notes["sync_commit_slowdown"] > 10

@@ -1,0 +1,11 @@
+"""Bench E07: scale-out under the three data-location designs."""
+
+from repro.experiments import e07_scaleout
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e07_scaleout(benchmark):
+    result = run_experiment(benchmark, e07_scaleout.run)
+    assert result.notes["provisioned_blocks_poa"]
+    assert result.notes["alternatives_do_not_block"]

@@ -1,0 +1,12 @@
+"""Bench E08: selective placement vs random sharding (H-R link)."""
+
+from repro.experiments import e08_placement
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e08_placement(benchmark):
+    result = run_experiment(benchmark, e08_placement.run)
+    assert result.notes["backbone_fraction_random"] > \
+        result.notes["backbone_fraction_home"]
+    assert result.notes["latency_ratio"] > 1.0

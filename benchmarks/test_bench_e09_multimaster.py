@@ -1,0 +1,11 @@
+"""Bench E09: multi-master divergence and consistency restoration."""
+
+from repro.experiments import e09_multimaster
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e09_multimaster(benchmark):
+    result = run_experiment(benchmark, e09_multimaster.run)
+    assert result.notes["writes_available_during_partition"]
+    assert result.notes["conflicts_grow_with_divergence"]

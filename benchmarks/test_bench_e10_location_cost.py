@@ -1,0 +1,11 @@
+"""Bench E10: data-location lookup cost (O(log N) vs O(1))."""
+
+from repro.experiments import e10_location_cost
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e10_location_cost(benchmark):
+    result = run_experiment(benchmark, e10_location_cost.run)
+    assert result.notes["logarithmic_growth"]
+    assert result.notes["weak_link"]

@@ -1,0 +1,10 @@
+"""Bench E11: availability model vs the five-nines budget."""
+
+from repro.experiments import e11_availability
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e11_availability(benchmark):
+    result = run_experiment(benchmark, e11_availability.run)
+    assert result.notes["replication_required"]

@@ -1,0 +1,10 @@
+"""Bench E12: PACELC classification of the UDR."""
+
+from repro.experiments import e12_pacelc
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e12_pacelc(benchmark):
+    result = run_experiment(benchmark, e12_pacelc.run)
+    assert result.notes["matches_paper"]

@@ -1,0 +1,12 @@
+"""Bench E13: provisioning backlog and the 30-second batch glitch."""
+
+from repro.experiments import e13_backlog
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e13_backlog(benchmark):
+    result = run_experiment(benchmark, e13_backlog.run)
+    assert result.notes["clean_batch_succeeds"]
+    assert result.notes["glitch_causes_manual_interventions"]
+    assert result.notes["backlog_grows_under_latency"]

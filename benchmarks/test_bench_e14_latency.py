@@ -1,0 +1,11 @@
+"""Bench E14: index-based single-subscriber read latency vs the 10 ms target."""
+
+from repro.experiments import e14_latency
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e14_latency(benchmark):
+    result = run_experiment(benchmark, e14_latency.run)
+    assert result.notes["processing_within_target"]
+    assert result.notes["remote_master_mean_ms"] > result.notes["local_mean_ms"]

@@ -1,0 +1,72 @@
+"""Capacity planning: dimension a UDR for an operator's subscriber base.
+
+Run with::
+
+    python examples/capacity_planning.py
+
+The script uses the paper's section 3.5 capacity model to answer the
+questions an operator's planning department would ask: how many blade
+clusters does a given subscriber base need, how much operation headroom is
+left, and what happens to the headroom when the traffic mix shifts from
+classic mobile procedures (1-3 LDAP operations each) to IMS procedures
+(5-6 operations each)?
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import CapacityModel
+from repro.metrics import format_table
+from repro.workloads import TrafficProfile
+
+
+def main():
+    model = CapacityModel()
+    report = model.report()
+
+    print("Paper capacity figures reproduced (section 3.5):\n")
+    print(format_table(["figure", "value"], report.rows()))
+
+    # How big a deployment do different operators need?
+    operators = [
+        ("regional operator", 5_000_000),
+        ("national operator", 45_000_000),
+        ("multi-national group", 180_000_000),
+        ("the paper's ceiling", 512_000_000),
+    ]
+    rows = []
+    for label, subscribers in operators:
+        clusters = model.clusters_needed_for(subscribers)
+        rows.append([label, f"{subscribers:,}", clusters,
+                     clusters * model.elements_per_cluster])
+    print("\nDeployment sizing:\n")
+    print(format_table(["operator", "subscribers", "blade clusters",
+                        "storage elements"], rows))
+
+    # Does the operation headroom survive the traffic?
+    traffic = TrafficProfile(procedures_per_subscriber_per_hour=9.0)
+    rows = []
+    for label, ops_per_procedure in (("classic (HLR) procedures", 2.0),
+                                     ("IMS (HSS) procedures", 5.5)):
+        offered = traffic.ldap_ops_per_second(
+            report.total_subscribers, ops_per_procedure=ops_per_procedure)
+        rows.append([
+            label,
+            f"{offered:,.0f}",
+            f"{report.total_ops_per_second:,.0f}",
+            f"{offered / report.total_ops_per_second:.2%}",
+            round(model.procedure_headroom(ops_per_procedure), 1),
+        ])
+    print("\nBusy-hour load vs the operation ceiling at full subscriber "
+          "capacity:\n")
+    print(format_table(["traffic mix", "offered LDAP ops/s", "ceiling ops/s",
+                        "utilisation", "headroom (proc/sub/s)"], rows))
+    print("\nEven IMS-heavy traffic uses a few percent of the ceiling: the "
+          "architecture is storage-bound, not operation-bound, exactly as "
+          "the paper's ~18 ops/subscriber/s headroom suggests.")
+
+
+if __name__ == "__main__":
+    main()

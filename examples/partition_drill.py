@@ -1,0 +1,106 @@
+"""Partition drill: what a backbone incident does to FEs and to provisioning.
+
+Run with::
+
+    python examples/partition_drill.py
+
+The scenario reproduces section 4.1 of the paper interactively: a
+multi-national UDR is serving front-end traffic and provisioning when the
+German sites are cut off from the backbone for ten minutes.  The script
+compares two policies:
+
+* the paper's default (favour Consistency): provisioning writes for German
+  subscribers fail for the whole incident and pile up manual interventions;
+* the section 5 evolution (multi-master, favour Availability): the writes
+  keep landing on reachable copies, and after the heal a consistency
+  restoration pass merges the diverged views.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ClientType, PartitionPolicy, UDRConfig, UDRNetworkFunction
+from repro.ldap import ModifyRequest, SearchRequest, SubscriberSchema
+from repro.metrics import format_table
+from repro.net import NetworkPartition
+from repro.provisioning import ChangeServices, ProvisioningSystem
+from repro.subscriber import SubscriberGenerator
+
+
+def drive(udr, generator):
+    process = udr.sim.process(generator)
+    udr.sim.run_until_triggered(process)
+    return process.value
+
+
+def run_drill(policy: PartitionPolicy):
+    config = UDRConfig(partition_policy=policy, seed=99)
+    udr = UDRNetworkFunction(config)
+    udr.start()
+    profiles = SubscriberGenerator(config.regions, seed=99).generate(90)
+    udr.load_subscriber_base(profiles)
+
+    german_subscribers = [p for p in profiles if p.home_region == "germany"]
+    spain_site = udr.topology.site("spain-dc1")
+    germany_site = udr.topology.site("germany-dc1")
+    ps = ProvisioningSystem("ps-madrid", udr, spain_site)
+
+    # The incident: Germany is cut off from the rest of the backbone.
+    partition = NetworkPartition.splitting_regions(
+        udr.topology, udr.topology.region("germany"))
+    udr.network.apply_partition(partition)
+
+    fe_ok = fe_total = 0
+    ps_ok = ps_total = 0
+    for index, subscriber in enumerate(german_subscribers):
+        # German front-ends keep reading their local copies...
+        read = SearchRequest(dn=SubscriberSchema.subscriber_dn(
+            subscriber.identities.imsi))
+        response = drive(udr, udr.execute(read, ClientType.APPLICATION_FE,
+                                          germany_site))
+        fe_total += 1
+        fe_ok += int(response.ok)
+        # ...while the PS in Spain tries to provision them across the cut.
+        outcome = drive(udr, ps.provision(ChangeServices(
+            subscriber, changes={"svcBarPremium": bool(index % 2)})))
+        ps_total += 1
+        ps_ok += int(outcome.succeeded)
+
+    udr.network.heal_partition(partition)
+    reports = udr.restore_consistency()
+    conflicts = sum(report.conflicts_found for report in reports)
+    return {
+        "policy": policy.value,
+        "fe_availability": fe_ok / fe_total if fe_total else 1.0,
+        "ps_availability": ps_ok / ps_total if ps_total else 1.0,
+        "manual_interventions": ps.manual_interventions,
+        "conflicts_to_merge": conflicts,
+    }
+
+
+def main():
+    rows = []
+    for policy in (PartitionPolicy.PREFER_CONSISTENCY,
+                   PartitionPolicy.PREFER_AVAILABILITY):
+        outcome = run_drill(policy)
+        rows.append([
+            outcome["policy"],
+            f"{outcome['fe_availability']:.2f}",
+            f"{outcome['ps_availability']:.2f}",
+            outcome["manual_interventions"],
+            outcome["conflicts_to_merge"],
+        ])
+    print("Ten-minute backbone partition isolating Germany "
+          "(provisioning driven from Spain):\n")
+    print(format_table(
+        ["partition policy", "FE availability", "PS availability",
+         "manual interventions", "conflicts merged after heal"], rows))
+    print("\nThe default policy protects consistency but fails provisioning "
+          "(section 4.1); multi-master keeps provisioning alive at the price "
+          "of a post-incident restoration run (section 5).")
+
+
+if __name__ == "__main__":
+    main()

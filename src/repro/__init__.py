@@ -1,0 +1,22 @@
+"""Reproduction of "CAP Limits in Telecom Subscriber Database Design" (VLDB 2014).
+
+This package implements, as a deterministic discrete-event simulation, the
+3GPP User Data Consolidation (UDC) architecture's User Data Repository (UDR)
+network function described by the paper, together with every substrate it
+depends on: blade clusters, RAM-resident storage elements, master/slave and
+multi-master geo-replication, a stateful identity-location directory, an LDAP
+front door, application front-ends (HLR-FE / HSS-FE), a provisioning system,
+workload generators and fault injection.
+
+The public entry points are:
+
+* :class:`repro.core.UDRConfig` / :class:`repro.core.UDRNetworkFunction` --
+  build and drive a complete UDR deployment.
+* :mod:`repro.core.capacity` -- the paper's section 3.5 capacity model.
+* :mod:`repro.core.frash` -- the FRASH trade-off graph of figures 5 and 6.
+* :mod:`repro.experiments` -- one harness per figure / quantitative claim.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""Blade clusters: the execution platform of the UDR (paper section 3.4).
+
+"By default, the execution platform of the UDR NF shall be a blade cluster."
+Each cluster hosts RAM-hungry storage element processes and CPU-hungry LDAP
+server processes, fronted by an L4 balancer that realises the Point of Access
+(PoA), and is kept highly available by an SAF-style availability manager.
+
+Scale-up adds blades/processes to a cluster; scale-out deploys additional
+clusters (each with its own data-location stage instance that must first sync
+its identity-location maps -- see :mod:`repro.directory.sync`).
+"""
+
+from repro.cluster.blade import Blade, ProcessKind
+from repro.cluster.blade_cluster import BladeCluster, ClusterLimits
+from repro.cluster.balancer import PointOfAccess
+from repro.cluster.saf import AvailabilityManager, ComponentState
+
+__all__ = [
+    "AvailabilityManager",
+    "Blade",
+    "BladeCluster",
+    "ClusterLimits",
+    "ComponentState",
+    "PointOfAccess",
+    "ProcessKind",
+]

@@ -1,0 +1,91 @@
+"""A single blade of a blade cluster.
+
+Blades carry two kinds of processes with complementary resource appetites
+(paper section 3.4.1): storage element processes are RAM-hungry while LDAP
+server processes are processor-hungry, so "combining both kinds of processes
+on the same blade offers the best resource utilization chances".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim import units
+
+
+class ProcessKind(enum.Enum):
+    """Kinds of processes deployable to a blade."""
+
+    STORAGE_ELEMENT = "storage_element"
+    LDAP_SERVER = "ldap_server"
+    BALANCER = "balancer"
+    PLATFORM = "platform"
+
+
+#: Nominal resource demand per process kind (fractions of a blade's CPU and RAM).
+PROCESS_CPU_DEMAND: Dict[ProcessKind, float] = {
+    ProcessKind.STORAGE_ELEMENT: 0.25,
+    ProcessKind.LDAP_SERVER: 0.75,
+    ProcessKind.BALANCER: 0.30,
+    ProcessKind.PLATFORM: 0.10,
+}
+
+PROCESS_RAM_DEMAND: Dict[ProcessKind, int] = {
+    ProcessKind.STORAGE_ELEMENT: 100 * units.GIB,
+    ProcessKind.LDAP_SERVER: 8 * units.GIB,
+    ProcessKind.BALANCER: 4 * units.GIB,
+    ProcessKind.PLATFORM: 8 * units.GIB,
+}
+
+
+@dataclass
+class Blade:
+    """One blade: CPU and RAM budget plus the processes assigned to it."""
+
+    name: str
+    cpu_capacity: float = 1.0
+    ram_bytes: int = 128 * units.GIB
+    processes: List[ProcessKind] = field(default_factory=list)
+    failed: bool = False
+
+    # -- resource accounting ---------------------------------------------------
+
+    def cpu_used(self) -> float:
+        return sum(PROCESS_CPU_DEMAND[kind] for kind in self.processes)
+
+    def ram_used(self) -> int:
+        return sum(PROCESS_RAM_DEMAND[kind] for kind in self.processes)
+
+    def can_host(self, kind: ProcessKind) -> bool:
+        """Would adding a process of ``kind`` fit this blade's budget?"""
+        if self.failed:
+            return False
+        fits_cpu = self.cpu_used() + PROCESS_CPU_DEMAND[kind] <= self.cpu_capacity
+        fits_ram = self.ram_used() + PROCESS_RAM_DEMAND[kind] <= self.ram_bytes
+        return fits_cpu and fits_ram
+
+    def assign(self, kind: ProcessKind) -> None:
+        if not self.can_host(kind):
+            raise ValueError(f"{self.name} cannot host another {kind.value} process")
+        self.processes.append(kind)
+
+    def release(self, kind: ProcessKind) -> None:
+        self.processes.remove(kind)
+
+    def process_count(self, kind: ProcessKind) -> int:
+        return sum(1 for process in self.processes if process is kind)
+
+    # -- failure -------------------------------------------------------------------
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def repair(self) -> None:
+        self.failed = False
+
+    def __repr__(self) -> str:
+        state = "failed" if self.failed else "ok"
+        return (f"<Blade {self.name!r} {state} cpu={self.cpu_used():.2f}"
+                f"/{self.cpu_capacity} processes={len(self.processes)}>")

@@ -1,0 +1,139 @@
+"""A blade cluster: the unit of scale-out of the UDR.
+
+The paper's section 3.5 sizing assumptions, which experiment E01 reproduces:
+
+* a storage element spans 2 blades and holds 2 million subscribers;
+* at most 16 storage elements per blade cluster (32 million subscribers);
+* at most 32 LDAP servers per cluster, each sustaining one million indexed
+  operations per second;
+* at most 256 storage elements (or equivalently 256 clusters at one-SE
+  granularity elsewhere in the text) per UDR NF.
+
+A cluster also hosts one data-location stage instance and one Point of
+Access; both are attached by the UDR deployment builder in
+:mod:`repro.core.udr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.blade import Blade, ProcessKind
+from repro.ldap.server import LdapServer, LdapServerPool
+from repro.sim import units
+from repro.storage.storage_element import StorageElement
+
+
+@dataclass(frozen=True)
+class ClusterLimits:
+    """Architectural limits of one blade cluster (paper defaults)."""
+
+    max_blades: int = 64
+    max_storage_elements: int = 16
+    max_ldap_servers: int = 32
+    blades_per_storage_element: int = 2
+
+    def __post_init__(self):
+        if min(self.max_blades, self.max_storage_elements,
+               self.max_ldap_servers, self.blades_per_storage_element) < 1:
+            raise ValueError("cluster limits must all be positive")
+
+
+class BladeCluster:
+    """One blade cluster at a site, hosting SEs and LDAP servers."""
+
+    def __init__(self, name: str, site=None,
+                 limits: Optional[ClusterLimits] = None,
+                 blade_ram_bytes: int = 128 * units.GIB):
+        self.name = name
+        self.site = site
+        self.limits = limits or ClusterLimits()
+        self.blade_ram_bytes = blade_ram_bytes
+        self.blades: List[Blade] = []
+        self.storage_elements: List[StorageElement] = []
+        self.ldap_pool = LdapServerPool(name=f"{name}-ldap")
+        self._next_blade = 0
+
+    # -- blades ----------------------------------------------------------------
+
+    def add_blade(self) -> Blade:
+        if len(self.blades) >= self.limits.max_blades:
+            raise ValueError(
+                f"cluster {self.name!r} is full ({self.limits.max_blades} blades)")
+        blade = Blade(name=f"{self.name}-blade-{self._next_blade}",
+                      ram_bytes=self.blade_ram_bytes)
+        self._next_blade += 1
+        self.blades.append(blade)
+        return blade
+
+    def _blades_with_room(self, kind: ProcessKind, count: int) -> List[Blade]:
+        """Find (adding blades as allowed) ``count`` blades able to host ``kind``."""
+        chosen: List[Blade] = []
+        for blade in self.blades:
+            if len(chosen) == count:
+                break
+            if blade.can_host(kind):
+                chosen.append(blade)
+        while len(chosen) < count and len(self.blades) < self.limits.max_blades:
+            blade = self.add_blade()
+            if blade.can_host(kind):
+                chosen.append(blade)
+        if len(chosen) < count:
+            raise ValueError(
+                f"cluster {self.name!r} has no room for {count} more "
+                f"{kind.value} process(es)")
+        return chosen
+
+    # -- storage elements ----------------------------------------------------------
+
+    def add_storage_element(self, element: StorageElement) -> StorageElement:
+        """Host a storage element (spanning the configured number of blades)."""
+        if len(self.storage_elements) >= self.limits.max_storage_elements:
+            raise ValueError(
+                f"cluster {self.name!r} already hosts the maximum of "
+                f"{self.limits.max_storage_elements} storage elements")
+        blades = self._blades_with_room(ProcessKind.STORAGE_ELEMENT,
+                                        self.limits.blades_per_storage_element)
+        for blade in blades:
+            blade.assign(ProcessKind.STORAGE_ELEMENT)
+        element.site = self.site if element.site is None else element.site
+        self.storage_elements.append(element)
+        return element
+
+    # -- LDAP servers ------------------------------------------------------------------
+
+    def add_ldap_server(self, capacity_ops_per_second: int =
+                        LdapServer.DEFAULT_CAPACITY_OPS_PER_SECOND) -> LdapServer:
+        if len(self.ldap_pool) >= self.limits.max_ldap_servers:
+            raise ValueError(
+                f"cluster {self.name!r} already hosts the maximum of "
+                f"{self.limits.max_ldap_servers} LDAP servers")
+        blade = self._blades_with_room(ProcessKind.LDAP_SERVER, 1)[0]
+        blade.assign(ProcessKind.LDAP_SERVER)
+        server = LdapServer(
+            name=f"{self.name}-ldap-{len(self.ldap_pool)}",
+            capacity_ops_per_second=capacity_ops_per_second)
+        self.ldap_pool.add_server(server)
+        return server
+
+    # -- capacity summaries -----------------------------------------------------------------
+
+    @property
+    def subscriber_capacity(self) -> int:
+        return sum(element.subscriber_capacity
+                   for element in self.storage_elements)
+
+    @property
+    def ldap_capacity_ops_per_second(self) -> int:
+        return self.ldap_pool.capacity_ops_per_second
+
+    def available_storage_elements(self) -> List[StorageElement]:
+        return [element for element in self.storage_elements if element.available]
+
+    def blade_count(self) -> int:
+        return len(self.blades)
+
+    def __repr__(self) -> str:
+        return (f"<BladeCluster {self.name!r} blades={len(self.blades)} "
+                f"SEs={len(self.storage_elements)} ldap={len(self.ldap_pool)}>")

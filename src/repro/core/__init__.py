@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the UDR NF and its FRASH trade-offs.
+
+This package ties every substrate together:
+
+* :mod:`repro.core.config` -- the declarative description of a UDR deployment
+  and of the CAP/PACELC policy knobs the paper discusses (replication mode,
+  behaviour on partition, slave reads per client type, checkpointing,
+  data-location mode, placement policy).
+* :mod:`repro.core.udr` -- the deployment builder and the simulated operation
+  path from a client site through PoA, LDAP server, data location stage and
+  storage element, with replication and failure handling.
+* :mod:`repro.core.capacity` -- the section 3.5 capacity arithmetic.
+* :mod:`repro.core.frash` -- the FRASH trade-off graph of figures 5 and 6.
+* :mod:`repro.core.pacelc` -- PACELC classification of a configuration.
+* :mod:`repro.core.availability` -- the analytic five-nines budget model.
+"""
+
+from repro.core.config import (
+    ClientType,
+    LocationMode,
+    PartitionPolicy,
+    ReplicationMode,
+    UDRConfig,
+)
+from repro.core.udr import UDRNetworkFunction
+from repro.core.capacity import CapacityModel, CapacityReport
+from repro.core.frash import (
+    Characteristic,
+    DesignDecision,
+    FrashGraph,
+    TradeOffLink,
+    TradeOffPosition,
+)
+from repro.core.pacelc import PacelcClassification, classify
+from repro.core.availability import AvailabilityModel
+
+__all__ = [
+    "AvailabilityModel",
+    "CapacityModel",
+    "CapacityReport",
+    "Characteristic",
+    "ClientType",
+    "DesignDecision",
+    "FrashGraph",
+    "LocationMode",
+    "PacelcClassification",
+    "PartitionPolicy",
+    "ReplicationMode",
+    "TradeOffLink",
+    "TradeOffPosition",
+    "UDRConfig",
+    "UDRNetworkFunction",
+    "classify",
+]

@@ -1,0 +1,142 @@
+"""Analytic availability model against the five-nines requirement (E11).
+
+The paper's requirement 3 demands that "on average any given subscriber's
+data must be available 99.999% of the time", i.e. at most ~315 seconds of
+per-subscriber unavailability per year.  The model combines the failure
+processes the design exposes:
+
+* **storage element crashes** -- with replicated copies and failover, a crash
+  makes a subscriber's data unavailable only for the failover time; without
+  a surviving copy the outage lasts the element's full repair time;
+* **network partitions** -- during a backbone partition, the share of
+  operations that must reach the other side fails; for write traffic under
+  the PC policy that is (almost) all of it;
+* **scale-out map synchronisation** -- while a new PoA's location stage
+  syncs, clients homed on it are redirected or fail.
+
+The model is intentionally simple (independent events, small-probability
+approximations) -- it is the planning calculation a designer would do, and
+experiment E11 checks it against the simulated outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim import units
+
+
+@dataclass
+class AvailabilityModel:
+    """Planning-grade availability arithmetic.
+
+    Parameters
+    ----------
+    element_mtbf:
+        Mean time between whole-element failures (seconds).
+    element_mttr:
+        Mean time to repair/rebuild a failed element.
+    failover_time:
+        Time to detect a master failure and promote a slave copy.
+    replication_factor:
+        Copies of every piece of data (1 = unreplicated).
+    partition_rate_per_year:
+        Backbone partition incidents per year.
+    partition_duration:
+        Mean duration of one partition incident.
+    write_share:
+        Fraction of traffic that is writes (fails during partitions under PC).
+    remote_share:
+        Fraction of operations whose data lives across the backbone
+        (depends on placement policy; home-region placement makes it small).
+    """
+
+    element_mtbf: float = 180 * units.DAY
+    element_mttr: float = 4 * units.HOUR
+    failover_time: float = 30 * units.SECOND
+    replication_factor: int = 2
+    partition_rate_per_year: float = 4.0
+    partition_duration: float = 5 * units.MINUTE
+    write_share: float = 0.10
+    remote_share: float = 0.05
+
+    def __post_init__(self):
+        if self.element_mtbf <= 0 or self.element_mttr <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        if self.failover_time < 0:
+            raise ValueError("failover time cannot be negative")
+        if self.replication_factor < 1:
+            raise ValueError("replication factor must be at least 1")
+        if not 0 <= self.write_share <= 1 or not 0 <= self.remote_share <= 1:
+            raise ValueError("shares must be within [0, 1]")
+        if self.partition_rate_per_year < 0 or self.partition_duration < 0:
+            raise ValueError("partition parameters cannot be negative")
+
+    # -- component downtimes (per year, per subscriber) ----------------------------
+
+    def element_failures_per_year(self) -> float:
+        return units.YEAR / self.element_mtbf
+
+    def element_downtime(self) -> float:
+        """Expected yearly unavailability caused by storage element failures."""
+        failures = self.element_failures_per_year()
+        if self.replication_factor >= 2:
+            # With a surviving copy the outage is just the failover window,
+            # plus the (rare) case that another copy is already down.
+            simultaneous_loss_probability = (
+                self.element_mttr / self.element_mtbf) ** (
+                    self.replication_factor - 1)
+            return failures * (
+                self.failover_time
+                + simultaneous_loss_probability * self.element_mttr)
+        return failures * self.element_mttr
+
+    def partition_downtime(self) -> float:
+        """Expected yearly unavailability caused by backbone partitions.
+
+        Under the paper's PC-on-partition policy the affected traffic is the
+        write share plus the remote fraction of reads (reads whose only
+        copies sit across the partition).
+        """
+        affected_share = self.write_share + \
+            (1.0 - self.write_share) * self.remote_share
+        return (self.partition_rate_per_year * self.partition_duration
+                * affected_share)
+
+    def downtime_per_year(self) -> float:
+        return self.element_downtime() + self.partition_downtime()
+
+    # -- verdicts ------------------------------------------------------------------------
+
+    def availability(self) -> float:
+        return units.availability_from_downtime(self.downtime_per_year())
+
+    def meets_five_nines(self) -> bool:
+        return self.availability() >= units.FIVE_NINES
+
+    def budget_breakdown(self) -> Dict[str, float]:
+        """Seconds of the yearly downtime budget spent per cause."""
+        return {
+            "element_failures": self.element_downtime(),
+            "network_partitions": self.partition_downtime(),
+            "budget_total": units.downtime_budget(units.FIVE_NINES),
+        }
+
+    def max_failover_time_for_five_nines(self) -> float:
+        """Largest failover time that still meets the budget (other causes fixed)."""
+        budget = units.downtime_budget(units.FIVE_NINES)
+        remaining = budget - self.partition_downtime()
+        failures = self.element_failures_per_year()
+        if failures <= 0 or remaining <= 0:
+            return 0.0
+        simultaneous = 0.0
+        if self.replication_factor >= 2:
+            simultaneous = (self.element_mttr / self.element_mtbf) ** (
+                self.replication_factor - 1) * self.element_mttr
+        per_failure_budget = remaining / failures - simultaneous
+        return max(0.0, per_failure_budget)
+
+    def __repr__(self) -> str:
+        return (f"<AvailabilityModel rf={self.replication_factor} "
+                f"availability={self.availability():.6f}>")

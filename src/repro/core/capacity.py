@@ -1,0 +1,176 @@
+"""The paper's section 3.5 capacity arithmetic (experiment E01).
+
+All figures the paper quotes are reproduced from first principles:
+
+* a 2-blade storage element holds 2 million subscribers with the average
+  profile, so 16 SEs per blade cluster give 32 million subscribers per
+  cluster and 256 SEs per UDR give 512 million subscribers;
+* one LDAP server sustains 10^6 indexed single-subscriber operations per
+  second, 32 servers per cluster give 32 million operations per second per
+  cluster, and 256 clusters give about 8.2 * 10^9 operations per second
+  (the paper prints 36 * 10^6 per cluster and 9,216 * 10^6 per UDR, which is
+  32 x 1.125 -- the model exposes both the strict product and the paper's
+  printed numbers so the discrepancy is visible rather than hidden);
+* the headroom per subscriber is total operation capacity divided by total
+  subscribers, about 18 operations per subscriber per second, compared with
+  the 1-3 LDAP operations a typical mobile procedure needs (5-6 for IMS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Output of the capacity model for one configuration."""
+
+    subscribers_per_element: int
+    elements_per_cluster: int
+    clusters: int
+    subscribers_per_cluster: int
+    total_elements: int
+    total_subscribers: int
+    ops_per_ldap_server: int
+    ldap_servers_per_cluster: int
+    ops_per_cluster: int
+    total_ops_per_second: int
+    ops_per_subscriber_per_second: float
+    partition_bytes: int
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """Human-readable (label, value) rows for the bench harness."""
+        return [
+            ("subscribers per storage element", self.subscribers_per_element),
+            ("storage elements per cluster", self.elements_per_cluster),
+            ("subscribers per blade cluster", self.subscribers_per_cluster),
+            ("storage elements per UDR", self.total_elements),
+            ("subscribers per UDR", self.total_subscribers),
+            ("LDAP ops/s per server", self.ops_per_ldap_server),
+            ("LDAP servers per cluster", self.ldap_servers_per_cluster),
+            ("LDAP ops/s per cluster", self.ops_per_cluster),
+            ("LDAP ops/s per UDR", self.total_ops_per_second),
+            ("ops per subscriber per second",
+             round(self.ops_per_subscriber_per_second, 2)),
+            ("partition size (bytes)", self.partition_bytes),
+        ]
+
+
+class CapacityModel:
+    """Parameterised version of the paper's capacity calculations."""
+
+    #: Figures printed in the paper, for comparison in EXPERIMENTS.md.
+    PAPER_FIGURES: Dict[str, float] = {
+        "subscribers_per_element": 2_000_000,
+        "subscribers_per_cluster": 32_000_000,
+        "total_subscribers": 512_000_000,
+        "ops_per_ldap_server": 1_000_000,
+        "ops_per_cluster": 36_000_000,      # as printed (32 x 1e6 = 32M strictly)
+        "total_ops_per_second": 9_216_000_000,
+        "ops_per_subscriber_per_second": 18.0,
+    }
+
+    def __init__(self,
+                 subscribers_per_element: int = 2_000_000,
+                 elements_per_cluster: int = 16,
+                 max_elements_per_udr: int = 256,
+                 ops_per_ldap_server: int = 1_000_000,
+                 ldap_servers_per_cluster: int = 32,
+                 max_clusters_per_udr: int = 256,
+                 average_profile_bytes: int = 100 * units.KIB):
+        if min(subscribers_per_element, elements_per_cluster,
+               max_elements_per_udr, ops_per_ldap_server,
+               ldap_servers_per_cluster, max_clusters_per_udr,
+               average_profile_bytes) <= 0:
+            raise ValueError("all capacity parameters must be positive")
+        self.subscribers_per_element = subscribers_per_element
+        self.elements_per_cluster = elements_per_cluster
+        self.max_elements_per_udr = max_elements_per_udr
+        self.ops_per_ldap_server = ops_per_ldap_server
+        self.ldap_servers_per_cluster = ldap_servers_per_cluster
+        self.max_clusters_per_udr = max_clusters_per_udr
+        self.average_profile_bytes = average_profile_bytes
+
+    # -- the headline numbers ----------------------------------------------------
+
+    def report(self) -> CapacityReport:
+        # The paper bounds storage at 256 SEs per UDR (512M subscribers) but
+        # computes the operation ceiling over 256 blade *clusters*; both
+        # limits are kept so the report reproduces both sets of figures.
+        clusters = self.max_clusters_per_udr
+        subscribers_per_cluster = (self.subscribers_per_element
+                                   * self.elements_per_cluster)
+        total_subscribers = (self.subscribers_per_element
+                             * self.max_elements_per_udr)
+        ops_per_cluster = (self.ops_per_ldap_server
+                           * self.ldap_servers_per_cluster)
+        total_ops = ops_per_cluster * clusters
+        ops_per_subscriber = total_ops / total_subscribers
+        return CapacityReport(
+            subscribers_per_element=self.subscribers_per_element,
+            elements_per_cluster=self.elements_per_cluster,
+            clusters=clusters,
+            subscribers_per_cluster=subscribers_per_cluster,
+            total_elements=self.max_elements_per_udr,
+            total_subscribers=total_subscribers,
+            ops_per_ldap_server=self.ops_per_ldap_server,
+            ldap_servers_per_cluster=self.ldap_servers_per_cluster,
+            ops_per_cluster=ops_per_cluster,
+            total_ops_per_second=total_ops,
+            ops_per_subscriber_per_second=ops_per_subscriber,
+            partition_bytes=self.partition_bytes(),
+        )
+
+    # -- supporting quantities -------------------------------------------------------
+
+    def partition_bytes(self) -> int:
+        """Size of one subscriber data partition (one SE's worth of data).
+
+        The paper states "a single subscriber data partition typically
+        amounts to circa 200 GB", which corresponds to ~100 KiB per average
+        profile at 2 million subscribers per element.
+        """
+        return self.subscribers_per_element * self.average_profile_bytes
+
+    def procedure_headroom(self, ops_per_procedure: float) -> float:
+        """Procedures per subscriber per second the UDR can absorb."""
+        if ops_per_procedure <= 0:
+            raise ValueError("a procedure costs at least one operation")
+        report = self.report()
+        return report.ops_per_subscriber_per_second / ops_per_procedure
+
+    def subscribers_supported_at(self, offered_ops_per_second: float,
+                                 ops_per_subscriber_per_second: float) -> int:
+        """How many subscribers a given operation budget can serve."""
+        if ops_per_subscriber_per_second <= 0:
+            raise ValueError("per-subscriber rate must be positive")
+        return int(offered_ops_per_second / ops_per_subscriber_per_second)
+
+    def clusters_needed_for(self, subscribers: int) -> int:
+        """Blade clusters required to store a subscriber base."""
+        if subscribers < 0:
+            raise ValueError("subscribers cannot be negative")
+        per_cluster = self.subscribers_per_element * self.elements_per_cluster
+        return -(-subscribers // per_cluster)  # ceiling division
+
+    def compare_with_paper(self) -> Dict[str, Tuple[float, float, float]]:
+        """(paper value, model value, ratio) for every figure the paper prints."""
+        report = self.report()
+        model_values = {
+            "subscribers_per_element": report.subscribers_per_element,
+            "subscribers_per_cluster": report.subscribers_per_cluster,
+            "total_subscribers": report.total_subscribers,
+            "ops_per_ldap_server": report.ops_per_ldap_server,
+            "ops_per_cluster": report.ops_per_cluster,
+            "total_ops_per_second": report.total_ops_per_second,
+            "ops_per_subscriber_per_second": report.ops_per_subscriber_per_second,
+        }
+        comparison = {}
+        for name, paper_value in self.PAPER_FIGURES.items():
+            model_value = float(model_values[name])
+            ratio = model_value / paper_value if paper_value else float("nan")
+            comparison[name] = (paper_value, model_value, ratio)
+        return comparison

@@ -1,0 +1,157 @@
+"""Declarative configuration of a UDR deployment and its policy knobs.
+
+Every design decision the paper discusses is a field of :class:`UDRConfig`,
+so an experiment is "build two configs that differ in one knob, run the same
+workload, compare":
+
+* ``replication_mode`` -- asynchronous (baseline), dual-in-sequence
+  (section 5's proposal) or Cassandra-style quorum.
+* ``partition_policy`` -- favour Consistency (single master, the default) or
+  Availability (multi-master during partitions) when the backbone splits.
+* ``fe_reads_from_slave`` / ``ps_reads_from_slave`` -- section 3.3's asymmetric
+  read policies for application front-ends versus the provisioning system.
+* ``location_mode`` and ``placement`` -- provisioned identity-location maps
+  (the paper's choice), cached maps, or consistent hashing; random or
+  home-region selective placement.
+* ``checkpoint_period`` / ``synchronous_commit`` -- the F-R disk-dump knob.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.sim import units
+
+
+class ReplicationMode(enum.Enum):
+    """How committed writes reach the other copies."""
+
+    ASYNCHRONOUS = "asynchronous"
+    DUAL_IN_SEQUENCE = "dual_in_sequence"
+    QUORUM = "quorum"
+
+
+class PartitionPolicy(enum.Enum):
+    """Behaviour when the master copy is unreachable (CAP's moment of truth)."""
+
+    PREFER_CONSISTENCY = "prefer_consistency"   # writes fail (paper default)
+    PREFER_AVAILABILITY = "prefer_availability"  # multi-master, merge later
+
+
+class LocationMode(enum.Enum):
+    """How Points of Access resolve identities to storage elements."""
+
+    PROVISIONED_MAPS = "provisioned_maps"
+    CACHED_MAPS = "cached_maps"
+    CONSISTENT_HASH = "consistent_hash"
+
+
+class PlacementMode(enum.Enum):
+    """How new subscriptions are assigned to storage elements."""
+
+    RANDOM = "random"
+    ROUND_ROBIN = "round_robin"
+    HOME_REGION = "home_region"
+
+
+class ClientType(enum.Enum):
+    """The two classes of UDR clients the paper distinguishes."""
+
+    APPLICATION_FE = "application_fe"
+    PROVISIONING = "provisioning"
+
+
+@dataclass
+class UDRConfig:
+    """Everything needed to build a UDR NF deployment.
+
+    The defaults describe a small three-country deployment suitable for
+    simulation: one site per country, one blade cluster per site, two storage
+    elements per cluster, replication factor 2.  The paper-scale limits (16
+    SEs and 32 LDAP servers per cluster, 256 SEs per UDR) live in the
+    capacity model, not here -- simulating 512 million subscribers is neither
+    necessary nor useful for reproducing the trade-offs.
+    """
+
+    # -- footprint -------------------------------------------------------------
+    regions: Tuple[str, ...] = ("spain", "sweden", "germany")
+    sites_per_region: int = 1
+    storage_elements_per_site: int = 2
+    ldap_servers_per_cluster: int = 4
+    subscriber_capacity_per_element: int = 2_000_000
+
+    # -- replication / CAP policies ---------------------------------------------
+    replication_factor: int = 2
+    replication_mode: ReplicationMode = ReplicationMode.ASYNCHRONOUS
+    partition_policy: PartitionPolicy = PartitionPolicy.PREFER_CONSISTENCY
+    write_quorum: int = 2
+    replication_interval: float = 50 * units.MILLISECOND
+    fe_reads_from_slave: bool = True
+    ps_reads_from_slave: bool = False
+
+    # -- durability ---------------------------------------------------------------
+    checkpoint_period: float = 15 * units.MINUTE
+    synchronous_commit: bool = False
+
+    # -- data location / placement ---------------------------------------------------
+    location_mode: LocationMode = LocationMode.PROVISIONED_MAPS
+    placement: PlacementMode = PlacementMode.HOME_REGION
+    regulatory_pins: Dict[str, str] = field(default_factory=dict)
+
+    # -- misc ---------------------------------------------------------------------------
+    seed: int = 0
+    name: str = "udr"
+
+    def __post_init__(self):
+        if not self.regions:
+            raise ValueError("need at least one region")
+        if self.sites_per_region < 1:
+            raise ValueError("need at least one site per region")
+        if self.storage_elements_per_site < 1:
+            raise ValueError("need at least one storage element per site")
+        if self.ldap_servers_per_cluster < 1:
+            raise ValueError("need at least one LDAP server per cluster")
+        total_elements = (len(self.regions) * self.sites_per_region
+                          * self.storage_elements_per_site)
+        if not 1 <= self.replication_factor <= total_elements:
+            raise ValueError(
+                f"replication factor {self.replication_factor} impossible "
+                f"with {total_elements} storage elements")
+        if self.write_quorum < 1 or self.write_quorum > self.replication_factor:
+            raise ValueError(
+                "write quorum must be between 1 and the replication factor")
+        if self.replication_interval <= 0:
+            raise ValueError("replication interval must be positive")
+        if self.checkpoint_period <= 0:
+            raise ValueError("checkpoint period must be positive")
+
+    # -- derived quantities ------------------------------------------------------------
+
+    @property
+    def total_sites(self) -> int:
+        return len(self.regions) * self.sites_per_region
+
+    @property
+    def total_storage_elements(self) -> int:
+        return self.total_sites * self.storage_elements_per_site
+
+    @property
+    def total_subscriber_capacity(self) -> int:
+        return (self.total_storage_elements
+                * self.subscriber_capacity_per_element)
+
+    def reads_from_slave(self, client_type: ClientType) -> bool:
+        """The paper's asymmetric read policy (section 3.3.2 vs 3.3.3)."""
+        if client_type is ClientType.APPLICATION_FE:
+            return self.fe_reads_from_slave
+        return self.ps_reads_from_slave
+
+    def multi_master_enabled(self) -> bool:
+        return self.partition_policy is PartitionPolicy.PREFER_AVAILABILITY
+
+    def replace(self, **changes) -> "UDRConfig":
+        """A copy of the configuration with some fields changed."""
+        from dataclasses import replace as dataclass_replace
+        return dataclass_replace(self, **changes)

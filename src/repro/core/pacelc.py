@@ -1,0 +1,111 @@
+"""PACELC classification of a UDR configuration (experiment E12).
+
+PACELC (the paper's reference [12], Abadi 2012): "on a Partition be either
+Available or Consistent, Else favour either Latency or Consistency".  The
+paper's section 3.6 concludes that the described UDR is **PA/EL for
+transactions coming from application front-ends but PC/EC for transactions
+coming from PS instances**: front-end traffic is read-mostly and may be
+served (possibly stale) from local slave copies even during a partition,
+while provisioning writes must reach the single master and never read slaves.
+
+The classifier derives those verdicts from the configuration knobs, so
+changing a knob (e.g. enabling multi-master) changes the classification the
+same way section 5 predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import (
+    ClientType,
+    PartitionPolicy,
+    ReplicationMode,
+    UDRConfig,
+)
+
+
+@dataclass(frozen=True)
+class PacelcClassification:
+    """The four-letter verdict for one client class."""
+
+    client: ClientType
+    on_partition: str      # "A" or "C"
+    else_case: str         # "L" or "C"
+    rationale_partition: str = ""
+    rationale_else: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"P{self.on_partition}/E{self.else_case}"
+
+    def __str__(self) -> str:
+        return f"{self.client.value}: {self.label}"
+
+
+#: Typical share of reads in application front-end traffic (the paper argues
+#: FE transactions are "composed of mostly reads").
+FE_READ_SHARE = 0.85
+#: Provisioning transactions are write-dominated.
+PS_READ_SHARE = 0.25
+
+
+def classify(config: UDRConfig, client: ClientType) -> PacelcClassification:
+    """Classify one client class under the given configuration."""
+    read_share = FE_READ_SHARE if client is ClientType.APPLICATION_FE \
+        else PS_READ_SHARE
+    reads_from_slave = config.reads_from_slave(client)
+    multi_master = config.partition_policy is PartitionPolicy.PREFER_AVAILABILITY
+
+    # P: what happens to this client's traffic during a partition?
+    # Writes survive only with multi-master; reads survive if a local copy may
+    # serve them.  A read-mostly client with slave reads enabled therefore
+    # still sees most of its transactions succeed -> effectively Available.
+    if multi_master:
+        on_partition = "A"
+        rationale_partition = ("multi-master accepts writes on any reachable "
+                               "copy during the partition")
+    elif reads_from_slave and read_share >= 0.75:
+        on_partition = "A"
+        rationale_partition = ("read-mostly traffic keeps being served from "
+                               "local copies; only the rare writes fail")
+    else:
+        on_partition = "C"
+        rationale_partition = ("writes (and reads restricted to the master) "
+                               "fail when the master is unreachable")
+
+    # ELC: without a partition, does the design pay latency or consistency?
+    synchronous = config.replication_mode in (ReplicationMode.DUAL_IN_SEQUENCE,
+                                              ReplicationMode.QUORUM)
+    if synchronous and not reads_from_slave:
+        else_case = "C"
+        rationale_else = ("synchronous replication and master-only reads pay "
+                          "latency for consistency")
+    elif reads_from_slave:
+        else_case = "L"
+        rationale_else = ("asynchronously replicated slave copies serve local, "
+                          "possibly stale reads")
+    elif config.replication_mode is ReplicationMode.ASYNCHRONOUS:
+        # Master-only reads over async replication: reads are consistent, and
+        # the commit path does not wait for replicas.  The paper calls the PS
+        # side EC because correctness, not latency, drives its choices.
+        else_case = "C"
+        rationale_else = ("master-only reads give consistent results; the "
+                          "client accepts the latency of reaching the master")
+    else:
+        else_case = "C"
+        rationale_else = "synchronous replication favours consistency"
+
+    return PacelcClassification(
+        client=client,
+        on_partition=on_partition,
+        else_case=else_case,
+        rationale_partition=rationale_partition,
+        rationale_else=rationale_else,
+    )
+
+
+def classify_both(config: UDRConfig):
+    """Classification of both client classes (the paper's section 3.6 claim)."""
+    return {client: classify(config, client)
+            for client in (ClientType.APPLICATION_FE, ClientType.PROVISIONING)}

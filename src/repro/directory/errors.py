@@ -1,0 +1,25 @@
+"""Exceptions raised by the data location stage."""
+
+
+class UnknownIdentity(KeyError):
+    """No location is known for the given subscriber identity."""
+
+    def __init__(self, identity_type, value):
+        super().__init__(f"unknown identity {identity_type}={value!r}")
+        self.identity_type = identity_type
+        self.value = value
+
+
+class LocatorSyncInProgress(RuntimeError):
+    """The locator instance is still synchronising its identity-location maps.
+
+    The paper (section 3.4.2): "this synchronization takes some time, during
+    which operations issued on the PoA realized by the new blade cluster
+    cannot be handled."
+    """
+
+    def __init__(self, remaining_entries):
+        super().__init__(
+            f"data location stage still syncing ({remaining_entries} entries "
+            "to go); operations cannot be handled yet")
+        self.remaining_entries = remaining_entries

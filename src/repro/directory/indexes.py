@@ -1,0 +1,128 @@
+"""The multi-index directory: one identity-location map per identity type.
+
+"Data location uses identity-location maps since the UDR must support
+multiple indexes (one index per subscriber identity, i.e. MSISDN, IMSI, IMPU
+etc.)" -- paper, section 3.3.1.  Registering a subscription therefore inserts
+one entry per identity, and any of the subscriber's identities resolves to
+the same storage location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.directory.errors import UnknownIdentity
+from repro.directory.identity_map import IdentityLocationMap
+
+
+class IdentityType:
+    """Identity namespaces used by 3GPP subscriber data."""
+
+    IMSI = "imsi"
+    MSISDN = "msisdn"
+    IMPU = "impu"
+    IMPI = "impi"
+
+    ALL = (IMSI, MSISDN, IMPU, IMPI)
+
+
+class MultiIndexDirectory:
+    """Identity-location maps for every supported identity type."""
+
+    def __init__(self, identity_types: Optional[Iterable[str]] = None):
+        types = (tuple(identity_types) if identity_types is not None
+                 else IdentityType.ALL)
+        if not types:
+            raise ValueError("need at least one identity type")
+        self._maps: Dict[str, IdentityLocationMap] = {
+            identity_type: IdentityLocationMap(identity_type)
+            for identity_type in types}
+
+    @property
+    def identity_types(self) -> List[str]:
+        return list(self._maps)
+
+    def map_for(self, identity_type: str) -> IdentityLocationMap:
+        try:
+            return self._maps[identity_type]
+        except KeyError:
+            raise UnknownIdentity(identity_type, "<any>") from None
+
+    # -- registration ----------------------------------------------------------------
+
+    def register(self, identities: Mapping[str, str], location: str) -> int:
+        """Register a subscription's identities at ``location``.
+
+        ``identities`` maps identity type to value (a subscription has one
+        IMSI, one MSISDN, possibly several IMPUs handled as separate calls).
+        Returns the number of index entries written, which is what the
+        provisioning transaction pays for.
+        """
+        written = 0
+        for identity_type, value in identities.items():
+            if identity_type not in self._maps:
+                continue
+            self._maps[identity_type].insert(value, location)
+            written += 1
+        return written
+
+    def deregister(self, identities: Mapping[str, str]) -> int:
+        removed = 0
+        for identity_type, value in identities.items():
+            index = self._maps.get(identity_type)
+            if index is None or not index.contains(value):
+                continue
+            index.remove(value)
+            removed += 1
+        return removed
+
+    def relocate(self, identities: Mapping[str, str], new_location: str) -> int:
+        """Point all of a subscription's identities at a new location."""
+        return self.register(identities, new_location)
+
+    # -- resolution --------------------------------------------------------------------
+
+    def resolve(self, identity_type: str, value: str) -> str:
+        """Location of the subscription owning ``value`` in that namespace."""
+        return self.map_for(identity_type).locate(value)
+
+    def contains(self, identity_type: str, value: str) -> bool:
+        index = self._maps.get(identity_type)
+        return bool(index and index.contains(value))
+
+    # -- bulk / stats -------------------------------------------------------------------
+
+    def all_entries(self) -> List[Tuple[str, str, str]]:
+        """Every (identity_type, identity, location) tuple in the directory."""
+        result = []
+        for identity_type, index in self._maps.items():
+            for identity, location in index.entries():
+                result.append((identity_type, identity, location))
+        return result
+
+    def bulk_load(self, entries: Iterable[Tuple[str, str, str]]) -> None:
+        grouped: Dict[str, List[Tuple[str, str]]] = {}
+        for identity_type, identity, location in entries:
+            grouped.setdefault(identity_type, []).append((identity, location))
+        for identity_type, pairs in grouped.items():
+            if identity_type in self._maps:
+                self._maps[identity_type].bulk_load(pairs)
+
+    def total_entries(self) -> int:
+        return sum(len(index) for index in self._maps.values())
+
+    def total_lookups(self) -> int:
+        return sum(index.lookups for index in self._maps.values())
+
+    def total_comparisons(self) -> int:
+        return sum(index.comparisons for index in self._maps.values())
+
+    def average_lookup_cost(self) -> float:
+        lookups = self.total_lookups()
+        if lookups == 0:
+            return 0.0
+        return self.total_comparisons() / lookups
+
+    def __repr__(self) -> str:
+        return (f"<MultiIndexDirectory types={len(self._maps)} "
+                f"entries={self.total_entries()}>")

@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per figure / quantitative claim.
+
+Every experiment builds the system it needs, runs it, and returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows are the table
+the paper (or its prose) implies.  The benchmark suite under ``benchmarks/``
+runs each experiment and prints its table; ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+
+Index (see DESIGN.md section 4 for the full mapping):
+
+========  ==========================================================
+E01       Section 3.5 capacity figures
+E02       Figures 5/6 FRASH trade-off graph and operating points
+E03       Partition behaviour: FE vs PS availability under PC
+E04       Read-from-slave latency vs staleness
+E05       Durability: async vs dual-in-sequence vs quorum
+E06       Checkpoint period sweep (F-R trade-off)
+E07       Scale-out: provisioned vs cached vs hashed location
+E08       Selective placement vs random sharding (H-R link)
+E09       Multi-master divergence and consistency restoration
+E10       Data-location lookup cost: O(log N) maps vs hashing
+E11       Availability model vs the five-nines budget
+E12       PACELC classification
+E13       Provisioning backlog and the 30-second batch glitch
+E14       Response-time budget vs the 10 ms target
+========  ==========================================================
+"""
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,58 @@
+"""E02 — Figures 5 and 6: the FRASH trade-off graph and operating points.
+
+Figure 5 is the set of restriction links between the FRASH characteristics;
+figure 6 places blue (application FE) and red (provisioning) operating points
+on those links according to the design decisions of section 3.  The
+experiment evaluates both client classes under the paper's default
+configuration and reports, per link, where each class sits and which
+decisions put it there.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClientType, UDRConfig
+from repro.core.frash import FrashGraph
+from repro.experiments.runner import ExperimentResult
+
+
+def run(config: UDRConfig = None) -> ExperimentResult:
+    config = config or UDRConfig()
+    graph = FrashGraph()
+    both = graph.evaluate_both(config)
+    fe_positions = both[ClientType.APPLICATION_FE]
+    ps_positions = both[ClientType.PROVISIONING]
+    rows = []
+    for link in graph.links:
+        fe = fe_positions[link.name]
+        ps = ps_positions[link.name]
+        rows.append([
+            link.name,
+            "CAP" if link.in_cap_scope else ("weak" if link.weak else ""),
+            round(fe.position, 2),
+            str(fe.favours()),
+            round(ps.position, 2),
+            str(ps.favours()),
+        ])
+    fe_fast = fe_positions["F-A"].position < 0.5
+    ps_more_acid = (ps_positions["F-A"].position
+                    > fe_positions["F-A"].position)
+    pc_on_partition = ps_positions["R-A"].position > 0.5
+    return ExperimentResult(
+        experiment_id="E02",
+        title="FRASH trade-off graph and operating points (figures 5/6)",
+        paper_claim=("the design favours F on the F-A link (more for FE than "
+                     "PS), favours consistency on the R-A (CAP) link, and the "
+                     "H-F link is weak"),
+        headers=["link", "kind", "FE position", "FE favours",
+                 "PS position", "PS favours"],
+        rows=rows,
+        finding=(f"FE favours Fast on F-A: {fe_fast}; PS closer to ACID than "
+                 f"FE: {ps_more_acid}; consistency favoured on partition "
+                 f"(R-A): {pc_on_partition}"),
+        notes={
+            "fe_favours_fast": fe_fast,
+            "ps_more_acid_than_fe": ps_more_acid,
+            "pc_on_partition": pc_on_partition,
+            "decision_count": len(graph.decisions_for(config)),
+        },
+    )

@@ -1,0 +1,63 @@
+"""E10 — Data-location lookup cost: O(log N) maps vs O(1) hashing (H-F link).
+
+"A state-full data location stage's processing cost typically grows as
+O(log N) [...] this impact is very small and can be neglected in most
+calculations, hence the link has been represented with a dotted line."
+The experiment measures the comparison count of identity-location-map lookups
+as the subscriber count grows, next to the (constant) cost of consistent-hash
+lookups, confirming both the growth law and the "weak link" verdict.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.directory.consistent_hash import ConsistentHashRing
+from repro.directory.identity_map import IdentityLocationMap
+from repro.experiments.runner import ExperimentResult
+
+
+def run(population_sizes=(1_000, 10_000, 100_000, 1_000_000),
+        lookups_per_size: int = 200) -> ExperimentResult:
+    ring = ConsistentHashRing([f"se-{i}" for i in range(16)], virtual_nodes=64)
+    rows = []
+    map_costs = []
+    for size in population_sizes:
+        index = IdentityLocationMap("imsi")
+        index.bulk_load((f"{i:012d}", f"se-{i % 16}") for i in range(size))
+        step = max(1, size // lookups_per_size)
+        for i in range(0, size, step):
+            index.locate(f"{i:012d}")
+        ring.lookups = ring.comparisons = 0
+        for i in range(0, size, step):
+            ring.locate(f"imsi:{i:012d}")
+        map_cost = index.average_lookup_cost()
+        map_costs.append((size, map_cost))
+        rows.append([
+            size,
+            round(map_cost, 2),
+            round(math.log2(size), 2),
+            round(ring.average_lookup_cost(), 2),
+        ])
+    # Growth law check: cost ratio across two decades of N tracks log2 ratio.
+    smallest, largest = map_costs[0], map_costs[-1]
+    measured_ratio = largest[1] / smallest[1]
+    expected_ratio = math.log2(largest[0]) / math.log2(smallest[0])
+    logarithmic = abs(measured_ratio - expected_ratio) / expected_ratio < 0.3
+    weak_link = largest[1] < 64  # tens of comparisons even at 10^6 subscribers
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Data-location lookup cost vs subscriber count (H-F weak link)",
+        paper_claim=("stateful maps cost O(log N) per lookup; the impact is "
+                     "very small and can be neglected; hashing would be O(1) "
+                     "but cannot support multiple identities or selective "
+                     "placement"),
+        headers=["subscribers", "map comparisons/lookup", "log2(N)",
+                 "hash ring comparisons/lookup"],
+        rows=rows,
+        finding=(f"map lookup cost grows as log2(N) (ratio {measured_ratio:.2f} "
+                 f"vs expected {expected_ratio:.2f}); hash lookups stay flat; "
+                 f"even at 10^6 subscribers the map needs ~{largest[1]:.0f} "
+                 f"comparisons, supporting the 'weak link' verdict"),
+        notes={"logarithmic_growth": logarithmic, "weak_link": weak_link},
+    )

@@ -1,0 +1,50 @@
+"""E12 — PACELC classification (section 3.6).
+
+"We argue that the UDR NF described in this paper is PA/EL for transactions
+coming from application front-ends but PC/EC for transactions coming from PS
+instances."  The experiment classifies both client classes under the paper's
+default configuration and under the section 5 evolutions (multi-master,
+quorum durability), showing how each knob moves the verdict.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClientType, PartitionPolicy, ReplicationMode, UDRConfig
+from repro.core.pacelc import classify_both
+from repro.experiments.runner import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    configurations = [
+        ("paper default", UDRConfig()),
+        ("multi-master on partition",
+         UDRConfig(partition_policy=PartitionPolicy.PREFER_AVAILABILITY)),
+        ("dual-in-sequence durability",
+         UDRConfig(replication_mode=ReplicationMode.DUAL_IN_SEQUENCE)),
+        ("quorum durability, no slave reads",
+         UDRConfig(replication_mode=ReplicationMode.QUORUM,
+                   fe_reads_from_slave=False)),
+    ]
+    rows = []
+    default_labels = {}
+    for label, config in configurations:
+        verdicts = classify_both(config)
+        fe = verdicts[ClientType.APPLICATION_FE]
+        ps = verdicts[ClientType.PROVISIONING]
+        if label == "paper default":
+            default_labels = {"fe": fe.label, "ps": ps.label}
+        rows.append([label, fe.label, ps.label])
+    matches_paper = default_labels == {"fe": "PA/EL", "ps": "PC/EC"}
+    return ExperimentResult(
+        experiment_id="E12",
+        title="PACELC classification of the UDR (section 3.6)",
+        paper_claim="PA/EL for application FE transactions, PC/EC for PS "
+                    "transactions",
+        headers=["configuration", "application FE", "provisioning system"],
+        rows=rows,
+        finding=(f"default design classified as "
+                 f"{default_labels.get('fe')} (FE) / "
+                 f"{default_labels.get('ps')} (PS); "
+                 f"matches the paper: {matches_paper}"),
+        notes={"matches_paper": matches_paper},
+    )

@@ -1,0 +1,114 @@
+"""E13 — Provisioning backlog and the 30-second batch glitch (sections 3.3, 4.1).
+
+Two of the paper's operational worries about provisioning:
+
+* "long delays in processing provisioning transactions might cause a back-log
+  of operations to grow at the PS" -- reproduced by driving the same steady
+  provisioning flow against a healthy UDR and against one whose backbone
+  latency is inflated, and comparing backlog depth;
+* "a network glitch as short as 30 seconds may cause a batch that's been
+  running for hours to fail" -- reproduced by running a batch while a
+  30-second partition hits the region whose subscribers are being provisioned
+  and counting the failed parts (manual interventions).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import UDRConfig
+from repro.experiments.common import build_loaded_udr, drive, site_in_region
+from repro.experiments.runner import ExperimentResult
+from repro.faults.failures import PartitionIncident
+from repro.faults.injector import FaultInjector, FaultSchedule
+from repro.net.network import LinkClass
+from repro.net.partition import NetworkPartition
+from repro.provisioning.batch import BatchRun
+from repro.provisioning.operations import ChangeServices, CreateSubscription
+from repro.provisioning.system import ProvisioningSystem
+from repro.subscriber.generator import SubscriberGenerator
+
+
+def _steady_flow_backlog(latency_factor: float, operations: int, seed: int):
+    config = UDRConfig(seed=seed)
+    udr, profiles = build_loaded_udr(config, subscribers=40, seed=seed)
+    udr.network.set_latency_factor(LinkClass.BACKBONE, latency_factor)
+    # Provision subscribers homed away from the PS so every write crosses the
+    # backbone and feels the inflation.
+    remote = [p for p in profiles if p.home_region != config.regions[0]] \
+        or profiles
+    ps = ProvisioningSystem("e13-ps", udr,
+                            site_in_region(udr, config.regions[0]))
+    ops = [ChangeServices(remote[i % len(remote)],
+                          changes={"svcBarPremium": bool(i % 2)})
+           for i in range(operations)]
+    drive(udr, ps.steady_flow(ops, rate_per_second=8.0),
+          horizon=7200.0)
+    return {
+        "peak_backlog": ps.backlog.peak_depth,
+        "success_ratio": ps.success_ratio(),
+    }
+
+
+def _batch_with_glitch(batch_size: int, glitch_duration: float, seed: int):
+    config = UDRConfig(seed=seed)
+    udr, _profiles = build_loaded_udr(config, subscribers=20, seed=seed)
+    target_region = config.regions[-1]
+    generator = SubscriberGenerator((target_region,), seed=seed + 1)
+    operations = [CreateSubscription(profile)
+                  for profile in generator.generate(batch_size)]
+    ps = ProvisioningSystem("e13-batch-ps", udr,
+                            site_in_region(udr, config.regions[0]))
+    if glitch_duration > 0:
+        partition = NetworkPartition.splitting_regions(
+            udr.topology, udr.topology.region(target_region))
+        schedule = FaultSchedule().add_partition(
+            PartitionIncident(partition=partition, start=5.0,
+                              duration=glitch_duration))
+        FaultInjector(udr, schedule).start()
+    report = drive(udr, BatchRun(ps, operations, pacing=1.0).run(),
+                   horizon=7200.0)
+    return report
+
+
+def run(operations: int = 40, batch_size: int = 40,
+        seed: int = 41) -> ExperimentResult:
+    healthy = _steady_flow_backlog(latency_factor=1.0, operations=operations,
+                                   seed=seed)
+    congested = _steady_flow_backlog(latency_factor=40.0,
+                                     operations=operations, seed=seed)
+    clean_batch = _batch_with_glitch(batch_size, glitch_duration=0.0,
+                                     seed=seed)
+    glitched_batch = _batch_with_glitch(batch_size, glitch_duration=30.0,
+                                        seed=seed)
+    rows = [
+        ["steady flow, healthy backbone", healthy["peak_backlog"],
+         round(healthy["success_ratio"], 3), "-"],
+        ["steady flow, 40x backbone latency", congested["peak_backlog"],
+         round(congested["success_ratio"], 3), "-"],
+        ["batch, no glitch", "-", round(clean_batch.success_ratio, 3),
+         clean_batch.manual_interventions],
+        ["batch, 30 s partition glitch", "-",
+         round(glitched_batch.success_ratio, 3),
+         glitched_batch.manual_interventions],
+    ]
+    return ExperimentResult(
+        experiment_id="E13",
+        title="Provisioning backlog growth and batch failure on a 30 s glitch",
+        paper_claim=("processing delays grow a back-log at the PS; a 30 s "
+                     "network glitch leaves failed batch parts that have to "
+                     "be applied manually"),
+        headers=["scenario", "peak backlog depth", "success ratio",
+                 "manual interventions"],
+        rows=rows,
+        finding=(f"the congested backbone grows the backlog from "
+                 f"{healthy['peak_backlog']} to {congested['peak_backlog']}; "
+                 f"the 30 s glitch turns a clean batch into one with "
+                 f"{glitched_batch.manual_interventions} parts to re-apply by "
+                 f"hand"),
+        notes={
+            "backlog_grows_under_latency":
+                congested["peak_backlog"] >= healthy["peak_backlog"],
+            "glitch_causes_manual_interventions":
+                glitched_batch.manual_interventions > 0,
+            "clean_batch_succeeds": clean_batch.success_ratio == 1.0,
+        },
+    )

@@ -1,0 +1,42 @@
+"""Shared result container and helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.metrics.report import format_markdown_table, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's reproduced table plus its verdict."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: List[str]
+    rows: List[Sequence]
+    finding: str = ""
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        header = (f"[{self.experiment_id}] {self.title}\n"
+                  f"paper: {self.paper_claim}\n")
+        table = format_table(self.headers, self.rows)
+        footer = f"\nfinding: {self.finding}" if self.finding else ""
+        return header + table + footer
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.experiment_id} — {self.title}", "",
+                 f"*Paper claim*: {self.paper_claim}", ""]
+        lines.append(format_markdown_table(self.headers, self.rows))
+        if self.finding:
+            lines.extend(["", f"*Measured*: {self.finding}"])
+        return "\n".join(lines)
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return (f"<ExperimentResult {self.experiment_id} rows={len(self.rows)}>")

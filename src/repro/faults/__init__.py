@@ -1,0 +1,23 @@
+"""Fault injection: element failures, site disasters and network partitions.
+
+The CAP behaviour the paper analyses only shows up under faults, so the
+experiments need a controlled way to produce them: scheduled incidents (a
+backbone partition from t=60 s to t=90 s during a batch run), and stochastic
+failure processes (storage elements failing with a given MTBF/MTTR) for the
+availability experiments.
+"""
+
+from repro.faults.failures import (
+    ElementFailureProcess,
+    PartitionIncident,
+    SiteDisaster,
+)
+from repro.faults.injector import FaultInjector, FaultSchedule
+
+__all__ = [
+    "ElementFailureProcess",
+    "FaultInjector",
+    "FaultSchedule",
+    "PartitionIncident",
+    "SiteDisaster",
+]

@@ -1,0 +1,92 @@
+"""Fault descriptions: what can go wrong and when.
+
+Three kinds of incident cover everything the paper discusses:
+
+* :class:`PartitionIncident` -- the IP backbone splits for a while (the "P"
+  in CAP, section 4.1's 30-second glitch, ...);
+* :class:`SiteDisaster` -- a whole site is lost (the natural-disaster case
+  geographic redundancy exists for);
+* :class:`ElementFailureProcess` -- storage elements crash stochastically
+  with a given MTBF and are repaired after an MTTR, which is what the
+  availability model and experiment E11 are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.partition import NetworkPartition
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class PartitionIncident:
+    """A network partition with a start time and a duration."""
+
+    partition: NetworkPartition
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("partition incidents need start >= 0 and "
+                             "duration > 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class SiteDisaster:
+    """Loss of a whole site (and everything running there)."""
+
+    site_name: str
+    start: float
+    duration: float = 24 * units.HOUR
+
+    def __post_init__(self):
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("disasters need start >= 0 and duration > 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class ElementFailureProcess:
+    """A stochastic crash/repair process for storage elements.
+
+    Exponentially distributed times between failures (mean ``mtbf``) and
+    fixed repair time ``mttr``; the schedule is drawn once, deterministically
+    from the supplied random stream, so experiments are reproducible.
+    """
+
+    mtbf: float = 180 * units.DAY
+    mttr: float = 4 * units.HOUR
+
+    def __post_init__(self):
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+
+    def draw_failure_times(self, rng, horizon: float,
+                           start: float = 0.0) -> List[float]:
+        """Crash instants for one element up to ``horizon``."""
+        times: List[float] = []
+        current = start
+        while True:
+            current += rng.expovariate(1.0 / self.mtbf)
+            if current >= horizon:
+                break
+            times.append(current)
+            current += self.mttr  # the element cannot fail while it is down
+        return times
+
+    def expected_failures(self, horizon: float) -> float:
+        return horizon / (self.mtbf + self.mttr)
+
+    def expected_unavailability(self) -> float:
+        """Steady-state unavailable fraction of a single, unreplicated element."""
+        return self.mttr / (self.mtbf + self.mttr)

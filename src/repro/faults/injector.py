@@ -1,0 +1,137 @@
+"""The fault injector: applies scheduled and stochastic faults to a deployment.
+
+The injector works against a :class:`~repro.core.udr.UDRNetworkFunction`: it
+schedules partition incidents and site disasters at their configured times,
+and (optionally) runs a stochastic crash/repair process over the storage
+elements.  Everything is driven through simulation processes so faults
+interleave naturally with traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.faults.failures import (
+    ElementFailureProcess,
+    PartitionIncident,
+    SiteDisaster,
+)
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative list of incidents to apply."""
+
+    partitions: List[PartitionIncident] = field(default_factory=list)
+    disasters: List[SiteDisaster] = field(default_factory=list)
+
+    def add_partition(self, incident: PartitionIncident) -> "FaultSchedule":
+        self.partitions.append(incident)
+        return self
+
+    def add_disaster(self, disaster: SiteDisaster) -> "FaultSchedule":
+        self.disasters.append(disaster)
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return not self.partitions and not self.disasters
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` (and optional random crashes) to a UDR."""
+
+    def __init__(self, udr, schedule: Optional[FaultSchedule] = None):
+        self.udr = udr
+        self.schedule = schedule or FaultSchedule()
+        self.partitions_applied = 0
+        self.disasters_applied = 0
+        self.element_crashes = 0
+
+    # -- scheduled incidents -------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every incident of the fault schedule as a process."""
+        for incident in self.schedule.partitions:
+            self.udr.sim.process(self._run_partition(incident),
+                                 name=f"fault:partition@{incident.start}")
+        for disaster in self.schedule.disasters:
+            self.udr.sim.process(self._run_disaster(disaster),
+                                 name=f"fault:disaster:{disaster.site_name}")
+
+    def _run_partition(self, incident: PartitionIncident):
+        sim = self.udr.sim
+        if incident.start > sim.now:
+            yield sim.timeout(incident.start - sim.now)
+        self.udr.network.apply_partition(incident.partition)
+        self.partitions_applied += 1
+        yield sim.timeout(incident.duration)
+        self.udr.network.heal_partition(incident.partition)
+
+    def _run_disaster(self, disaster: SiteDisaster):
+        sim = self.udr.sim
+        if disaster.start > sim.now:
+            yield sim.timeout(disaster.start - sim.now)
+        site = self.udr.topology.site(disaster.site_name)
+        self.udr.network.fail_site(site)
+        for poa in self.udr.points_of_access:
+            if poa.site == site:
+                poa.fail()
+        affected_elements = [name for name, element in self.udr.elements.items()
+                             if element.site == site]
+        for name in affected_elements:
+            self.udr.crash_element(name, auto_repair=False)
+        self.disasters_applied += 1
+        yield sim.timeout(disaster.duration)
+        self.udr.network.restore_site(site)
+        for poa in self.udr.points_of_access:
+            if poa.site == site:
+                poa.restore()
+        for name in affected_elements:
+            self.udr.recover_element(name)
+
+    # -- stochastic element failures ----------------------------------------------------
+
+    def run_element_failures(self, process: ElementFailureProcess,
+                             horizon: float, element_names=None,
+                             fail_over: bool = True) -> int:
+        """Schedule stochastic crashes for elements up to ``horizon``.
+
+        Returns the number of crash events scheduled.  Each crash triggers
+        the SAF manager (repair after the process' MTTR); when ``fail_over``
+        is set the partitions mastered on the crashed element are failed over
+        to a surviving copy immediately, as the real system would.
+        """
+        rng = self.udr.sim.rng("faults.element-failures")
+        names = list(element_names or self.udr.elements)
+        scheduled = 0
+        for name in names:
+            for crash_time in process.draw_failure_times(rng, horizon):
+                self.udr.sim.process(
+                    self._crash_later(name, crash_time, process.mttr,
+                                      fail_over),
+                    name=f"fault:crash:{name}@{crash_time:.0f}")
+                scheduled += 1
+        return scheduled
+
+    def _crash_later(self, element_name: str, crash_time: float,
+                     mttr: float, fail_over: bool):
+        sim = self.udr.sim
+        if crash_time > sim.now:
+            yield sim.timeout(crash_time - sim.now)
+        element = self.udr.elements[element_name]
+        if not element.available:
+            return
+        component = self.udr.availability_manager.component(element_name)
+        component.repair_time = mttr
+        self.udr.availability_manager.fail_component(element_name,
+                                                     auto_repair=True)
+        self.element_crashes += 1
+        if fail_over:
+            self.udr.fail_over(element_name)
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector partitions={self.partitions_applied} "
+                f"disasters={self.disasters_applied} "
+                f"crashes={self.element_crashes}>")

@@ -1,0 +1,27 @@
+"""Application front-ends: the stateless HLR-FE / HSS-FE of a UDC network.
+
+In the UDC architecture the subscriber-management network functions become
+stateless front-ends that read and write subscriber data in the UDR for every
+network procedure they take part in (attach, location update, call setup,
+SMS, IMS registration...).  Each procedure costs one to three LDAP operations
+(five or six for IMS procedures), which is the traffic the paper's capacity
+and latency arguments are about.
+"""
+
+from repro.frontends.procedures import (
+    NetworkProcedure,
+    ProcedureCatalogue,
+    ProcedureOutcome,
+)
+from repro.frontends.base import ApplicationFrontEnd
+from repro.frontends.hlr_fe import HlrFrontEnd
+from repro.frontends.hss_fe import HssFrontEnd
+
+__all__ = [
+    "ApplicationFrontEnd",
+    "HlrFrontEnd",
+    "HssFrontEnd",
+    "NetworkProcedure",
+    "ProcedureCatalogue",
+    "ProcedureOutcome",
+]

@@ -1,0 +1,18 @@
+"""The HLR front-end: circuit/packet-switched (2G/3G/4G) procedures.
+
+The HLR-FE is "named after its non-DLA counterpart" (paper, footnote 1): it
+cooperates in the same network procedures as a classic HLR -- location
+management, authentication, call and SMS routing -- but reads and writes all
+subscriber data in the UDR.
+"""
+
+from __future__ import annotations
+
+from repro.frontends.base import ApplicationFrontEnd
+from repro.frontends.procedures import ProcedureCatalogue
+
+
+class HlrFrontEnd(ApplicationFrontEnd):
+    """An HLR-FE instance: classic mobile procedures, 1-3 LDAP ops each."""
+
+    default_mix = ProcedureCatalogue.classic_mix

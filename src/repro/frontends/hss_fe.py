@@ -1,0 +1,18 @@
+"""The HSS front-end: IMS and LTE procedures.
+
+The HSS-FE supports the richer IMS procedures, which the paper notes are
+"somewhat heavier": a single IMS network procedure may cause five or six LDAP
+read/write operations (footnote 8), so HSS-dominated traffic consumes the
+per-subscriber operation headroom faster than classic HLR traffic.
+"""
+
+from __future__ import annotations
+
+from repro.frontends.base import ApplicationFrontEnd
+from repro.frontends.procedures import ProcedureCatalogue
+
+
+class HssFrontEnd(ApplicationFrontEnd):
+    """An HSS-FE instance: IMS-heavy procedure mix, 5-6 LDAP ops per procedure."""
+
+    default_mix = ProcedureCatalogue.ims_mix

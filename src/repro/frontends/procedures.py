@@ -1,0 +1,193 @@
+"""Network procedures and the LDAP operations they cost.
+
+The paper (section 3.5, footnote 8): "Typical mobile network procedures cause
+between 1 and 3 LDAP operations [...] A single typical IMS network procedure
+may cause 5 or 6 LDAP read/write operations."  Each procedure below builds
+its concrete request sequence for a given subscriber, so front-ends replay
+realistic operation mixes against the UDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ldap.operations import LdapRequest, ModifyRequest, SearchRequest
+from repro.ldap.schema import SubscriberSchema
+from repro.subscriber.profile import SubscriberProfile
+
+
+def _dn(profile: SubscriberProfile):
+    return SubscriberSchema.subscriber_dn(profile.identities.imsi)
+
+
+def _read(profile: SubscriberProfile, attributes=()) -> SearchRequest:
+    return SearchRequest(dn=_dn(profile), attributes=tuple(attributes))
+
+
+def _read_by_msisdn(profile: SubscriberProfile) -> SearchRequest:
+    return SearchRequest(
+        dn=SubscriberSchema.BASE_DN,
+        filter_text=f"(&(objectClass=udrSubscriber)"
+                    f"(msisdn={profile.identities.msisdn}))")
+
+
+def _update(profile: SubscriberProfile, changes) -> ModifyRequest:
+    return ModifyRequest(dn=_dn(profile), changes=dict(changes))
+
+
+@dataclass(frozen=True)
+class NetworkProcedure:
+    """One network procedure: a name and its LDAP operation sequence."""
+
+    name: str
+    build: Callable[[SubscriberProfile, str], List[LdapRequest]]
+    ims: bool = False
+
+    def requests(self, profile: SubscriberProfile,
+                 serving_node: str = "node-0") -> List[LdapRequest]:
+        return self.build(profile, serving_node)
+
+    def operation_count(self, profile: SubscriberProfile) -> int:
+        return len(self.requests(profile))
+
+
+def _attach(profile: SubscriberProfile, serving_node: str) -> List[LdapRequest]:
+    """Initial attach: authentication read + location update write."""
+    return [
+        _read(profile, attributes=("authKey", "subscriberStatus")),
+        _update(profile, {"servingMsc": serving_node,
+                          "currentRegion": profile.current_region}),
+    ]
+
+
+def _location_update(profile: SubscriberProfile,
+                     serving_node: str) -> List[LdapRequest]:
+    """Periodic/moving location update: read profile + write serving node."""
+    return [
+        _read(profile, attributes=("subscriberStatus", "svcRoamingAllowed")),
+        _update(profile, {"servingMsc": serving_node,
+                          "currentRegion": profile.current_region}),
+    ]
+
+
+def _authentication(profile: SubscriberProfile,
+                    serving_node: str) -> List[LdapRequest]:
+    return [_read(profile, attributes=("authKey",))]
+
+
+def _terminating_call(profile: SubscriberProfile,
+                      serving_node: str) -> List[LdapRequest]:
+    """Routing an incoming call: one read, addressed by MSISDN."""
+    return [_read_by_msisdn(profile)]
+
+
+def _originating_call(profile: SubscriberProfile,
+                      serving_node: str) -> List[LdapRequest]:
+    """Outgoing call: read barring/forwarding settings."""
+    return [_read(profile, attributes=("svcBarOutInternational",
+                                       "svcBarPremium", "svcCfu"))]
+
+
+def _sms_delivery(profile: SubscriberProfile,
+                  serving_node: str) -> List[LdapRequest]:
+    return [_read_by_msisdn(profile)]
+
+
+def _ims_registration(profile: SubscriberProfile,
+                      serving_node: str) -> List[LdapRequest]:
+    """IMS registration: the heavier 5-operation procedure of footnote 8."""
+    return [
+        _read(profile, attributes=("impi", "authKey")),
+        _read(profile, attributes=("impu", "svcImsEnabled")),
+        _update(profile, {"imsRegistered": True}),
+        _read(profile, attributes=("svcOperatorServices",)),
+        _update(profile, {"servingSgsn": serving_node}),
+    ]
+
+
+def _ims_session(profile: SubscriberProfile,
+                 serving_node: str) -> List[LdapRequest]:
+    """IMS session setup: reads of both parties' service profiles."""
+    return [
+        _read(profile, attributes=("impu", "svcImsEnabled")),
+        _read(profile, attributes=("svcOperatorServices",)),
+        _read_by_msisdn(profile),
+        _read(profile, attributes=("svcCfu", "svcCfb")),
+        _read(profile, attributes=("currentRegion",)),
+        _read(profile, attributes=("servingSgsn",)),
+    ]
+
+
+@dataclass
+class ProcedureOutcome:
+    """Result of running one procedure against the UDR."""
+
+    procedure: str
+    succeeded: bool
+    operations: int = 0
+    failed_operation: Optional[int] = None
+    latency: float = 0.0
+    diagnostics: List[str] = field(default_factory=list)
+
+
+class ProcedureCatalogue:
+    """The set of procedures a front-end knows, with their traffic weights."""
+
+    ATTACH = NetworkProcedure("attach", _attach)
+    LOCATION_UPDATE = NetworkProcedure("location_update", _location_update)
+    AUTHENTICATION = NetworkProcedure("authentication", _authentication)
+    TERMINATING_CALL = NetworkProcedure("terminating_call", _terminating_call)
+    ORIGINATING_CALL = NetworkProcedure("originating_call", _originating_call)
+    SMS_DELIVERY = NetworkProcedure("sms_delivery", _sms_delivery)
+    IMS_REGISTRATION = NetworkProcedure("ims_registration", _ims_registration,
+                                        ims=True)
+    IMS_SESSION = NetworkProcedure("ims_session", _ims_session, ims=True)
+
+    ALL = (ATTACH, LOCATION_UPDATE, AUTHENTICATION, TERMINATING_CALL,
+           ORIGINATING_CALL, SMS_DELIVERY, IMS_REGISTRATION, IMS_SESSION)
+
+    @classmethod
+    def by_name(cls, name: str) -> NetworkProcedure:
+        for procedure in cls.ALL:
+            if procedure.name == name:
+                return procedure
+        raise KeyError(f"unknown procedure {name!r}")
+
+    @classmethod
+    def classic_mix(cls) -> Dict[NetworkProcedure, float]:
+        """Traffic mix of a 2G/3G/4G (HLR-style) front-end."""
+        return {
+            cls.LOCATION_UPDATE: 0.30,
+            cls.AUTHENTICATION: 0.25,
+            cls.TERMINATING_CALL: 0.15,
+            cls.ORIGINATING_CALL: 0.15,
+            cls.SMS_DELIVERY: 0.10,
+            cls.ATTACH: 0.05,
+        }
+
+    @classmethod
+    def ims_mix(cls) -> Dict[NetworkProcedure, float]:
+        """Traffic mix of an IMS (HSS-style) front-end."""
+        return {
+            cls.IMS_REGISTRATION: 0.25,
+            cls.IMS_SESSION: 0.35,
+            cls.AUTHENTICATION: 0.15,
+            cls.LOCATION_UPDATE: 0.15,
+            cls.TERMINATING_CALL: 0.10,
+        }
+
+    @staticmethod
+    def pick(mix: Dict[NetworkProcedure, float], rng) -> NetworkProcedure:
+        """Weighted random choice from a mix."""
+        procedures = list(mix)
+        weights = [mix[procedure] for procedure in procedures]
+        return rng.choices(procedures, weights=weights, k=1)[0]
+
+    @staticmethod
+    def average_operations(mix: Dict[NetworkProcedure, float],
+                           profile: SubscriberProfile) -> float:
+        """Mean LDAP operations per procedure under a mix (paper: 1-3, IMS 5-6)."""
+        total_weight = sum(mix.values())
+        return sum(weight * procedure.operation_count(profile)
+                   for procedure, weight in mix.items()) / total_weight

@@ -1,0 +1,49 @@
+"""LDAP front door of the UDR (the 3GPP Ud reference point).
+
+The UDC specifications mandate an LDAP-based interface for reading and
+writing subscriber data.  The reproduction implements the pieces of LDAP the
+paper's analysis depends on:
+
+* distinguished names and search filters (:mod:`repro.ldap.dn`,
+  :mod:`repro.ldap.filters`),
+* the subscriber schema and the mapping between LDAP attributes and
+  subscriber identities (:mod:`repro.ldap.schema`),
+* request/response objects with standard result codes
+  (:mod:`repro.ldap.operations`),
+* the stateless LDAP server process with its throughput capacity model
+  (:mod:`repro.ldap.server`) -- the paper sizes a server at one million
+  indexed single-subscriber read/write operations per second.
+"""
+
+from repro.ldap.dn import DistinguishedName
+from repro.ldap.filters import FilterError, LdapFilter, parse_filter
+from repro.ldap.schema import SubscriberSchema
+from repro.ldap.operations import (
+    AddRequest,
+    DeleteRequest,
+    LdapRequest,
+    LdapResponse,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+    SearchScope,
+)
+from repro.ldap.server import LdapServer, LdapServerPool
+
+__all__ = [
+    "AddRequest",
+    "DeleteRequest",
+    "DistinguishedName",
+    "FilterError",
+    "LdapFilter",
+    "LdapRequest",
+    "LdapResponse",
+    "LdapServer",
+    "LdapServerPool",
+    "ModifyRequest",
+    "ResultCode",
+    "SearchRequest",
+    "SearchScope",
+    "SubscriberSchema",
+    "parse_filter",
+]

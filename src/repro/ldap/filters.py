@@ -1,0 +1,199 @@
+"""LDAP search filters (RFC 4515 string representation, simplified).
+
+Application front-ends find subscriber entries by identity, e.g.
+``(msisdn=+34600000001)`` or ``(&(objectClass=subscriber)(imsi=21407...))``.
+The parser supports equality, presence, substring, AND, OR and NOT filters,
+which covers every query the reproduction issues while staying small enough
+to be obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class FilterError(ValueError):
+    """Raised for malformed filter strings."""
+
+
+class LdapFilter:
+    """Base class for parsed filters; evaluates against attribute maps."""
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def referenced_attributes(self) -> List[str]:
+        """Attribute names the filter tests (used to extract identities)."""
+        raise NotImplementedError
+
+
+class EqualityFilter(LdapFilter):
+    def __init__(self, attribute: str, value: str):
+        self.attribute = attribute.lower()
+        self.value = value
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        actual = _get_attribute(entry, self.attribute)
+        if actual is None:
+            return False
+        if isinstance(actual, (list, tuple, set)):
+            return any(str(item) == self.value for item in actual)
+        return str(actual) == self.value
+
+    def referenced_attributes(self) -> List[str]:
+        return [self.attribute]
+
+    def __repr__(self) -> str:
+        return f"({self.attribute}={self.value})"
+
+
+class PresenceFilter(LdapFilter):
+    def __init__(self, attribute: str):
+        self.attribute = attribute.lower()
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        return _get_attribute(entry, self.attribute) is not None
+
+    def referenced_attributes(self) -> List[str]:
+        return [self.attribute]
+
+    def __repr__(self) -> str:
+        return f"({self.attribute}=*)"
+
+
+class SubstringFilter(LdapFilter):
+    def __init__(self, attribute: str, pattern: str):
+        self.attribute = attribute.lower()
+        self.pattern = pattern
+        self.parts = pattern.split("*")
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        actual = _get_attribute(entry, self.attribute)
+        if actual is None:
+            return False
+        text = str(actual)
+        position = 0
+        parts = self.parts
+        if parts[0] and not text.startswith(parts[0]):
+            return False
+        if parts[-1] and not text.endswith(parts[-1]):
+            return False
+        for part in parts:
+            if not part:
+                continue
+            index = text.find(part, position)
+            if index < 0:
+                return False
+            position = index + len(part)
+        return True
+
+    def referenced_attributes(self) -> List[str]:
+        return [self.attribute]
+
+    def __repr__(self) -> str:
+        return f"({self.attribute}={self.pattern})"
+
+
+class AndFilter(LdapFilter):
+    def __init__(self, children: List[LdapFilter]):
+        self.children = children
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        return all(child.matches(entry) for child in self.children)
+
+    def referenced_attributes(self) -> List[str]:
+        return [attr for child in self.children
+                for attr in child.referenced_attributes()]
+
+    def __repr__(self) -> str:
+        return "(&" + "".join(repr(child) for child in self.children) + ")"
+
+
+class OrFilter(LdapFilter):
+    def __init__(self, children: List[LdapFilter]):
+        self.children = children
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        return any(child.matches(entry) for child in self.children)
+
+    def referenced_attributes(self) -> List[str]:
+        return [attr for child in self.children
+                for attr in child.referenced_attributes()]
+
+    def __repr__(self) -> str:
+        return "(|" + "".join(repr(child) for child in self.children) + ")"
+
+
+class NotFilter(LdapFilter):
+    def __init__(self, child: LdapFilter):
+        self.child = child
+
+    def matches(self, entry: Dict[str, Any]) -> bool:
+        return not self.child.matches(entry)
+
+    def referenced_attributes(self) -> List[str]:
+        return self.child.referenced_attributes()
+
+    def __repr__(self) -> str:
+        return f"(!{self.child!r})"
+
+
+def _get_attribute(entry: Dict[str, Any], attribute: str) -> Optional[Any]:
+    """Case-insensitive attribute lookup, treating None values as absent."""
+    for key, value in entry.items():
+        if key.lower() == attribute:
+            return value if value is not None else None
+    return None
+
+
+def parse_filter(text: str) -> LdapFilter:
+    """Parse an RFC 4515 filter string into an :class:`LdapFilter` tree."""
+    if not text or not text.strip():
+        raise FilterError("empty filter")
+    text = text.strip()
+    parsed, consumed = _parse_component(text, 0)
+    if consumed != len(text):
+        raise FilterError(f"trailing characters after filter: {text[consumed:]!r}")
+    return parsed
+
+
+def _parse_component(text: str, start: int) -> Tuple[LdapFilter, int]:
+    if start >= len(text) or text[start] != "(":
+        raise FilterError(f"expected '(' at position {start} in {text!r}")
+    index = start + 1
+    if index >= len(text):
+        raise FilterError("unterminated filter")
+    operator = text[index]
+    if operator in "&|":
+        index += 1
+        children: List[LdapFilter] = []
+        while index < len(text) and text[index] == "(":
+            child, index = _parse_component(text, index)
+            children.append(child)
+        if index >= len(text) or text[index] != ")":
+            raise FilterError("unterminated composite filter")
+        if not children:
+            raise FilterError("composite filter with no children")
+        combinator = AndFilter if operator == "&" else OrFilter
+        return combinator(children), index + 1
+    if operator == "!":
+        child, index = _parse_component(text, index + 1)
+        if index >= len(text) or text[index] != ")":
+            raise FilterError("unterminated NOT filter")
+        return NotFilter(child), index + 1
+    # Simple item: attribute=value up to the matching ')'
+    end = text.find(")", index)
+    if end < 0:
+        raise FilterError("unterminated simple filter")
+    item = text[index:end]
+    if "=" not in item:
+        raise FilterError(f"simple filter without '=': {item!r}")
+    attribute, _, value = item.partition("=")
+    attribute = attribute.strip()
+    if not attribute:
+        raise FilterError(f"missing attribute in {item!r}")
+    if value == "*":
+        return PresenceFilter(attribute), end + 1
+    if "*" in value:
+        return SubstringFilter(attribute, value), end + 1
+    return EqualityFilter(attribute, value), end + 1

@@ -1,0 +1,253 @@
+"""Stateless LDAP server processes and their capacity model.
+
+"The UDR NF runs a distributed, state-less LDAP server providing the
+northbound interface to clients of the UDR" (paper, section 3.4.1).  Being
+stateless, any server instance can handle any request; scaling LDAP
+processing is a matter of deploying more instances behind the Point of
+Access' L4 balancer.
+
+A server does two things here:
+
+* **translate** an LDAP request into an operation plan -- which subscriber
+  identity is addressed, whether the operation reads or writes, which
+  attributes change -- validating DNs, filters and schema rules on the way;
+* **account for CPU capacity**: the paper sizes one server at 10^6 indexed
+  single-subscriber read/write operations per second, so each operation costs
+  one microsecond of server time and a pool of servers saturates at the sum
+  of its members' capacities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ldap.dn import DistinguishedName
+from repro.ldap.filters import EqualityFilter, FilterError, parse_filter
+from repro.ldap.operations import (
+    AddRequest,
+    DeleteRequest,
+    LdapRequest,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+)
+from repro.ldap.schema import SubscriberSchema
+
+
+class PlanKind(enum.Enum):
+    """What the UDR has to do for a request."""
+
+    READ = "read"
+    UPDATE = "update"
+    CREATE = "create"
+    DELETE = "delete"
+
+
+@dataclass
+class OperationPlan:
+    """The distilled intent of one LDAP request."""
+
+    kind: PlanKind
+    identity_type: Optional[str] = None
+    identity_value: Optional[str] = None
+    changes: Dict[str, Any] = field(default_factory=dict)
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    requested_attributes: Tuple[str, ...] = ()
+    error: Optional[ResultCode] = None
+    diagnostic: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (PlanKind.UPDATE, PlanKind.CREATE, PlanKind.DELETE)
+
+
+class LdapServer:
+    """One stateless LDAP server process."""
+
+    #: The paper's measured capacity of one server on a state-of-the-art blade.
+    DEFAULT_CAPACITY_OPS_PER_SECOND = 1_000_000
+
+    def __init__(self, name: str,
+                 capacity_ops_per_second: int = DEFAULT_CAPACITY_OPS_PER_SECOND,
+                 schema: type = SubscriberSchema):
+        if capacity_ops_per_second <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity_ops_per_second = capacity_ops_per_second
+        self.schema = schema
+        self.operations_processed = 0
+        self.translation_errors = 0
+
+    # -- capacity ------------------------------------------------------------------
+
+    def service_time(self) -> float:
+        """CPU time one indexed single-subscriber operation costs."""
+        return 1.0 / self.capacity_ops_per_second
+
+    # -- translation -----------------------------------------------------------------
+
+    def plan(self, request: LdapRequest) -> OperationPlan:
+        """Translate ``request`` into an :class:`OperationPlan`."""
+        self.operations_processed += 1
+        if isinstance(request, SearchRequest):
+            plan = self._plan_search(request)
+        elif isinstance(request, ModifyRequest):
+            plan = self._plan_modify(request)
+        elif isinstance(request, AddRequest):
+            plan = self._plan_add(request)
+        elif isinstance(request, DeleteRequest):
+            plan = self._plan_delete(request)
+        else:
+            plan = OperationPlan(kind=PlanKind.READ,
+                                 error=ResultCode.UNWILLING_TO_PERFORM,
+                                 diagnostic=f"unsupported request {request!r}")
+        if not plan.ok:
+            self.translation_errors += 1
+        return plan
+
+    def _plan_search(self, request: SearchRequest) -> OperationPlan:
+        identity = self.schema.identity_from_dn(request.dn)
+        if identity is None:
+            identity = self._identity_from_filter(request.filter_text)
+        if identity is None:
+            return OperationPlan(
+                kind=PlanKind.READ, error=ResultCode.UNWILLING_TO_PERFORM,
+                diagnostic="search is not an index-based single-subscriber "
+                           "query (no identity in DN or filter)")
+        identity_type, identity_value = identity
+        return OperationPlan(kind=PlanKind.READ,
+                             identity_type=identity_type,
+                             identity_value=identity_value,
+                             requested_attributes=tuple(request.attributes))
+
+    def _identity_from_filter(self, filter_text: str) -> Optional[Tuple[str, str]]:
+        try:
+            parsed = parse_filter(filter_text)
+        except FilterError:
+            return None
+        assertions: Dict[str, str] = {}
+        stack: List = [parsed]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, EqualityFilter):
+                assertions[node.attribute] = node.value
+            children = getattr(node, "children", None)
+            if children:
+                stack.extend(children)
+            child = getattr(node, "child", None)
+            if child is not None:
+                stack.append(child)
+        return self.schema.identity_from_assertions(assertions)
+
+    def _plan_modify(self, request: ModifyRequest) -> OperationPlan:
+        identity = self.schema.identity_from_dn(request.dn)
+        if identity is None:
+            return OperationPlan(kind=PlanKind.UPDATE,
+                                 error=ResultCode.NO_SUCH_OBJECT,
+                                 diagnostic=f"not a subscriber DN: {request.dn}")
+        if not request.changes:
+            return OperationPlan(kind=PlanKind.UPDATE,
+                                 error=ResultCode.UNWILLING_TO_PERFORM,
+                                 diagnostic="modify with no changes")
+        identity_type, identity_value = identity
+        return OperationPlan(kind=PlanKind.UPDATE,
+                             identity_type=identity_type,
+                             identity_value=identity_value,
+                             changes=dict(request.changes))
+
+    def _plan_add(self, request: AddRequest) -> OperationPlan:
+        problems = self.schema.validate_new_entry(request.attributes)
+        if problems:
+            return OperationPlan(kind=PlanKind.CREATE,
+                                 error=ResultCode.UNWILLING_TO_PERFORM,
+                                 diagnostic="; ".join(problems))
+        identity = self.schema.identity_from_dn(request.dn)
+        if identity is None:
+            return OperationPlan(kind=PlanKind.CREATE,
+                                 error=ResultCode.UNWILLING_TO_PERFORM,
+                                 diagnostic=f"not a subscriber DN: {request.dn}")
+        identity_type, identity_value = identity
+        if request.attributes.get("imsi") != identity_value:
+            return OperationPlan(kind=PlanKind.CREATE,
+                                 error=ResultCode.UNWILLING_TO_PERFORM,
+                                 diagnostic="DN and imsi attribute disagree")
+        return OperationPlan(kind=PlanKind.CREATE,
+                             identity_type=identity_type,
+                             identity_value=identity_value,
+                             attributes=dict(request.attributes))
+
+    def _plan_delete(self, request: DeleteRequest) -> OperationPlan:
+        identity = self.schema.identity_from_dn(request.dn)
+        if identity is None:
+            return OperationPlan(kind=PlanKind.DELETE,
+                                 error=ResultCode.NO_SUCH_OBJECT,
+                                 diagnostic=f"not a subscriber DN: {request.dn}")
+        identity_type, identity_value = identity
+        return OperationPlan(kind=PlanKind.DELETE,
+                             identity_type=identity_type,
+                             identity_value=identity_value)
+
+    def __repr__(self) -> str:
+        return (f"<LdapServer {self.name!r} "
+                f"processed={self.operations_processed}>")
+
+
+class LdapServerPool:
+    """The LDAP servers deployed at one Point of Access (blade cluster)."""
+
+    def __init__(self, name: str, servers: Optional[List[LdapServer]] = None):
+        self.name = name
+        self.servers: List[LdapServer] = list(servers or [])
+        self._next = 0
+
+    @classmethod
+    def of_size(cls, name: str, count: int,
+                capacity_ops_per_second: int =
+                LdapServer.DEFAULT_CAPACITY_OPS_PER_SECOND) -> "LdapServerPool":
+        if count < 1:
+            raise ValueError("a pool needs at least one LDAP server")
+        servers = [LdapServer(f"{name}-ldap-{index}", capacity_ops_per_second)
+                   for index in range(count)]
+        return cls(name, servers)
+
+    def add_server(self, server: LdapServer) -> None:
+        """Scale up: the balancer detects new instances automatically."""
+        self.servers.append(server)
+
+    def next_server(self) -> LdapServer:
+        """Round-robin selection, as an L4 balancer would do."""
+        if not self.servers:
+            raise RuntimeError(f"LDAP pool {self.name!r} has no servers")
+        server = self.servers[self._next % len(self.servers)]
+        self._next += 1
+        return server
+
+    @property
+    def capacity_ops_per_second(self) -> int:
+        return sum(server.capacity_ops_per_second for server in self.servers)
+
+    def total_operations(self) -> int:
+        return sum(server.operations_processed for server in self.servers)
+
+    def service_time(self) -> float:
+        """Per-operation processing time (one server handles each operation).
+
+        Adding servers raises the pool's aggregate throughput but does not
+        make an individual operation faster, so the latency contribution is a
+        single server's service time.
+        """
+        if not self.servers:
+            return 0.0
+        return min(server.service_time() for server in self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __repr__(self) -> str:
+        return f"<LdapServerPool {self.name!r} servers={len(self.servers)}>"

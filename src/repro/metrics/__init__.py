@@ -1,0 +1,23 @@
+"""Measurement infrastructure for the experiments.
+
+Everything the paper's claims are judged against comes from here: latency
+distributions against the 10 ms target, per-subscriber availability against
+the 99.999% requirement, staleness of slave reads, operation success rates
+during partitions, and durability losses after crashes.
+"""
+
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.availability import AvailabilityTracker, OperationOutcomes
+from repro.metrics.consistency import ConsistencyTracker
+from repro.metrics.collector import MetricsRegistry
+from repro.metrics.report import format_table, format_markdown_table
+
+__all__ = [
+    "AvailabilityTracker",
+    "ConsistencyTracker",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "OperationOutcomes",
+    "format_markdown_table",
+    "format_table",
+]

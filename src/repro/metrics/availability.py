@@ -1,0 +1,113 @@
+"""Availability accounting.
+
+The paper's requirement 3: "on average any given subscriber's data must be
+available 99.999% of the time", with footnote 4 clarifying that this is an
+average over subscribers.  Two complementary measurements are provided:
+
+* :class:`OperationOutcomes` -- operation-level availability (successful
+  operations / attempted operations), which is what a partition experiment
+  observes directly;
+* :class:`AvailabilityTracker` -- time-based availability per entity
+  (subscriber group, storage element...), aggregating explicit up/down
+  intervals, which is what the analytic five-nines budget is written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim import units
+
+
+@dataclass
+class OperationOutcomes:
+    """Success/failure counters for one class of operations."""
+
+    attempted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    failures_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record_success(self) -> None:
+        self.attempted += 1
+        self.succeeded += 1
+
+    def record_failure(self, reason: str = "unknown") -> None:
+        self.attempted += 1
+        self.failed += 1
+        self.failures_by_reason[reason] = \
+            self.failures_by_reason.get(reason, 0) + 1
+
+    def availability(self) -> float:
+        """Fraction of attempted operations that succeeded."""
+        if self.attempted == 0:
+            return 1.0
+        return self.succeeded / self.attempted
+
+    def merge(self, other: "OperationOutcomes") -> "OperationOutcomes":
+        merged = OperationOutcomes(
+            attempted=self.attempted + other.attempted,
+            succeeded=self.succeeded + other.succeeded,
+            failed=self.failed + other.failed,
+            failures_by_reason=dict(self.failures_by_reason))
+        for reason, count in other.failures_by_reason.items():
+            merged.failures_by_reason[reason] = \
+                merged.failures_by_reason.get(reason, 0) + count
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"<OperationOutcomes {self.succeeded}/{self.attempted} "
+                f"ok ({self.availability():.5f})>")
+
+
+class AvailabilityTracker:
+    """Time-based availability of named entities over an observation period."""
+
+    def __init__(self, observation_period: float = units.YEAR):
+        if observation_period <= 0:
+            raise ValueError("observation period must be positive")
+        self.observation_period = observation_period
+        self._downtime: Dict[str, float] = {}
+        self._down_since: Dict[str, float] = {}
+
+    def mark_down(self, entity: str, timestamp: float) -> None:
+        """Entity became unavailable at ``timestamp`` (idempotent)."""
+        self._down_since.setdefault(entity, timestamp)
+        self._downtime.setdefault(entity, 0.0)
+
+    def mark_up(self, entity: str, timestamp: float) -> None:
+        """Entity recovered at ``timestamp`` (no-op when it was not down)."""
+        started = self._down_since.pop(entity, None)
+        if started is None:
+            return
+        self._downtime[entity] = self._downtime.get(entity, 0.0) + \
+            max(0.0, timestamp - started)
+
+    def downtime_of(self, entity: str, now: Optional[float] = None) -> float:
+        downtime = self._downtime.get(entity, 0.0)
+        if now is not None and entity in self._down_since:
+            downtime += max(0.0, now - self._down_since[entity])
+        return downtime
+
+    def availability_of(self, entity: str, now: Optional[float] = None) -> float:
+        return units.availability_from_downtime(
+            self.downtime_of(entity, now), self.observation_period)
+
+    def average_availability(self, now: Optional[float] = None) -> float:
+        """Mean availability over all tracked entities (1.0 when none)."""
+        entities = set(self._downtime) | set(self._down_since)
+        if not entities:
+            return 1.0
+        return sum(self.availability_of(entity, now) for entity in entities) \
+            / len(entities)
+
+    def meets_five_nines(self, entity: str, now: Optional[float] = None) -> bool:
+        return self.availability_of(entity, now) >= units.FIVE_NINES
+
+    def entities(self):
+        return sorted(set(self._downtime) | set(self._down_since))
+
+    def __repr__(self) -> str:
+        return (f"<AvailabilityTracker entities={len(self._downtime)} "
+                f"period={self.observation_period:.0f}s>")

@@ -1,0 +1,98 @@
+"""A small registry of named counters, gauges and latency recorders."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.metrics.availability import OperationOutcomes
+from repro.metrics.consistency import ConsistencyTracker
+from repro.metrics.latency import LatencyRecorder
+
+
+class MetricsRegistry:
+    """Central home for the metrics one experiment run produces."""
+
+    def __init__(self, name: str = "metrics"):
+        self.name = name
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._outcomes: Dict[str, OperationOutcomes] = {}
+        self._consistency: Dict[str, ConsistencyTracker] = {}
+
+    # -- counters -------------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        self._counters[name] = self._counters.get(name, 0) + amount
+        return self._counters[name]
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- gauges -----------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- structured metrics ---------------------------------------------------------
+
+    def latency(self, name: str) -> LatencyRecorder:
+        if name not in self._latencies:
+            self._latencies[name] = LatencyRecorder(name)
+        return self._latencies[name]
+
+    def outcomes(self, name: str) -> OperationOutcomes:
+        if name not in self._outcomes:
+            self._outcomes[name] = OperationOutcomes()
+        return self._outcomes[name]
+
+    def consistency(self, name: str) -> ConsistencyTracker:
+        if name not in self._consistency:
+            self._consistency[name] = ConsistencyTracker()
+        return self._consistency[name]
+
+    # -- export -------------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view of everything, for reports and assertions."""
+        result: Dict[str, object] = {}
+        result.update({f"counter.{k}": v for k, v in self._counters.items()})
+        result.update({f"gauge.{k}": v for k, v in self._gauges.items()})
+        for name, recorder in self._latencies.items():
+            for stat, value in recorder.summary().items():
+                result[f"latency.{name}.{stat}"] = value
+        for name, outcomes in self._outcomes.items():
+            result[f"outcomes.{name}.availability"] = outcomes.availability()
+            result[f"outcomes.{name}.attempted"] = outcomes.attempted
+        for name, tracker in self._consistency.items():
+            result[f"consistency.{name}.stale_fraction"] = \
+                tracker.stale_read_fraction()
+        return result
+
+    def names(self) -> Dict[str, list]:
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "latencies": sorted(self._latencies),
+            "outcomes": sorted(self._outcomes),
+            "consistency": sorted(self._consistency),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry {self.name!r} "
+                f"counters={len(self._counters)} "
+                f"latencies={len(self._latencies)}>")
+
+
+_default_registry: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """A process-wide registry for quick scripts (experiments build their own)."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = MetricsRegistry("default")
+    return _default_registry

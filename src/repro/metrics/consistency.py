@@ -1,0 +1,81 @@
+"""Consistency measurements: stale reads and divergence.
+
+Reading from slave copies is one of the paper's explicit speed-versus-
+consistency trades (section 3.3.2): "since asynchronous replication does not
+guarantee real-time sync between replicas, there's a certain chance that a
+read operation on a slave replica gets stale data".  The tracker records, for
+every read, whether it was served from a slave, whether the value was stale
+with respect to the master at that instant, and by how many committed
+versions it lagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ConsistencyTracker:
+    """Counters describing how consistent served reads actually were."""
+
+    reads: int = 0
+    reads_from_master: int = 0
+    reads_from_slave: int = 0
+    stale_reads: int = 0
+    staleness_versions: List[int] = field(default_factory=list)
+    divergent_keys_observed: int = 0
+    by_client: Dict[str, int] = field(default_factory=dict)
+
+    def record_read(self, served_from_slave: bool, stale: bool = False,
+                    versions_behind: int = 0, client_type: str = "") -> None:
+        self.reads += 1
+        if served_from_slave:
+            self.reads_from_slave += 1
+        else:
+            self.reads_from_master += 1
+        if stale:
+            self.stale_reads += 1
+            self.staleness_versions.append(max(1, versions_behind))
+        if client_type:
+            self.by_client[client_type] = self.by_client.get(client_type, 0) + 1
+
+    def record_divergence(self, keys: int = 1) -> None:
+        self.divergent_keys_observed += keys
+
+    # -- derived metrics ----------------------------------------------------------
+
+    def stale_read_fraction(self) -> float:
+        if self.reads == 0:
+            return 0.0
+        return self.stale_reads / self.reads
+
+    def slave_read_fraction(self) -> float:
+        if self.reads == 0:
+            return 0.0
+        return self.reads_from_slave / self.reads
+
+    def mean_staleness(self) -> float:
+        """Mean number of versions a stale read lagged behind the master."""
+        if not self.staleness_versions:
+            return 0.0
+        return sum(self.staleness_versions) / len(self.staleness_versions)
+
+    def merge(self, other: "ConsistencyTracker") -> "ConsistencyTracker":
+        merged = ConsistencyTracker(
+            reads=self.reads + other.reads,
+            reads_from_master=self.reads_from_master + other.reads_from_master,
+            reads_from_slave=self.reads_from_slave + other.reads_from_slave,
+            stale_reads=self.stale_reads + other.stale_reads,
+            staleness_versions=self.staleness_versions + other.staleness_versions,
+            divergent_keys_observed=(self.divergent_keys_observed
+                                     + other.divergent_keys_observed),
+            by_client=dict(self.by_client))
+        for client, count in other.by_client.items():
+            merged.by_client[client] = merged.by_client.get(client, 0) + count
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"<ConsistencyTracker reads={self.reads} "
+                f"stale={self.stale_reads} "
+                f"({self.stale_read_fraction():.4f})>")

@@ -1,0 +1,101 @@
+"""Latency recording and percentile computation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim import units
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports summary statistics.
+
+    Samples are kept exactly (the experiments record at most a few hundred
+    thousand operations), so percentiles are computed on the true empirical
+    distribution rather than an approximation.
+    """
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(latency)
+        self._sorted = None
+
+    def extend(self, latencies) -> None:
+        for latency in latencies:
+            self.record(latency)
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        return not self._samples
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Empirical percentile; ``fraction`` within [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        index = min(len(self._sorted) - 1,
+                    max(0, round(fraction * (len(self._sorted) - 1))))
+        return self._sorted[index]
+
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    # -- paper-specific checks -----------------------------------------------------
+
+    def within_target(self, target: float = units.TEN_MILLISECONDS) -> float:
+        """Fraction of samples at or below the target response time."""
+        if not self._samples:
+            return 0.0
+        return sum(1 for sample in self._samples if sample <= target) \
+            / len(self._samples)
+
+    def meets_target_on_average(self,
+                                target: float = units.TEN_MILLISECONDS) -> bool:
+        """The paper's requirement 4 is about the *average* response time."""
+        return not self.empty and self.mean() <= target
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_ms": units.to_milliseconds(self.mean()),
+            "p50_ms": units.to_milliseconds(self.median()),
+            "p95_ms": units.to_milliseconds(self.p95()),
+            "p99_ms": units.to_milliseconds(self.p99()),
+            "max_ms": units.to_milliseconds(self.maximum()),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<LatencyRecorder {self.name!r} count={self.count} "
+                f"mean={units.to_milliseconds(self.mean()):.3f}ms>")

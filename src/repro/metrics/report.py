@@ -1,0 +1,55 @@
+"""Plain-text and markdown table formatting for experiment output.
+
+The benchmark harness prints the same rows the paper reports (capacity
+figures, trade-off positions, availability percentages); these helpers keep
+that output aligned and readable without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a header rule, for terminal output."""
+    string_rows: List[List[str]] = [[_stringify(cell) for cell in row]
+                                    for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[index])
+                           for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence]) -> str:
+    """GitHub-flavoured markdown table, for EXPERIMENTS.md."""
+    headers = [str(header) for header in headers]
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        cells = [_stringify(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError("row length does not match header length")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Network substrate: sites, latency models, the IP backbone and partitions.
+
+The paper's UDR spans a multi-national IP network.  Its CAP behaviour is
+entirely a function of *reachability* (partitions split the backbone) and
+*delay* (LAN hops are fast, backbone hops are slow and lossier), so that is
+exactly what this package models:
+
+* :mod:`repro.net.topology` -- regions and sites of a multi-national operator.
+* :mod:`repro.net.latency` -- latency distributions per link class.
+* :mod:`repro.net.partition` -- partition descriptions (who can reach whom).
+* :mod:`repro.net.network` -- the message fabric used by every other actor.
+"""
+
+from repro.net.errors import (
+    NetworkError,
+    NetworkPartitionedError,
+    NetworkTimeoutError,
+)
+from repro.net.latency import (
+    CompositeLatency,
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.network import LinkClass, LinkProfile, Network, NetworkStats
+from repro.net.partition import NetworkPartition
+from repro.net.topology import (
+    NetworkTopology,
+    Region,
+    Site,
+    make_multinational_topology,
+)
+
+__all__ = [
+    "CompositeLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "LinkClass",
+    "LinkProfile",
+    "LogNormalLatency",
+    "Network",
+    "NetworkError",
+    "NetworkPartition",
+    "NetworkPartitionedError",
+    "NetworkStats",
+    "NetworkTimeoutError",
+    "NetworkTopology",
+    "Region",
+    "Site",
+    "UniformLatency",
+    "make_multinational_topology",
+]

@@ -1,0 +1,28 @@
+"""Exceptions raised by the network substrate."""
+
+
+class NetworkError(Exception):
+    """Base class for network-level failures."""
+
+
+class NetworkPartitionedError(NetworkError):
+    """The destination site is unreachable because of a network partition."""
+
+    def __init__(self, source, destination):
+        super().__init__(
+            f"site {destination!r} is unreachable from {source!r}: "
+            "network partition")
+        self.source = source
+        self.destination = destination
+
+
+class NetworkTimeoutError(NetworkError):
+    """A message was lost (or the peer did not answer) within the timeout."""
+
+    def __init__(self, source, destination, timeout):
+        super().__init__(
+            f"no answer from {destination!r} (sent from {source!r}) "
+            f"within {timeout:.3f}s")
+        self.source = source
+        self.destination = destination
+        self.timeout = timeout

@@ -1,0 +1,119 @@
+"""One-way latency distributions for the different classes of IP links.
+
+The paper does not publish latency figures; the defaults used by the
+reproduction are conventional planning values for a multi-national operator:
+
+* intra-site (blade-to-blade over the cluster LAN): a few hundred microseconds
+* intra-region (metro/national backbone): a few milliseconds
+* inter-region (continental/intercontinental backbone): tens of milliseconds
+
+All models expose ``sample(rng)`` for the simulation and ``mean()`` for the
+analytic capacity/latency planners, so the same objects configure both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class LatencyModel:
+    """Interface for one-way latency distributions (seconds)."""
+
+    def sample(self, rng) -> float:
+        """Draw one latency sample using the supplied random stream."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected latency, used by analytic models."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """A constant latency; useful for tests and analytic reasoning."""
+
+    def __init__(self, latency: float):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+
+    def sample(self, rng) -> float:
+        return self.latency
+
+    def mean(self) -> float:
+        return self.latency
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.latency!r})"
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniformly distributed in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low!r}, {self.high!r})"
+
+
+class LogNormalLatency(LatencyModel):
+    """A right-skewed latency distribution typical of wide-area IP paths.
+
+    Parameterised by its median and a multiplicative spread ``sigma`` (the
+    standard deviation of the underlying normal in log-space), then clamped
+    below by ``floor`` so samples never drop under the propagation delay.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.25, floor: float = 0.0):
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if floor < 0:
+            raise ValueError("floor must be non-negative")
+        self.median = median
+        self.sigma = sigma
+        self.floor = floor
+        self._mu = math.log(median)
+
+    def sample(self, rng) -> float:
+        value = rng.lognormvariate(self._mu, self.sigma)
+        return max(value, self.floor)
+
+    def mean(self) -> float:
+        return max(math.exp(self._mu + self.sigma ** 2 / 2.0), self.floor)
+
+    def __repr__(self) -> str:
+        return (f"LogNormalLatency(median={self.median!r}, "
+                f"sigma={self.sigma!r}, floor={self.floor!r})")
+
+
+class CompositeLatency(LatencyModel):
+    """Sum of several independent latency components.
+
+    Useful to express, e.g., "backbone propagation + per-hop queueing".
+    """
+
+    def __init__(self, components: Sequence[LatencyModel]):
+        if not components:
+            raise ValueError("CompositeLatency needs at least one component")
+        self.components = list(components)
+
+    def sample(self, rng) -> float:
+        return sum(component.sample(rng) for component in self.components)
+
+    def mean(self) -> float:
+        return sum(component.mean() for component in self.components)
+
+    def __repr__(self) -> str:
+        return f"CompositeLatency({self.components!r})"

@@ -1,0 +1,83 @@
+"""Network partition descriptions.
+
+A partition splits the operator's sites into disjoint groups; traffic within
+a group flows normally, traffic between groups is dropped.  Partitions are
+the "P" of CAP and the central fault of the paper's section 4.1 discussion
+(provisioning transactions failing during backbone incidents).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence
+
+from repro.net.topology import NetworkTopology, Region, Site
+
+
+class NetworkPartition:
+    """An immutable description of which sites can still talk to each other.
+
+    Parameters
+    ----------
+    groups:
+        Disjoint collections of sites.  Sites that appear in no group are
+        treated as a single implicit "rest of the world" group, so the common
+        case ``NetworkPartition.isolating(site)`` only needs to name the
+        isolated side.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(self, groups: Sequence[Iterable[Site]], name: str = "partition"):
+        frozen: List[FrozenSet[Site]] = [frozenset(group) for group in groups]
+        frozen = [group for group in frozen if group]
+        if not frozen:
+            raise ValueError("a partition needs at least one non-empty group")
+        seen: set = set()
+        for group in frozen:
+            if seen & group:
+                raise ValueError("partition groups must be disjoint")
+            seen |= group
+        self.groups: List[FrozenSet[Site]] = frozen
+        self.name = name
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def isolating(cls, *sites: Site, name: str = "isolation") -> "NetworkPartition":
+        """Partition that cuts the given sites off from everything else."""
+        return cls([sites], name=name)
+
+    @classmethod
+    def splitting_regions(cls, topology: NetworkTopology,
+                          *regions: Region,
+                          name: str = "region split") -> "NetworkPartition":
+        """Partition that severs whole regions from the rest of the backbone."""
+        group = [site for region in regions
+                 for site in topology.sites_in_region(region)]
+        if not group:
+            raise ValueError("no sites found in the given regions")
+        return cls([group], name=name)
+
+    # -- queries --------------------------------------------------------------
+
+    def group_of(self, site: Site) -> int:
+        """Index of the group containing ``site`` (-1 for the implicit rest)."""
+        for index, group in enumerate(self.groups):
+            if site in group:
+                return index
+        return -1
+
+    def separates(self, a: Site, b: Site) -> bool:
+        """True if the partition prevents ``a`` and ``b`` from communicating."""
+        return self.group_of(a) != self.group_of(b)
+
+    def affected_sites(self) -> FrozenSet[Site]:
+        """All sites explicitly named by the partition."""
+        result: set = set()
+        for group in self.groups:
+            result |= group
+        return frozenset(result)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(len(group)) for group in self.groups)
+        return f"<NetworkPartition {self.name!r} groups=[{sizes}]>"

@@ -1,0 +1,38 @@
+"""The Provisioning System (PS) and provisioning workloads.
+
+Provisioning creates, modifies and terminates subscriptions.  In a UDC
+network the PS "has one single place that needs to be written (the UDR),
+which provides support for handling a provisioning procedure as a
+transaction" (paper, section 2.4).  The PS is co-located with a Point of
+Access, never reads slave copies (section 3.3.3), and is the client whose
+writes fail during partitions under the paper's default PC policy -- the
+service-provider pain point of section 4.1.
+
+Besides the steady provisioning flow, operators run **batch provisioning**:
+large bursts of operations in a short window, where "a network glitch as
+short as 30 seconds may cause a batch that's been running for hours to fail".
+"""
+
+from repro.provisioning.operations import (
+    ChangeServices,
+    CreateSubscription,
+    ProvisioningOperation,
+    SwapSim,
+    TerminateSubscription,
+)
+from repro.provisioning.system import ProvisioningOutcome, ProvisioningSystem
+from repro.provisioning.batch import BatchReport, BatchRun
+from repro.provisioning.backlog import BacklogModel
+
+__all__ = [
+    "BacklogModel",
+    "BatchReport",
+    "BatchRun",
+    "ChangeServices",
+    "CreateSubscription",
+    "ProvisioningOperation",
+    "ProvisioningOutcome",
+    "ProvisioningSystem",
+    "SwapSim",
+    "TerminateSubscription",
+]

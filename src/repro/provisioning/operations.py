@@ -1,0 +1,112 @@
+"""Provisioning operations and the LDAP requests they issue.
+
+Every operation knows how to build its LDAP request sequence.  In a UDC
+network the whole sequence addresses the single UDR and should be treated as
+one transaction; the pre-UDC comparison (writes scattered over HLR, HSS and
+every SLF instance) is modelled by :meth:`ProvisioningOperation.pre_udc_write_count`
+so experiments can quantify the simplification the paper claims in section 2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.ldap.operations import (
+    AddRequest,
+    DeleteRequest,
+    LdapRequest,
+    ModifyRequest,
+)
+from repro.ldap.schema import SubscriberSchema
+from repro.subscriber.profile import SubscriberProfile
+
+
+@dataclass
+class ProvisioningOperation:
+    """Base class of provisioning operations."""
+
+    subscriber: SubscriberProfile
+
+    #: Name used in reports.
+    name = "abstract"
+    #: Writes against subscriber-management nodes a pre-UDC network needs
+    #: (subscription data on the HLR/HSS plus identity tuples on each SLF).
+    PRE_UDC_SLF_INSTANCES = 4
+
+    def requests(self) -> List[LdapRequest]:
+        raise NotImplementedError
+
+    def write_count(self) -> int:
+        """Write operations against the UDR (UDC network)."""
+        return sum(1 for request in self.requests() if request.is_write)
+
+    def pre_udc_write_count(self) -> int:
+        """Writes a pre-UDC network would issue across its silos."""
+        # One write on the subscriber-data node plus identity tuples on every
+        # signalling-routing (SLF) instance for create/terminate operations;
+        # pure service changes stay on the HLR/HSS only.
+        if isinstance(self, (CreateSubscription, TerminateSubscription,
+                             SwapSim)):
+            return 1 + self.PRE_UDC_SLF_INSTANCES
+        return 1
+
+    def _dn(self):
+        return SubscriberSchema.subscriber_dn(self.subscriber.identities.imsi)
+
+
+@dataclass
+class CreateSubscription(ProvisioningOperation):
+    """Provision a brand-new subscription (the unattended activation case)."""
+
+    name = "create_subscription"
+
+    def requests(self) -> List[LdapRequest]:
+        return [AddRequest(dn=self._dn(),
+                           attributes=self.subscriber.to_record())]
+
+
+@dataclass
+class ChangeServices(ProvisioningOperation):
+    """Modify supplementary services (barring, forwarding, roaming...)."""
+
+    changes: Dict[str, Any] = field(default_factory=dict)
+    name = "change_services"
+
+    def requests(self) -> List[LdapRequest]:
+        changes = self.changes or {"svcBarPremium": True}
+        return [ModifyRequest(dn=self._dn(), changes=dict(changes))]
+
+
+@dataclass
+class SwapSim(ProvisioningOperation):
+    """Replace the SIM: the subscription moves to a new IMSI.
+
+    Modelled as the two-step transaction the PS would issue: update the old
+    entry's status, then create the entry under the new IMSI.  Exercises the
+    multi-write transactional path of the UDR.
+    """
+
+    new_imsi: str = ""
+    name = "swap_sim"
+
+    def requests(self) -> List[LdapRequest]:
+        new_imsi = self.new_imsi or f"{self.subscriber.identities.imsi[:-1]}9"
+        new_record = dict(self.subscriber.to_record())
+        new_record["imsi"] = new_imsi
+        return [
+            ModifyRequest(dn=self._dn(),
+                          changes={"subscriberStatus": "suspended"}),
+            AddRequest(dn=SubscriberSchema.subscriber_dn(new_imsi),
+                       attributes=new_record),
+        ]
+
+
+@dataclass
+class TerminateSubscription(ProvisioningOperation):
+    """Terminate a subscription and remove its data."""
+
+    name = "terminate_subscription"
+
+    def requests(self) -> List[LdapRequest]:
+        return [DeleteRequest(dn=self._dn())]

@@ -1,0 +1,171 @@
+"""The Provisioning System (PS) actor.
+
+"An instance of the PS is always co-located with a UDR PoA" (section 3.3.3),
+it accesses the UDR as the :attr:`~repro.core.config.ClientType.PROVISIONING`
+client (no slave reads), and treats each provisioning operation as one
+transaction: if any of its LDAP requests fails the operation has failed and,
+per section 4.1, somebody has to fix it by hand -- the manual-intervention
+counter is the cost the paper argues service providers refuse to pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import ClientType
+from repro.provisioning.backlog import BacklogModel
+from repro.provisioning.operations import ProvisioningOperation
+
+
+@dataclass
+class ProvisioningOutcome:
+    """Result of one provisioning operation."""
+
+    operation: str
+    subscriber_key: str
+    succeeded: bool
+    attempts: int = 1
+    latency: float = 0.0
+    failed_request_index: Optional[int] = None
+    partially_applied: bool = False
+    diagnostics: List[str] = field(default_factory=list)
+
+    @property
+    def needs_manual_intervention(self) -> bool:
+        """A failed (especially partially applied) operation needs a human."""
+        return not self.succeeded
+
+
+class ProvisioningSystem:
+    """A PS instance co-located with one Point of Access."""
+
+    client_type = ClientType.PROVISIONING
+
+    def __init__(self, name: str, udr, site, max_retries: int = 0,
+                 retry_delay: float = 0.5,
+                 backlog: Optional[BacklogModel] = None):
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        self.name = name
+        self.udr = udr
+        self.site = site
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
+        self.backlog = backlog or BacklogModel()
+        self.operations_attempted = 0
+        self.operations_succeeded = 0
+        self.manual_interventions = 0
+        self.partial_applications = 0
+
+    # -- single operation -----------------------------------------------------------
+
+    def provision(self, operation: ProvisioningOperation):
+        """Generator: run one provisioning operation (with optional retries)."""
+        start = self.udr.sim.now
+        self.operations_attempted += 1
+        attempts = 0
+        outcome = ProvisioningOutcome(
+            operation=operation.name,
+            subscriber_key=operation.subscriber.key,
+            succeeded=False)
+        while attempts <= self.max_retries:
+            attempts += 1
+            outcome.attempts = attempts
+            succeeded, failed_index, applied_any, diagnostics = \
+                yield from self._run_requests(operation)
+            outcome.diagnostics.extend(diagnostics)
+            if succeeded:
+                outcome.succeeded = True
+                break
+            outcome.failed_request_index = failed_index
+            outcome.partially_applied = applied_any and failed_index is not None
+            if attempts <= self.max_retries:
+                yield self.udr.sim.timeout(self.retry_delay)
+        outcome.latency = self.udr.sim.now - start
+        self._account(outcome)
+        return outcome
+
+    def _run_requests(self, operation: ProvisioningOperation):
+        requests = operation.requests()
+        applied_any = False
+        diagnostics: List[str] = []
+        for index, request in enumerate(requests):
+            response = yield from self.udr.execute(
+                request, self.client_type, self.site)
+            if not response.ok:
+                diagnostics.append(
+                    f"{request.operation_name}: {response.result_code.name} "
+                    f"({response.diagnostic_message})")
+                return False, index, applied_any, diagnostics
+            if request.is_write:
+                applied_any = True
+        return True, None, applied_any, diagnostics
+
+    def _account(self, outcome: ProvisioningOutcome) -> None:
+        if outcome.succeeded:
+            self.operations_succeeded += 1
+        else:
+            self.manual_interventions += 1
+            if outcome.partially_applied:
+                self.partial_applications += 1
+        recorder = self.udr.metrics.latency(f"provisioning.{outcome.operation}")
+        recorder.record(outcome.latency)
+        outcomes = self.udr.metrics.outcomes("ps_operations")
+        if outcome.succeeded:
+            outcomes.record_success()
+        else:
+            outcomes.record_failure(outcome.diagnostics[-1]
+                                    if outcome.diagnostics else "failed")
+
+    # -- steady flow driver --------------------------------------------------------------
+
+    def steady_flow(self, operations: List[ProvisioningOperation],
+                    rate_per_second: float, rng=None,
+                    poll_interval: float = 0.1):
+        """Generator: a Poisson arrival stream feeding one serial PS worker.
+
+        Operations arrive at ``rate_per_second`` independently of how fast
+        the PS can execute them; the worker drains the queue one operation at
+        a time.  Arrivals enter the backlog immediately and leave when their
+        operation completes, so when UDR latency inflates the backlog depth
+        grows exactly as section 3.3 of the paper describes (experiment E13).
+        """
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        rng = rng or self.udr.sim.rng(f"ps.{self.name}")
+        sim = self.udr.sim
+        pending: List[ProvisioningOperation] = []
+
+        def arrivals(sim):
+            for operation in operations:
+                yield sim.timeout(rng.expovariate(rate_per_second))
+                self.backlog.arrive(sim.now)
+                pending.append(operation)
+
+        arrival_process = sim.process(arrivals(sim),
+                                      name=f"ps-arrivals:{self.name}")
+        completed = []
+        while len(completed) < len(operations):
+            if pending:
+                operation = pending.pop(0)
+                outcome = yield from self.provision(operation)
+                self.backlog.complete(sim.now, dropped=False)
+                completed.append(outcome)
+            elif arrival_process.triggered and not pending:
+                break
+            else:
+                yield sim.timeout(poll_interval)
+        return completed
+
+    # -- reporting -------------------------------------------------------------------------
+
+    def success_ratio(self) -> float:
+        if self.operations_attempted == 0:
+            return 1.0
+        return self.operations_succeeded / self.operations_attempted
+
+    def __repr__(self) -> str:
+        return (f"<ProvisioningSystem {self.name!r} site={self.site} "
+                f"attempted={self.operations_attempted} "
+                f"manual={self.manual_interventions}>")

@@ -1,0 +1,64 @@
+"""Replication between geographically dispersed copies of subscriber data.
+
+The paper's baseline design (section 3.2) is **single-master asynchronous
+replication**: every piece of data has one master copy taking all writes and
+replicating them, in commit order, to slave copies in other locations.  On a
+partition the system therefore favours Consistency (writes that cannot reach
+the master fail).  Section 5 sketches the evolutions operators ask for:
+multi-master operation during partitions (favouring Availability, paying with
+a post-incident consistency-restoration run), and tunable durability -- either
+Cassandra-style quorum commits or the paper's cheaper *dual-in-sequence*
+scheme.
+
+Every one of those schemes is implemented here so the experiments can compare
+them:
+
+* :mod:`repro.replication.replica_set` -- master/slave bookkeeping, failover.
+* :mod:`repro.replication.asynchronous` -- the baseline async log shipping.
+* :mod:`repro.replication.synchronous` -- dual-in-sequence commit (section 5).
+* :mod:`repro.replication.quorum` -- Cassandra-style W-of-N commit.
+* :mod:`repro.replication.multimaster` -- accept-anywhere mode for partitions.
+* :mod:`repro.replication.conflict` -- divergence detection and resolution.
+* :mod:`repro.replication.restoration` -- post-partition consistency restoration.
+"""
+
+from repro.replication.errors import (
+    MasterUnreachable,
+    NotEnoughReplicas,
+    ReplicationError,
+)
+from repro.replication.replica_set import ReplicaSet
+from repro.replication.asynchronous import AsyncReplicationChannel, ReplicationLag
+from repro.replication.synchronous import DualInSequenceReplicator
+from repro.replication.quorum import QuorumReplicator, QuorumWrite
+from repro.replication.multimaster import MultiMasterCoordinator
+from repro.replication.conflict import (
+    AttributeMergeResolver,
+    ConflictResolver,
+    KeyConflict,
+    LastWriterWinsResolver,
+    PreferOriginResolver,
+    detect_conflicts,
+)
+from repro.replication.restoration import ConsistencyRestoration, RestorationReport
+
+__all__ = [
+    "AsyncReplicationChannel",
+    "AttributeMergeResolver",
+    "ConflictResolver",
+    "ConsistencyRestoration",
+    "DualInSequenceReplicator",
+    "KeyConflict",
+    "LastWriterWinsResolver",
+    "MasterUnreachable",
+    "MultiMasterCoordinator",
+    "NotEnoughReplicas",
+    "PreferOriginResolver",
+    "QuorumReplicator",
+    "QuorumWrite",
+    "ReplicaSet",
+    "ReplicationError",
+    "ReplicationLag",
+    "RestorationReport",
+    "detect_conflicts",
+]

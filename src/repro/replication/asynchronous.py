@@ -1,0 +1,147 @@
+"""Asynchronous master-to-slave log shipping (the paper's baseline).
+
+Section 3.3.1 decision 2: "Replication of writes from the master to the slave
+copies is performed asynchronously, so execution of a transaction does not
+have to wait until the corresponding write(s) have been propagated to the
+slave replica(s)."
+
+The channel is a background simulation process per (partition, slave element)
+pair.  Every ``interval`` it ships the commit-log records the slave has not
+seen yet over the network (paying backbone latency), then applies them in
+commit order, preserving the master's serialisation order.  Partitions or
+element failures simply stall the channel; the growing gap is the replication
+lag that produces stale slave reads (experiment E04) and lost transactions on
+master crashes (experiment E05).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.errors import NetworkError
+from repro.replication.replica_set import ReplicaSet
+from repro.sim import units
+
+
+@dataclass
+class ReplicationLag:
+    """How far a slave copy is behind its master."""
+
+    records: int
+    seconds: float
+
+    @property
+    def in_sync(self) -> bool:
+        return self.records == 0
+
+
+class AsyncReplicationChannel:
+    """Ships commit-log records from the current master to one slave element."""
+
+    def __init__(self, sim, network, replica_set: ReplicaSet,
+                 slave_element_name: str,
+                 interval: float = 50 * units.MILLISECOND,
+                 batch_limit: int = 500,
+                 bytes_per_record: int = 700):
+        if interval <= 0:
+            raise ValueError("replication interval must be positive")
+        if batch_limit < 1:
+            raise ValueError("batch limit must be at least 1")
+        self.sim = sim
+        self.network = network
+        self.replica_set = replica_set
+        self.slave_element_name = slave_element_name
+        self.interval = interval
+        self.batch_limit = batch_limit
+        self.bytes_per_record = bytes_per_record
+        # Shipped position is tracked per master element because a failover
+        # switches to a different commit log with its own LSN space.
+        self._shipped_lsn: Dict[str, int] = {}
+        self.records_shipped = 0
+        self.batches_shipped = 0
+        self.stalled_rounds = 0
+        self.last_ship_time: Optional[float] = None
+        self._running = False
+        self._process = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self):
+        """Start the background shipping process."""
+        if self._running:
+            return self._process
+        self._running = True
+        self._process = self.sim.process(self._run(), name=self._label())
+        return self._process
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _label(self) -> str:
+        return (f"async-repl:{self.replica_set.partition.name}"
+                f"->{self.slave_element_name}")
+
+    # -- shipping -------------------------------------------------------------------
+
+    def _run(self):
+        while self._running:
+            yield self.sim.timeout(self.interval)
+            yield from self.ship_once()
+
+    def ship_once(self):
+        """Attempt one shipping round (generator; usable directly in tests)."""
+        master_name = self.replica_set.master_element_name
+        if master_name is None or master_name == self.slave_element_name:
+            return 0
+        master_element, master_copy = self.replica_set.master
+        slave_element = self.replica_set.element(self.slave_element_name)
+        slave_copy = self.replica_set.copy_on(self.slave_element_name)
+        if not master_element.available or not slave_element.available:
+            self.stalled_rounds += 1
+            return 0
+        shipped_lsn = self._shipped_lsn.get(master_name, 0)
+        pending = master_copy.wal.since(shipped_lsn)[:self.batch_limit]
+        # Skip records the slave already has (e.g. after a failover the new
+        # master's log contains history the slave applied long ago).
+        pending = [record for record in pending
+                   if record.commit_seq > slave_copy.store.last_applied_seq]
+        if not pending:
+            self._shipped_lsn[master_name] = master_copy.wal.last_lsn
+            return 0
+        try:
+            yield from self.network.transfer(
+                master_element.site, slave_element.site,
+                payload_bytes=self.bytes_per_record * len(pending))
+        except NetworkError:
+            self.stalled_rounds += 1
+            return 0
+        for record in pending:
+            slave_copy.transactions.apply_log_record(record)
+        self._shipped_lsn[master_name] = pending[-1].lsn
+        self.records_shipped += len(pending)
+        self.batches_shipped += 1
+        self.last_ship_time = self.sim.now
+        return len(pending)
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def lag(self) -> ReplicationLag:
+        """Current lag of the slave behind the master copy."""
+        master_name = self.replica_set.master_element_name
+        if master_name is None:
+            return ReplicationLag(records=0, seconds=0.0)
+        master_copy = self.replica_set.master_copy
+        slave_copy = self.replica_set.copy_on(self.slave_element_name)
+        shipped_lsn = self._shipped_lsn.get(master_name, 0)
+        pending = [record for record in master_copy.wal.since(shipped_lsn)
+                   if record.commit_seq > slave_copy.store.last_applied_seq]
+        if not pending:
+            return ReplicationLag(records=0, seconds=0.0)
+        oldest = pending[0].timestamp
+        return ReplicationLag(records=len(pending),
+                              seconds=max(0.0, self.sim.now - oldest))
+
+    def __repr__(self) -> str:
+        return (f"<AsyncReplicationChannel {self._label()} "
+                f"shipped={self.records_shipped} stalled={self.stalled_rounds}>")

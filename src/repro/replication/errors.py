@@ -1,0 +1,31 @@
+"""Exceptions raised by the replication layer."""
+
+
+class ReplicationError(Exception):
+    """Base class for replication failures."""
+
+
+class MasterUnreachable(ReplicationError):
+    """A write could not be executed because the master copy is unreachable.
+
+    This is the concrete form of the paper's "favour Consistency over
+    Availability on a partition": clients on the wrong side of a partition
+    see their write transactions fail with this error.
+    """
+
+    def __init__(self, partition_name, master_element, reason="unreachable"):
+        super().__init__(
+            f"master copy of {partition_name} on {master_element!r} is {reason}")
+        self.partition_name = partition_name
+        self.master_element = master_element
+        self.reason = reason
+
+
+class NotEnoughReplicas(ReplicationError):
+    """A quorum/dual commit could not gather the required acknowledgements."""
+
+    def __init__(self, required, achieved):
+        super().__init__(
+            f"required {required} replica acknowledgements, got {achieved}")
+        self.required = required
+        self.achieved = achieved

@@ -1,0 +1,113 @@
+"""Multi-master operation during partitions (the paper's section 5 evolution).
+
+"First and foremost, some sort of multi-master operation would be very
+convenient so writes can be addressed to more than one single replica.  This
+would allow the provisioning transactions to proceed on network partition
+events."
+
+The coordinator does not change how ordinary (partition-free) traffic works:
+the designated master keeps taking all writes.  Its job is the degraded mode:
+when a client cannot reach the master copy it selects a reachable copy that
+*temporarily accepts writes*, records that the replica set has potentially
+diverged, and exposes the bookkeeping the post-incident consistency
+restoration needs (which elements accepted writes, how many, since when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.replication.errors import MasterUnreachable
+from repro.replication.replica_set import ReplicaSet
+
+
+@dataclass
+class DivergenceRecord:
+    """Writes accepted away from the master during partition incidents."""
+
+    element_name: str
+    writes_accepted: int = 0
+    first_write_at: Optional[float] = None
+    last_write_at: Optional[float] = None
+
+
+@dataclass
+class MultiMasterStats:
+    """Aggregate counters for reporting."""
+
+    degraded_writes: int = 0
+    rejected_writes: int = 0
+    divergent_elements: Set[str] = field(default_factory=set)
+
+
+class MultiMasterCoordinator:
+    """Chooses which copy accepts a write when the master is unreachable."""
+
+    def __init__(self, replica_set: ReplicaSet, enabled: bool = True):
+        self.replica_set = replica_set
+        self.enabled = enabled
+        self.divergence: Dict[str, DivergenceRecord] = {}
+        self.stats = MultiMasterStats()
+
+    # -- write routing -----------------------------------------------------------
+
+    def choose_write_element(self, reachable_elements: List[str],
+                             timestamp: float = 0.0) -> str:
+        """Pick the element that should accept a write right now.
+
+        ``reachable_elements`` are the replica-set members the client's Point
+        of Access can currently reach (and that are up).  The master always
+        wins when reachable.  Otherwise, if multi-master is enabled, the most
+        up-to-date reachable copy accepts the write and the divergence is
+        recorded; if disabled the write fails with :class:`MasterUnreachable`
+        -- the paper's default PC-on-partition behaviour.
+        """
+        master_name = self.replica_set.master_element_name
+        reachable = [name for name in reachable_elements
+                     if name in self.replica_set.member_names]
+        if master_name in reachable and \
+                self.replica_set.element(master_name).available:
+            return master_name
+        if not self.enabled:
+            self.stats.rejected_writes += 1
+            raise MasterUnreachable(self.replica_set.partition.name,
+                                    master_name, reason="partitioned away")
+        live = [name for name in reachable
+                if self.replica_set.element(name).available]
+        fallback = self.replica_set.most_up_to_date(live)
+        if fallback is None:
+            self.stats.rejected_writes += 1
+            raise MasterUnreachable(self.replica_set.partition.name,
+                                    master_name, reason="no reachable copy")
+        self._record_divergence(fallback, timestamp)
+        return fallback
+
+    def _record_divergence(self, element_name: str, timestamp: float) -> None:
+        record = self.divergence.setdefault(
+            element_name, DivergenceRecord(element_name=element_name))
+        record.writes_accepted += 1
+        if record.first_write_at is None:
+            record.first_write_at = timestamp
+        record.last_write_at = timestamp
+        self.stats.degraded_writes += 1
+        self.stats.divergent_elements.add(element_name)
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def has_diverged(self) -> bool:
+        return bool(self.divergence)
+
+    def divergent_copy_names(self) -> List[str]:
+        return sorted(self.divergence)
+
+    def clear_divergence(self) -> None:
+        """Forget divergence bookkeeping (after a successful restoration)."""
+        self.divergence.clear()
+        self.stats.divergent_elements.clear()
+
+    def __repr__(self) -> str:
+        return (f"<MultiMasterCoordinator {self.replica_set.partition.name} "
+                f"enabled={self.enabled} degraded_writes="
+                f"{self.stats.degraded_writes}>")

@@ -1,0 +1,111 @@
+"""Cassandra-style quorum commit (the comparison point of section 5).
+
+"In Cassandra, a client is able to specify the durability guarantees it wants
+on a per-transaction basis.  Under the hood Cassandra uses a consensus
+protocol across an ensemble of replicas; the more replicas are involved in
+the transaction, the higher the durability guarantees."
+
+The quorum replicator sends each commit to every slave copy in parallel and
+acknowledges the client once ``write_quorum`` copies (counting the master)
+have applied it.  Its latency is therefore the (W-1)-th fastest slave round
+trip -- the "too high for a UDR" latency penalty the paper argues against --
+while its durability survives any W-1 simultaneous copy losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.net.errors import NetworkError
+from repro.replication.errors import NotEnoughReplicas
+from repro.replication.replica_set import ReplicaSet
+from repro.storage.wal import LogRecord
+
+
+@dataclass
+class QuorumWrite:
+    """Bookkeeping for one in-flight quorum commit."""
+
+    required_acks: int
+    acks: int = 1          # the master's local commit counts as the first ack
+    failures: int = 0
+    acked_elements: List[str] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.acks >= self.required_acks
+
+
+class QuorumReplicator:
+    """W-of-N replication for a replica set."""
+
+    def __init__(self, sim, network, replica_set: ReplicaSet,
+                 write_quorum: int = 2):
+        if write_quorum < 1:
+            raise ValueError("write quorum must be at least 1")
+        self.sim = sim
+        self.network = network
+        self.replica_set = replica_set
+        self.write_quorum = write_quorum
+        self.commits_replicated = 0
+        self.failed_commits = 0
+
+    def replicate_commit(self, record: LogRecord):
+        """Generator: reach ``write_quorum`` replicas (master included).
+
+        Returns the :class:`QuorumWrite` describing the outcome; raises
+        :class:`NotEnoughReplicas` when the quorum is unreachable.  The
+        slowest replicas keep receiving the write in the background, exactly
+        like Cassandra's hinted writes, so slaves outside the quorum converge
+        too.
+        """
+        write = QuorumWrite(required_acks=self.write_quorum)
+        quorum_needed = min(self.write_quorum, self.replica_set.replication_factor)
+        write.required_acks = quorum_needed
+        if write.satisfied:
+            self.commits_replicated += 1
+            return write
+
+        master_element, _ = self.replica_set.master
+        slaves = self.replica_set.slaves()
+        quorum_event = self.sim.event(name="quorum-reached")
+        pending = len(slaves)
+
+        def make_push(slave_element, slave_copy):
+            def push(sim):
+                nonlocal pending
+                try:
+                    if not slave_element.available:
+                        raise NetworkError("slave element down")
+                    yield from self.network.round_trip(
+                        master_element.site, slave_element.site,
+                        request_bytes=700, response_bytes=64)
+                    slave_copy.transactions.apply_log_record(record)
+                    write.acks += 1
+                    write.acked_elements.append(slave_element.name)
+                except NetworkError:
+                    write.failures += 1
+                finally:
+                    pending -= 1
+                if not quorum_event.triggered and \
+                        (write.satisfied or pending == 0):
+                    quorum_event.succeed(write)
+            return push
+
+        for slave_element, slave_copy in slaves:
+            self.sim.process(make_push(slave_element, slave_copy)(self.sim),
+                             name=f"quorum-push:{slave_element.name}")
+
+        if pending == 0 and not quorum_event.triggered:
+            quorum_event.succeed(write)
+        yield quorum_event
+        if not write.satisfied:
+            self.failed_commits += 1
+            raise NotEnoughReplicas(required=quorum_needed, achieved=write.acks)
+        self.commits_replicated += 1
+        return write
+
+    def __repr__(self) -> str:
+        return (f"<QuorumReplicator {self.replica_set.partition.name} "
+                f"W={self.write_quorum} replicated={self.commits_replicated}>")

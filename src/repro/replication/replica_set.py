@@ -1,0 +1,157 @@
+"""The set of copies of one data partition (one master, several slaves).
+
+The replica set is bookkeeping shared by all replication modes: which storage
+element currently holds the master copy of a partition, which elements hold
+slaves, how far behind each slave is, and how to fail over to the most
+up-to-date surviving copy when the master's element crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.partitioning import DataPartition
+from repro.storage.storage_element import (
+    PartitionCopy,
+    ReplicaRole,
+    StorageElement,
+)
+from repro.replication.errors import ReplicationError
+
+
+class ReplicaSet:
+    """Master/slave copies of one partition across storage elements."""
+
+    def __init__(self, partition: DataPartition):
+        self.partition = partition
+        self._members: Dict[str, Tuple[StorageElement, PartitionCopy]] = {}
+        self._master_element: Optional[str] = None
+        self.failovers = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def add_member(self, element: StorageElement,
+                   role: ReplicaRole) -> PartitionCopy:
+        """Host a copy of the partition on ``element`` with the given role."""
+        if element.name in self._members:
+            raise ReplicationError(
+                f"{element.name} already belongs to the replica set of "
+                f"{self.partition.name}")
+        if role is ReplicaRole.PRIMARY and self._master_element is not None:
+            raise ReplicationError(
+                f"{self.partition.name} already has a master on "
+                f"{self._master_element}")
+        copy = element.add_copy(self.partition, role)
+        self._members[element.name] = (element, copy)
+        if role is ReplicaRole.PRIMARY:
+            self._master_element = element.name
+        return copy
+
+    @property
+    def member_names(self) -> List[str]:
+        return list(self._members)
+
+    @property
+    def replication_factor(self) -> int:
+        return len(self._members)
+
+    def element(self, name: str) -> StorageElement:
+        return self._members[name][0]
+
+    def copy_on(self, name: str) -> PartitionCopy:
+        return self._members[name][1]
+
+    def members(self) -> List[Tuple[StorageElement, PartitionCopy]]:
+        return list(self._members.values())
+
+    # -- master / slaves --------------------------------------------------------
+
+    @property
+    def master_element_name(self) -> Optional[str]:
+        return self._master_element
+
+    @property
+    def master(self) -> Tuple[StorageElement, PartitionCopy]:
+        if self._master_element is None:
+            raise ReplicationError(
+                f"{self.partition.name} currently has no master copy")
+        return self._members[self._master_element]
+
+    @property
+    def master_copy(self) -> PartitionCopy:
+        return self.master[1]
+
+    @property
+    def master_storage_element(self) -> StorageElement:
+        return self.master[0]
+
+    def slaves(self) -> List[Tuple[StorageElement, PartitionCopy]]:
+        return [(element, copy) for name, (element, copy)
+                in self._members.items() if name != self._master_element]
+
+    def slave_names(self) -> List[str]:
+        return [name for name in self._members if name != self._master_element]
+
+    # -- health -------------------------------------------------------------------
+
+    def available_members(self) -> List[str]:
+        return [name for name, (element, _copy) in self._members.items()
+                if element.available]
+
+    def master_available(self) -> bool:
+        if self._master_element is None:
+            return False
+        return self.element(self._master_element).available
+
+    def most_up_to_date(self, candidates: Optional[List[str]] = None) -> Optional[str]:
+        """Name of the candidate member with the highest applied commit."""
+        names = candidates if candidates is not None else self.available_members()
+        best_name = None
+        best_seq = -1
+        for name in names:
+            if name not in self._members:
+                continue
+            copy = self.copy_on(name)
+            if copy.store.last_applied_seq > best_seq:
+                best_seq = copy.store.last_applied_seq
+                best_name = name
+        return best_name
+
+    # -- failover --------------------------------------------------------------------
+
+    def fail_over(self, candidates: Optional[List[str]] = None) -> str:
+        """Promote the most up-to-date (available) slave to master.
+
+        Returns the new master element's name.  Raises
+        :class:`ReplicationError` when no candidate is available.  The commits
+        present only on the old master are *not* transferred -- that is the
+        durability gap of asynchronous replication the paper's section 4.2
+        worries about, and the experiments measure it.
+        """
+        pool = candidates if candidates is not None else self.available_members()
+        pool = [name for name in pool if name != self._master_element]
+        new_master = self.most_up_to_date(pool)
+        if new_master is None:
+            raise ReplicationError(
+                f"no available replica of {self.partition.name} to promote")
+        if self._master_element is not None and \
+                self._master_element in self._members:
+            self.copy_on(self._master_element).demote()
+        self.copy_on(new_master).promote()
+        self._master_element = new_master
+        self.failovers += 1
+        return new_master
+
+    def set_master(self, element_name: str) -> None:
+        """Explicitly designate the master copy (used by tests and restoration)."""
+        if element_name not in self._members:
+            raise ReplicationError(
+                f"{element_name} is not a member of {self.partition.name}")
+        if self._master_element is not None:
+            self.copy_on(self._master_element).demote()
+        self.copy_on(element_name).promote()
+        self._master_element = element_name
+
+    def __repr__(self) -> str:
+        return (f"<ReplicaSet {self.partition.name} master={self._master_element} "
+                f"members={len(self._members)}>")

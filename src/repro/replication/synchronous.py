@@ -1,0 +1,88 @@
+"""Dual-in-sequence replication (the paper's section 5 durability proposal).
+
+"Most probably the UDR NF should apply provisioning transactions in sequence
+to two replicas, committing the transaction only when both replicas report
+success.  To avoid incurring the penalties of a consensus protocol, the UDR
+shall have to work in cooperation with the PS so when a transaction fails to
+commit, leaving just one of the replicas updated is acceptable."
+
+The replicator is invoked on the write path *after* the master commit: it
+applies the commit record to one slave copy synchronously (paying a network
+round trip), and only then acknowledges the transaction to the client.  When
+no slave is reachable the behaviour is configurable: accept the degraded
+single-replica commit (the paper's pragmatic choice) or fail the transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.errors import NetworkError
+from repro.replication.errors import NotEnoughReplicas
+from repro.replication.replica_set import ReplicaSet
+from repro.storage.wal import LogRecord
+
+
+@dataclass
+class DualCommitOutcome:
+    """Result of a dual-in-sequence commit attempt."""
+
+    replicas_updated: int
+    synchronous_latency: float
+    degraded: bool
+
+    @property
+    def fully_replicated(self) -> bool:
+        return self.replicas_updated >= 2
+
+
+class DualInSequenceReplicator:
+    """Synchronously copies each commit to one slave before acknowledging."""
+
+    def __init__(self, sim, network, replica_set: ReplicaSet,
+                 accept_single_replica: bool = True):
+        self.sim = sim
+        self.network = network
+        self.replica_set = replica_set
+        self.accept_single_replica = accept_single_replica
+        self.commits_replicated = 0
+        self.degraded_commits = 0
+        self.failed_commits = 0
+
+    def replicate_commit(self, record: LogRecord):
+        """Generator: push ``record`` to the first reachable slave copy.
+
+        Returns a :class:`DualCommitOutcome`.  Raises
+        :class:`NotEnoughReplicas` when no slave is reachable and degraded
+        commits are not accepted.
+        """
+        start = self.sim.now
+        master_element, _master_copy = self.replica_set.master
+        for slave_element, slave_copy in self.replica_set.slaves():
+            if not slave_element.available:
+                continue
+            try:
+                yield from self.network.round_trip(
+                    master_element.site, slave_element.site,
+                    request_bytes=700, response_bytes=64)
+            except NetworkError:
+                continue
+            slave_copy.transactions.apply_log_record(record)
+            self.commits_replicated += 1
+            return DualCommitOutcome(
+                replicas_updated=2,
+                synchronous_latency=self.sim.now - start,
+                degraded=False)
+        if self.accept_single_replica:
+            self.degraded_commits += 1
+            return DualCommitOutcome(
+                replicas_updated=1,
+                synchronous_latency=self.sim.now - start,
+                degraded=True)
+        self.failed_commits += 1
+        raise NotEnoughReplicas(required=2, achieved=1)
+
+    def __repr__(self) -> str:
+        return (f"<DualInSequenceReplicator {self.replica_set.partition.name} "
+                f"replicated={self.commits_replicated} "
+                f"degraded={self.degraded_commits}>")

@@ -1,0 +1,164 @@
+"""The in-RAM multi-version record store backing a partition copy.
+
+Every committed write creates a new :class:`~repro.storage.records.RecordVersion`
+tagged with the commit sequence number; the version chain supports committed
+reads, snapshot reads, staleness measurement (how many versions behind a
+slave copy is) and multi-master conflict detection (divergent chains).
+
+Only the *latest* version of each record counts towards RAM usage: old
+versions exist for analysis and would be garbage-collected by a real engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.storage.errors import RecordNotFound
+from repro.storage.records import TOMBSTONE, RecordVersion, record_size
+
+
+class RecordStore:
+    """MVCC key -> versioned record store for one partition copy."""
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._versions: Dict[str, List[RecordVersion]] = {}
+        self._dirty: Dict[str, Dict[int, Any]] = {}
+        self._live_bytes = 0
+        self._last_applied_seq = 0
+
+    # -- committed state --------------------------------------------------------
+
+    @property
+    def last_applied_seq(self) -> int:
+        """Highest commit sequence number applied to this copy."""
+        return self._last_applied_seq
+
+    def apply_version(self, version: RecordVersion) -> None:
+        """Install a committed version (from a local commit or replication)."""
+        chain = self._versions.setdefault(version.key, [])
+        previous = chain[-1] if chain else None
+        chain.append(version)
+        self._last_applied_seq = max(self._last_applied_seq, version.commit_seq)
+        # RAM accounting: replace the previous latest version's footprint.
+        if previous is not None and not previous.is_delete:
+            self._live_bytes -= previous.size()
+        if not version.is_delete:
+            self._live_bytes += version.size()
+
+    def latest(self, key: str) -> Optional[RecordVersion]:
+        """Latest committed version of ``key`` (may be a tombstone), or None."""
+        chain = self._versions.get(key)
+        return chain[-1] if chain else None
+
+    def read_committed(self, key: str) -> Any:
+        """Value of the latest committed, non-deleted version of ``key``."""
+        version = self.latest(key)
+        if version is None or version.is_delete:
+            raise RecordNotFound(key)
+        return version.value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Like :meth:`read_committed` but returning ``default`` when absent."""
+        version = self.latest(key)
+        if version is None or version.is_delete:
+            return default
+        return version.value
+
+    def as_of(self, key: str, commit_seq: int) -> Any:
+        """Value of ``key`` as of a commit sequence number (snapshot read)."""
+        chain = self._versions.get(key, [])
+        chosen = None
+        for version in chain:
+            if version.commit_seq <= commit_seq:
+                chosen = version
+            else:
+                break
+        if chosen is None or chosen.is_delete:
+            raise RecordNotFound(key)
+        return chosen.value
+
+    def versions(self, key: str) -> List[RecordVersion]:
+        """Full committed version chain of ``key`` (oldest first)."""
+        return list(self._versions.get(key, []))
+
+    def contains(self, key: str) -> bool:
+        version = self.latest(key)
+        return version is not None and not version.is_delete
+
+    def keys(self) -> Iterable[str]:
+        """Keys with a live (non-deleted) committed record."""
+        for key, chain in self._versions.items():
+            if chain and not chain[-1].is_delete:
+                yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    @property
+    def live_bytes(self) -> int:
+        """Approximate RAM used by the latest versions of live records."""
+        return self._live_bytes
+
+    # -- uncommitted (dirty) state ----------------------------------------------
+
+    def register_dirty(self, transaction_id: int, key: str, value: Any) -> None:
+        """Expose an uncommitted write (READ_UNCOMMITTED visibility)."""
+        self._dirty.setdefault(key, {})[transaction_id] = value
+
+    def clear_dirty(self, transaction_id: int, keys: Iterable[str]) -> None:
+        for key in keys:
+            writers = self._dirty.get(key)
+            if not writers:
+                continue
+            writers.pop(transaction_id, None)
+            if not writers:
+                del self._dirty[key]
+
+    def dirty_value(self, key: str) -> Optional[Any]:
+        """Most recently registered uncommitted value for ``key``, if any."""
+        writers = self._dirty.get(key)
+        if not writers:
+            return None
+        # Later registrations win; dict preserves insertion order.
+        return list(writers.values())[-1]
+
+    # -- snapshots (checkpoint / recovery) ---------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of the committed live state, used by checkpointing."""
+        return {key: self.read_committed(key) for key in self.keys()}
+
+    def restore(self, snapshot: Dict[str, Any], commit_seq: int) -> None:
+        """Replace the whole store with a checkpoint image (crash recovery).
+
+        All version history and dirty state is discarded; the restored
+        records carry the checkpoint's ``commit_seq``.
+        """
+        self._versions.clear()
+        self._dirty.clear()
+        self._live_bytes = 0
+        self._last_applied_seq = 0
+        for key, value in snapshot.items():
+            self.apply_version(RecordVersion(
+                key=key, value=value, commit_seq=commit_seq,
+                transaction_id=0, origin=f"{self.name}:restore"))
+        self._last_applied_seq = commit_seq
+
+    # -- introspection -------------------------------------------------------------
+
+    def estimated_average_record_size(self) -> float:
+        """Mean live record size in bytes (0.0 when empty)."""
+        count = len(self)
+        if count == 0:
+            return 0.0
+        return self._live_bytes / count
+
+    def __repr__(self) -> str:
+        return (f"<RecordStore {self.name!r} records={len(self)} "
+                f"bytes={self._live_bytes}>")
+
+
+def staleness(master: RecordStore, slave: RecordStore) -> int:
+    """How many commits the slave copy lags behind the master copy."""
+    return max(0, master.last_applied_seq - slave.last_applied_seq)

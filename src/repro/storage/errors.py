@@ -1,0 +1,59 @@
+"""Exceptions raised by the storage element substrate."""
+
+
+class StorageError(Exception):
+    """Base class for storage-level failures."""
+
+
+class RecordNotFound(StorageError, KeyError):
+    """A read addressed a key that holds no committed record."""
+
+    def __init__(self, key):
+        super().__init__(f"no record for key {key!r}")
+        self.key = key
+
+
+class WriteConflict(StorageError):
+    """Two concurrent transactions tried to write the same key.
+
+    The storage element resolves write/write conflicts by aborting the later
+    writer immediately (no-wait locking), which keeps reads fast -- the
+    behaviour the paper's READ_COMMITTED choice is meant to protect.
+    """
+
+    def __init__(self, key, holder, requester):
+        super().__init__(
+            f"write conflict on {key!r}: held by transaction {holder}, "
+            f"requested by transaction {requester}")
+        self.key = key
+        self.holder = holder
+        self.requester = requester
+
+
+class TransactionAborted(StorageError):
+    """The transaction was aborted and cannot be used any further."""
+
+    def __init__(self, transaction_id, reason=""):
+        message = f"transaction {transaction_id} aborted"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.transaction_id = transaction_id
+        self.reason = reason
+
+
+class TransactionStateError(StorageError):
+    """An operation was attempted on a finished (committed/aborted) transaction."""
+
+
+class IsolationError(StorageError):
+    """An operation is not permitted under the transaction's isolation level."""
+
+
+class StorageElementUnavailable(StorageError):
+    """The storage element is down (crashed, failed over, or isolated)."""
+
+    def __init__(self, element_name, reason="unavailable"):
+        super().__init__(f"storage element {element_name!r} is {reason}")
+        self.element_name = element_name
+        self.reason = reason

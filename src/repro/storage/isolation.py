@@ -1,0 +1,47 @@
+"""Transaction isolation levels (ISO/IEC 9075, the paper's reference [13]).
+
+The paper fixes the isolation level of intra-SE transactions at
+READ_COMMITTED "to prevent locking from delaying reads on subscription data",
+and notes that anything spanning multiple SEs only gets READ_UNCOMMITTED.
+The two stronger levels are implemented as well so the trade-off can be
+measured (they acquire read locks / snapshots and therefore conflict more).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IsolationLevel(enum.Enum):
+    """SQL-standard isolation levels supported by a storage element."""
+
+    READ_UNCOMMITTED = "read_uncommitted"
+    READ_COMMITTED = "read_committed"
+    REPEATABLE_READ = "repeatable_read"
+    SERIALIZABLE = "serializable"
+
+    @property
+    def allows_dirty_reads(self) -> bool:
+        """Dirty reads see data written by transactions not yet committed."""
+        return self is IsolationLevel.READ_UNCOMMITTED
+
+    @property
+    def uses_snapshot(self) -> bool:
+        """Snapshot-based levels pin reads to the transaction's start time."""
+        return self in (IsolationLevel.REPEATABLE_READ,
+                        IsolationLevel.SERIALIZABLE)
+
+    @property
+    def takes_read_locks(self) -> bool:
+        """Serializable transactions lock what they read (no phantom writes)."""
+        return self is IsolationLevel.SERIALIZABLE
+
+    @classmethod
+    def default_intra_element(cls) -> "IsolationLevel":
+        """The paper's choice for transactions within one storage element."""
+        return cls.READ_COMMITTED
+
+    @classmethod
+    def default_cross_element(cls) -> "IsolationLevel":
+        """The paper's (lack of a) guarantee for cross-SE transactions."""
+        return cls.READ_UNCOMMITTED

@@ -1,0 +1,95 @@
+"""Key-level locking for intra-storage-element transactions.
+
+The paper's design keeps reads fast by choosing READ_COMMITTED isolation, so
+reads never block behind writers.  Writers take exclusive key locks; a
+conflicting writer is aborted immediately (*no-wait*) rather than queued,
+which keeps the lock manager free of deadlocks and keeps latency bounded --
+the provisioning system is expected to retry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.storage.errors import WriteConflict
+
+
+class LockMode(enum.Enum):
+    """Lock modes supported on a record key."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _LockEntry:
+    mode: LockMode
+    holders: Set[int] = field(default_factory=set)
+
+
+class LockManager:
+    """A no-wait key lock table.
+
+    Shared locks are compatible with each other; an exclusive lock is only
+    compatible with locks held by the same transaction (lock upgrade).
+    Conflicts raise :class:`WriteConflict` immediately.
+    """
+
+    def __init__(self):
+        self._locks: Dict[str, _LockEntry] = {}
+        self._held_by_tx: Dict[int, Set[str]] = {}
+        self.conflicts = 0
+
+    def acquire(self, transaction_id: int, key: str,
+                mode: LockMode = LockMode.EXCLUSIVE) -> None:
+        """Acquire (or upgrade) a lock; raises :class:`WriteConflict` on conflict."""
+        entry = self._locks.get(key)
+        if entry is None:
+            self._locks[key] = _LockEntry(mode=mode, holders={transaction_id})
+            self._held_by_tx.setdefault(transaction_id, set()).add(key)
+            return
+        if entry.holders == {transaction_id}:
+            # Sole holder: free to upgrade or re-acquire.
+            if mode is LockMode.EXCLUSIVE:
+                entry.mode = LockMode.EXCLUSIVE
+            self._held_by_tx.setdefault(transaction_id, set()).add(key)
+            return
+        if mode is LockMode.SHARED and entry.mode is LockMode.SHARED:
+            entry.holders.add(transaction_id)
+            self._held_by_tx.setdefault(transaction_id, set()).add(key)
+            return
+        self.conflicts += 1
+        holder = next(iter(entry.holders - {transaction_id}), None)
+        raise WriteConflict(key, holder, transaction_id)
+
+    def release_all(self, transaction_id: int) -> None:
+        """Release every lock held by a transaction (commit or abort)."""
+        keys = self._held_by_tx.pop(transaction_id, set())
+        for key in keys:
+            entry = self._locks.get(key)
+            if entry is None:
+                continue
+            entry.holders.discard(transaction_id)
+            if not entry.holders:
+                del self._locks[key]
+
+    def holders(self, key: str) -> Set[int]:
+        entry = self._locks.get(key)
+        return set(entry.holders) if entry else set()
+
+    def mode(self, key: str) -> LockMode:
+        entry = self._locks.get(key)
+        if entry is None:
+            raise KeyError(f"no lock held on {key!r}")
+        return entry.mode
+
+    def held_keys(self, transaction_id: int) -> Set[str]:
+        return set(self._held_by_tx.get(transaction_id, set()))
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def __repr__(self) -> str:
+        return f"<LockManager locked_keys={len(self._locks)} conflicts={self.conflicts}>"

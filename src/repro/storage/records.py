@@ -1,0 +1,115 @@
+"""Record values, versions and size accounting.
+
+Records are attribute maps (LDAP-entry-like dictionaries keyed by attribute
+name).  The store keeps every committed version of a record, tagged with the
+commit sequence number that created it, which is what makes snapshot reads,
+staleness measurement and multi-master conflict detection possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+
+class _Tombstone:
+    """Sentinel marking a deleted record version."""
+
+    _instance: Optional["_Tombstone"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+TOMBSTONE = _Tombstone()
+"""Value stored for a deleted record (so deletions replicate like writes)."""
+
+
+@dataclass(frozen=True)
+class RecordVersion:
+    """One committed version of a record.
+
+    Attributes
+    ----------
+    key:
+        The record's primary key within its data partition.
+    value:
+        The attribute map, or :data:`TOMBSTONE` when this version is a delete.
+    commit_seq:
+        The commit sequence number (monotonically increasing per partition
+        copy) that created this version.
+    transaction_id:
+        Identifier of the committing transaction (for audit/conflict reports).
+    origin:
+        Name of the replica where the write was originally accepted; used by
+        multi-master conflict detection to distinguish divergent histories.
+    """
+
+    key: str
+    value: Any
+    commit_seq: int
+    transaction_id: int
+    origin: str = ""
+
+    @property
+    def is_delete(self) -> bool:
+        return self.value is TOMBSTONE
+
+    def size(self) -> int:
+        return record_size(self.value)
+
+
+def record_size(value: Any) -> int:
+    """Approximate in-RAM size, in bytes, of a record value.
+
+    The estimate only needs to be consistent, not exact: the capacity planner
+    (section 3.5 of the paper) works from an *average subscriber profile
+    size*, and this function is what defines that average for synthetic
+    profiles.
+    """
+    if value is TOMBSTONE or value is None:
+        return 16
+    if isinstance(value, Mapping):
+        total = 64
+        for attribute, attribute_value in value.items():
+            total += 24 + len(str(attribute)) + _value_size(attribute_value)
+        return total
+    return 24 + _value_size(value)
+
+
+def _value_size(value: Any) -> int:
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, bytes):
+        return 33 + len(value)
+    if isinstance(value, (int, float, bool)):
+        return 28
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 56 + sum(_value_size(item) for item in value)
+    if isinstance(value, Mapping):
+        return record_size(value)
+    return 48
+
+
+def merge_attributes(base: Optional[Dict[str, Any]],
+                     changes: Mapping[str, Any]) -> Dict[str, Any]:
+    """Return ``base`` updated with ``changes`` (None values delete attributes).
+
+    This is the record-level "modify" primitive used by LDAP Modify
+    operations and by attribute-level conflict merging.
+    """
+    result: Dict[str, Any] = dict(base or {})
+    for attribute, attribute_value in changes.items():
+        if attribute_value is None:
+            result.pop(attribute, None)
+        else:
+            result[attribute] = attribute_value
+    return result

@@ -1,0 +1,150 @@
+"""Commit log (write-ahead log) of a partition copy.
+
+The commit log serves three purposes in the reproduction, mirroring its roles
+in the paper's architecture:
+
+* it is the unit of **durability**: a checkpoint marks everything up to a log
+  sequence number (LSN) as safe on disk, anything after it is lost if the
+  storage element crashes (section 3.1's periodic dump, footnote 6);
+* it is the **replication stream**: the master ships log records, in LSN
+  order, to the slave copies, which is what guarantees the identical
+  serialisation order the paper requires (section 3.2);
+* it is the **audit trail** used by the consistency-restoration process after
+  a multi-master partition incident (section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WriteOperation:
+    """A single key write (or delete) inside a committed transaction."""
+
+    key: str
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"WriteOperation({self.key!r})"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One committed transaction in the commit log."""
+
+    lsn: int
+    transaction_id: int
+    commit_seq: int
+    operations: Tuple[WriteOperation, ...]
+    origin: str = ""
+    timestamp: float = 0.0
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(operation.key for operation in self.operations)
+
+    def __repr__(self) -> str:
+        return (f"<LogRecord lsn={self.lsn} tx={self.transaction_id} "
+                f"keys={list(self.keys)}>")
+
+
+@dataclass
+class WriteAheadLog:
+    """Append-only commit log with a durability watermark."""
+
+    name: str = "wal"
+    _records: List[LogRecord] = field(default_factory=list)
+    _durable_lsn: int = 0
+    _next_lsn: int = 1
+
+    # -- append ---------------------------------------------------------------
+
+    def append(self, transaction_id: int, commit_seq: int,
+               operations: Tuple[WriteOperation, ...],
+               origin: str = "", timestamp: float = 0.0) -> LogRecord:
+        """Append a committed transaction and return its log record."""
+        record = LogRecord(
+            lsn=self._next_lsn,
+            transaction_id=transaction_id,
+            commit_seq=commit_seq,
+            operations=tuple(operations),
+            origin=origin,
+            timestamp=timestamp,
+        )
+        self._next_lsn += 1
+        self._records.append(record)
+        return record
+
+    def append_record(self, record: LogRecord) -> LogRecord:
+        """Append a pre-built record (replication apply), renumbering its LSN."""
+        copy = LogRecord(
+            lsn=self._next_lsn,
+            transaction_id=record.transaction_id,
+            commit_seq=record.commit_seq,
+            operations=record.operations,
+            origin=record.origin,
+            timestamp=record.timestamp,
+        )
+        self._next_lsn += 1
+        self._records.append(copy)
+        return copy
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def records(self) -> List[LogRecord]:
+        return list(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        return self._records[-1].lsn if self._records else 0
+
+    def since(self, lsn: int) -> List[LogRecord]:
+        """Records with LSN strictly greater than ``lsn`` (oldest first)."""
+        return [record for record in self._records if record.lsn > lsn]
+
+    def record_at(self, lsn: int) -> Optional[LogRecord]:
+        for record in self._records:
+            if record.lsn == lsn:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- durability --------------------------------------------------------------
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN known to be safe on persistent storage."""
+        return self._durable_lsn
+
+    def mark_durable(self, lsn: int) -> None:
+        """Advance the durability watermark (checkpoint completed)."""
+        if lsn < self._durable_lsn:
+            raise ValueError(
+                f"durable LSN cannot move backwards ({lsn} < {self._durable_lsn})")
+        self._durable_lsn = min(lsn, max(self.last_lsn, self._durable_lsn))
+
+    def undurable_records(self) -> List[LogRecord]:
+        """Committed records that would be lost if the element crashed now."""
+        return self.since(self._durable_lsn)
+
+    def truncate_through(self, lsn: int) -> int:
+        """Drop records with LSN <= ``lsn`` (already checkpointed); returns count."""
+        before = len(self._records)
+        self._records = [record for record in self._records if record.lsn > lsn]
+        return before - len(self._records)
+
+    def crash(self) -> List[LogRecord]:
+        """Simulate losing the volatile tail of the log; returns what was lost."""
+        lost = self.undurable_records()
+        self._records = [record for record in self._records
+                         if record.lsn <= self._durable_lsn]
+        return lost
+
+    def __repr__(self) -> str:
+        return (f"<WriteAheadLog {self.name!r} records={len(self._records)} "
+                f"durable_lsn={self._durable_lsn}>")

@@ -1,0 +1,35 @@
+"""Subscriber data model: identities, profiles, services and generation.
+
+The UDR stores the consolidated subscriber data of a telecom operator.  A
+subscription is identified by several identities at once -- IMSI (the SIM),
+MSISDN (the phone number), and for IMS networks IMPI/IMPU (private/public
+user identities) -- and carries the profile that network procedures read and
+provisioning writes: authentication material, service settings (barring,
+forwarding, roaming permissions), and dynamic location/registration state.
+
+The synthetic generator produces deterministic, realistic-looking subscriber
+bases of arbitrary size with home regions and organisations, which is what
+the workload and placement experiments operate on.
+"""
+
+from repro.subscriber.identities import (
+    IdentitySet,
+    format_impi,
+    format_impu,
+    format_imsi,
+    format_msisdn,
+)
+from repro.subscriber.services import ServiceProfile
+from repro.subscriber.profile import SubscriberProfile
+from repro.subscriber.generator import SubscriberGenerator
+
+__all__ = [
+    "IdentitySet",
+    "ServiceProfile",
+    "SubscriberGenerator",
+    "SubscriberProfile",
+    "format_impi",
+    "format_impu",
+    "format_imsi",
+    "format_msisdn",
+]

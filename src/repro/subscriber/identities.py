@@ -1,0 +1,84 @@
+"""Subscriber identities: IMSI, MSISDN, IMPU, IMPI.
+
+Every subscription carries several identities in different namespaces; the
+UDR's data location stage keeps one index per namespace (paper section
+3.3.1).  The formatting helpers produce syntactically plausible values from
+compact numeric components so the generator stays deterministic and readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.directory.indexes import IdentityType
+
+#: Mobile country codes used by the synthetic operator, per region name.
+REGION_MCC = {
+    "spain": "214",
+    "sweden": "240",
+    "germany": "262",
+    "france": "208",
+    "italy": "222",
+    "usa": "310",
+    "china": "460",
+}
+
+DEFAULT_MCC = "999"
+DEFAULT_MNC = "07"
+
+
+def format_imsi(region: str, serial: int, mnc: str = DEFAULT_MNC) -> str:
+    """International Mobile Subscriber Identity (15 digits: MCC+MNC+MSIN)."""
+    mcc = REGION_MCC.get(region, DEFAULT_MCC)
+    return f"{mcc}{mnc}{serial:010d}"
+
+
+def format_msisdn(region: str, serial: int) -> str:
+    """The subscriber's phone number in international format."""
+    country_code = {"spain": "34", "sweden": "46", "germany": "49",
+                    "france": "33", "italy": "39", "usa": "1",
+                    "china": "86"}.get(region, "00")
+    return f"+{country_code}6{serial:08d}"
+
+
+def format_impu(region: str, serial: int, domain: str = "ims.example.net") -> str:
+    """IMS Public User Identity (a SIP URI)."""
+    return f"sip:user{serial:010d}.{region}@{domain}"
+
+
+def format_impi(region: str, serial: int, domain: str = "ims.example.net") -> str:
+    """IMS Private User Identity (used for authentication only)."""
+    return f"user{serial:010d}@{region}.{domain}"
+
+
+@dataclass(frozen=True)
+class IdentitySet:
+    """All identities of one subscription."""
+
+    imsi: str
+    msisdn: str
+    impu: str
+    impi: str
+
+    def as_mapping(self) -> Dict[str, str]:
+        """Identity-type keyed mapping, as the directory expects it."""
+        return {
+            IdentityType.IMSI: self.imsi,
+            IdentityType.MSISDN: self.msisdn,
+            IdentityType.IMPU: self.impu,
+            IdentityType.IMPI: self.impi,
+        }
+
+    @classmethod
+    def for_serial(cls, region: str, serial: int) -> "IdentitySet":
+        """Deterministically derive all identities from a region and serial."""
+        return cls(
+            imsi=format_imsi(region, serial),
+            msisdn=format_msisdn(region, serial),
+            impu=format_impu(region, serial),
+            impi=format_impi(region, serial),
+        )
+
+    def __str__(self) -> str:
+        return f"IMSI {self.imsi} / MSISDN {self.msisdn}"

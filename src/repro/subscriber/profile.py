@@ -1,0 +1,95 @@
+"""The consolidated subscriber profile stored in the UDR.
+
+One profile is one record in a storage element's primary partition copy,
+keyed by a stable subscriber key.  The profile carries static subscription
+data (identities, authentication material, service settings, home region,
+organisation) and the dynamic state network procedures update (serving nodes,
+registration status, last-seen region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.subscriber.identities import IdentitySet
+from repro.subscriber.services import ServiceProfile
+
+
+@dataclass
+class SubscriberProfile:
+    """The full consolidated data of one subscription."""
+
+    identities: IdentitySet
+    home_region: str
+    organisation: Optional[str] = None
+    services: ServiceProfile = field(default_factory=ServiceProfile)
+    authentication_key: str = ""
+    subscriber_status: str = "active"           # active / suspended / terminated
+    serving_msc: Optional[str] = None            # circuit-switched serving node
+    serving_sgsn: Optional[str] = None           # packet-switched serving node
+    ims_registered: bool = False
+    current_region: Optional[str] = None
+
+    def __post_init__(self):
+        if self.current_region is None:
+            self.current_region = self.home_region
+
+    # -- keys -----------------------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """The storage key of this subscription (IMSI-based, stable)."""
+        return f"sub:{self.identities.imsi}"
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_record(self) -> Dict[str, Any]:
+        """The attribute map stored in the UDR for this subscription."""
+        record: Dict[str, Any] = {
+            "imsi": self.identities.imsi,
+            "msisdn": self.identities.msisdn,
+            "impu": self.identities.impu,
+            "impi": self.identities.impi,
+            "homeRegion": self.home_region,
+            "organisation": self.organisation,
+            "authKey": self.authentication_key,
+            "subscriberStatus": self.subscriber_status,
+            "servingMsc": self.serving_msc,
+            "servingSgsn": self.serving_sgsn,
+            "imsRegistered": self.ims_registered,
+            "currentRegion": self.current_region,
+        }
+        record.update(self.services.to_attributes())
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "SubscriberProfile":
+        identities = IdentitySet(
+            imsi=record["imsi"], msisdn=record["msisdn"],
+            impu=record["impu"], impi=record["impi"])
+        return cls(
+            identities=identities,
+            home_region=record.get("homeRegion", ""),
+            organisation=record.get("organisation"),
+            services=ServiceProfile.from_attributes(record),
+            authentication_key=record.get("authKey", ""),
+            subscriber_status=record.get("subscriberStatus", "active"),
+            serving_msc=record.get("servingMsc"),
+            serving_sgsn=record.get("servingSgsn"),
+            ims_registered=bool(record.get("imsRegistered", False)),
+            current_region=record.get("currentRegion"),
+        )
+
+    # -- convenience --------------------------------------------------------------
+
+    def roaming(self) -> bool:
+        """Is the subscriber currently outside the home region?"""
+        return self.current_region != self.home_region
+
+    def with_location(self, region: str, serving_msc: str) -> "SubscriberProfile":
+        """A copy updated by a location-management procedure."""
+        return replace(self, current_region=region, serving_msc=serving_msc)
+
+    def __str__(self) -> str:
+        return f"{self.identities} ({self.home_region})"

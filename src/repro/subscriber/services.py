@@ -1,0 +1,65 @@
+"""Service settings of a subscription (the provisionable attributes).
+
+These are the attributes provisioning transactions touch and the paper uses
+as examples: "if you set up a pay-call barring for the line, you wouldn't be
+very happy if you find your kids speaking on it to a hi-toll number" --
+partially applied or mis-ordered provisioning must not leave such settings in
+an inconsistent state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ServiceProfile:
+    """Supplementary-service settings of one subscription."""
+
+    barring_outgoing_international: bool = False
+    barring_premium_numbers: bool = False
+    call_forwarding_unconditional: Optional[str] = None
+    call_forwarding_busy: Optional[str] = None
+    roaming_allowed: bool = True
+    data_allowed: bool = True
+    ims_enabled: bool = False
+    operator_services: List[str] = field(default_factory=list)
+
+    def to_attributes(self) -> Dict[str, Any]:
+        """Flatten into the attribute map stored in the UDR record."""
+        return {
+            "svcBarOutInternational": self.barring_outgoing_international,
+            "svcBarPremium": self.barring_premium_numbers,
+            "svcCfu": self.call_forwarding_unconditional,
+            "svcCfb": self.call_forwarding_busy,
+            "svcRoamingAllowed": self.roaming_allowed,
+            "svcDataAllowed": self.data_allowed,
+            "svcImsEnabled": self.ims_enabled,
+            "svcOperatorServices": list(self.operator_services),
+        }
+
+    @classmethod
+    def from_attributes(cls, attributes: Dict[str, Any]) -> "ServiceProfile":
+        return cls(
+            barring_outgoing_international=bool(
+                attributes.get("svcBarOutInternational", False)),
+            barring_premium_numbers=bool(attributes.get("svcBarPremium", False)),
+            call_forwarding_unconditional=attributes.get("svcCfu"),
+            call_forwarding_busy=attributes.get("svcCfb"),
+            roaming_allowed=bool(attributes.get("svcRoamingAllowed", True)),
+            data_allowed=bool(attributes.get("svcDataAllowed", True)),
+            ims_enabled=bool(attributes.get("svcImsEnabled", False)),
+            operator_services=list(attributes.get("svcOperatorServices", [])),
+        )
+
+    def enabled_service_count(self) -> int:
+        """Number of supplementary services switched on (profile 'weight')."""
+        count = 0
+        count += self.barring_outgoing_international
+        count += self.barring_premium_numbers
+        count += self.call_forwarding_unconditional is not None
+        count += self.call_forwarding_busy is not None
+        count += self.ims_enabled
+        count += len(self.operator_services)
+        return count

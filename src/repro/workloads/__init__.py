@@ -1,0 +1,19 @@
+"""Workload models: traffic profiles, mobility/roaming and operation mixes.
+
+The paper reasons about the UDR's load in aggregates -- operations per
+subscriber per second, busy versus low-traffic hours, continuous provisioning
+flows punctuated by batches, subscribers who "stay within the home region of
+the subscription most of the time".  This package turns those aggregates into
+concrete, deterministic drivers for the simulation.
+"""
+
+from repro.workloads.traffic import BusyHourProfile, TrafficProfile
+from repro.workloads.mobility import RoamingModel
+from repro.workloads.mix import WorkloadMix
+
+__all__ = [
+    "BusyHourProfile",
+    "RoamingModel",
+    "TrafficProfile",
+    "WorkloadMix",
+]

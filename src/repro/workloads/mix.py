@@ -1,0 +1,69 @@
+"""Combined workload description: traffic + mobility + procedure mixes.
+
+A :class:`WorkloadMix` bundles everything an experiment needs to drive a UDR
+deployment: how many subscribers, how they are spread over regions, how much
+they move, which procedures their front-ends run and at what rate, and how
+much provisioning happens on the side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.frontends.procedures import NetworkProcedure, ProcedureCatalogue
+from repro.subscriber.generator import SubscriberGenerator
+from repro.subscriber.profile import SubscriberProfile
+from repro.workloads.mobility import RoamingModel
+from repro.workloads.traffic import TrafficProfile
+
+
+@dataclass
+class WorkloadMix:
+    """A complete workload specification."""
+
+    regions: Sequence[str] = ("spain", "sweden", "germany")
+    subscribers: int = 300
+    ims_share: float = 0.3
+    roaming_probability: float = 0.05
+    traffic: TrafficProfile = field(default_factory=TrafficProfile)
+    procedure_mix: Optional[Dict[NetworkProcedure, float]] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.subscribers < 1:
+            raise ValueError("need at least one subscriber")
+        if self.procedure_mix is None:
+            self.procedure_mix = ProcedureCatalogue.classic_mix()
+
+    # -- population --------------------------------------------------------------
+
+    def generate_population(self, rng=None) -> List[SubscriberProfile]:
+        """Generate and geographically place the subscriber population."""
+        generator = SubscriberGenerator(self.regions, seed=self.seed,
+                                        ims_share=self.ims_share)
+        population = generator.generate(self.subscribers)
+        roaming = RoamingModel(self.regions, self.roaming_probability)
+        rng = rng or generator._rng
+        return roaming.place_population(population, rng)
+
+    def subscribers_by_region(self, population: Sequence[SubscriberProfile]
+                              ) -> Dict[str, List[SubscriberProfile]]:
+        """Group subscribers by the region they are currently in."""
+        groups: Dict[str, List[SubscriberProfile]] = {
+            region: [] for region in self.regions}
+        for subscriber in population:
+            groups.setdefault(subscriber.current_region, []).append(subscriber)
+        return groups
+
+    # -- rates -----------------------------------------------------------------------
+
+    def procedure_rate_for(self, population_size: int) -> float:
+        return self.traffic.procedure_rate(population_size)
+
+    def provisioning_rate_for(self, population_size: int) -> float:
+        return self.traffic.provisioning_rate(population_size)
+
+    def average_operations_per_procedure(self,
+                                         sample: SubscriberProfile) -> float:
+        return ProcedureCatalogue.average_operations(self.procedure_mix, sample)

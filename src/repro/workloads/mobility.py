@@ -1,0 +1,61 @@
+"""Roaming / mobility model.
+
+"It is known that users stay within the home region of the subscription most
+of the time, so if the data of a subscriber can be pinned to a location close
+to the application front-ends in the home region of the subscription, chances
+of having to surf the IP back-bone to obtain that subscriber's data decrease
+enormously.  Only when the user leaves her home region (she roams) [...]"
+(paper, section 3.5).
+
+The model assigns each subscriber a current region: with probability
+``1 - roaming_probability`` it is the home region, otherwise one of the other
+regions.  Experiment E08 sweeps the roaming probability to show how placement
+policy and mobility together determine backbone crossings and availability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.subscriber.profile import SubscriberProfile
+
+
+class RoamingModel:
+    """Decides where each subscriber currently is."""
+
+    def __init__(self, regions: Sequence[str], roaming_probability: float = 0.05):
+        if not regions:
+            raise ValueError("need at least one region")
+        if not 0.0 <= roaming_probability <= 1.0:
+            raise ValueError("roaming probability must be within [0, 1]")
+        self.regions = list(regions)
+        self.roaming_probability = roaming_probability
+
+    def current_region(self, subscriber: SubscriberProfile, rng) -> str:
+        """Draw the region the subscriber is currently in."""
+        if len(self.regions) == 1 or rng.random() >= self.roaming_probability:
+            return subscriber.home_region
+        away = [region for region in self.regions
+                if region != subscriber.home_region]
+        return rng.choice(away) if away else subscriber.home_region
+
+    def place_population(self, subscribers: Sequence[SubscriberProfile],
+                         rng) -> List[SubscriberProfile]:
+        """Return copies of the subscribers with ``current_region`` assigned."""
+        placed = []
+        for subscriber in subscribers:
+            region = self.current_region(subscriber, rng)
+            placed.append(subscriber.with_location(
+                region, serving_msc=f"msc-{region}"))
+        return placed
+
+    def expected_roaming_share(self) -> float:
+        if len(self.regions) == 1:
+            return 0.0
+        return self.roaming_probability
+
+    def roaming_census(self, subscribers: Sequence[SubscriberProfile]
+                       ) -> Dict[str, int]:
+        """How many subscribers are currently home vs roaming."""
+        home = sum(1 for subscriber in subscribers if not subscriber.roaming())
+        return {"home": home, "roaming": len(subscribers) - home}

@@ -1,0 +1,94 @@
+"""Traffic intensity profiles.
+
+The capacity model (paper section 3.5) gives the ceiling -- about 18 LDAP
+operations per subscriber per second of headroom -- while real traffic is far
+below it and varies over the day: busy hours carry several times the
+low-traffic-hour load, and provisioning keeps "a continuous flow of
+provisioning operations going at any one time" that falls to a minimum during
+low-traffic hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim import units
+
+
+@dataclass
+class TrafficProfile:
+    """Per-subscriber traffic intensity.
+
+    ``procedures_per_subscriber_per_hour`` is the busy-hour rate of network
+    procedures one subscriber generates (calls, SMS, location updates...).
+    A typical planning value is 5-10 busy-hour procedures per subscriber.
+    """
+
+    procedures_per_subscriber_per_hour: float = 8.0
+    provisioning_ops_per_thousand_subscribers_per_hour: float = 4.0
+
+    def __post_init__(self):
+        if self.procedures_per_subscriber_per_hour < 0:
+            raise ValueError("procedure rate cannot be negative")
+        if self.provisioning_ops_per_thousand_subscribers_per_hour < 0:
+            raise ValueError("provisioning rate cannot be negative")
+
+    def procedure_rate(self, subscribers: int) -> float:
+        """Aggregate procedure arrivals per second for a subscriber pool."""
+        return (subscribers * self.procedures_per_subscriber_per_hour
+                / units.HOUR)
+
+    def provisioning_rate(self, subscribers: int) -> float:
+        """Aggregate provisioning operations per second for a pool."""
+        return (subscribers / 1000.0
+                * self.provisioning_ops_per_thousand_subscribers_per_hour
+                / units.HOUR)
+
+    def ldap_ops_per_second(self, subscribers: int,
+                            ops_per_procedure: float = 2.0) -> float:
+        """Offered LDAP load, to compare against the capacity ceiling."""
+        if ops_per_procedure <= 0:
+            raise ValueError("a procedure needs at least one operation")
+        return self.procedure_rate(subscribers) * ops_per_procedure
+
+
+@dataclass
+class BusyHourProfile:
+    """Diurnal shape of traffic: multiplier per hour of day.
+
+    The default shape has a morning and an evening busy hour at 1.0 (the
+    reference intensity) and a deep night-time trough -- the "low traffic
+    hours" during which operators schedule batch provisioning.
+    """
+
+    hourly_factors: Tuple[float, ...] = (
+        0.15, 0.10, 0.08, 0.08, 0.10, 0.20,   # 00-05
+        0.40, 0.70, 0.90, 1.00, 0.95, 0.90,   # 06-11
+        0.85, 0.80, 0.80, 0.85, 0.90, 0.95,   # 12-17
+        1.00, 0.95, 0.85, 0.70, 0.45, 0.25,   # 18-23
+    )
+
+    def __post_init__(self):
+        if len(self.hourly_factors) != 24:
+            raise ValueError("need exactly 24 hourly factors")
+        if any(factor < 0 for factor in self.hourly_factors):
+            raise ValueError("hourly factors cannot be negative")
+
+    def factor_at(self, sim_time: float) -> float:
+        """Traffic multiplier at a simulation time (day wraps around)."""
+        hour = int(sim_time // units.HOUR) % 24
+        return self.hourly_factors[hour]
+
+    def busy_hours(self) -> List[int]:
+        peak = max(self.hourly_factors)
+        return [hour for hour, factor in enumerate(self.hourly_factors)
+                if factor >= 0.95 * peak]
+
+    def low_traffic_hours(self, threshold: float = 0.25) -> List[int]:
+        """Hours suitable for batch provisioning."""
+        return [hour for hour, factor in enumerate(self.hourly_factors)
+                if factor <= threshold]
+
+    def scale_rate(self, base_rate: float, sim_time: float) -> float:
+        return base_rate * self.factor_at(sim_time)

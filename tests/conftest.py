@@ -1,0 +1,58 @@
+"""Shared fixtures: a small UDR deployment with a loaded subscriber base."""
+
+import pytest
+
+from repro.core import ClientType, UDRConfig, UDRNetworkFunction
+from repro.subscriber import SubscriberGenerator
+
+
+def build_udr(config=None, subscribers=60, seed=7):
+    """Build and start a small deployment with a loaded subscriber base."""
+    config = config or UDRConfig(seed=seed)
+    udr = UDRNetworkFunction(config)
+    udr.start()
+    generator = SubscriberGenerator(config.regions, seed=seed)
+    profiles = generator.generate(subscribers)
+    udr.load_subscriber_base(profiles)
+    return udr, profiles
+
+
+def run_to_completion(udr, generator):
+    """Run a client generator (e.g. udr.execute(...)) until it finishes."""
+    process = udr.sim.process(generator)
+    udr.sim.run_until_triggered(process, limit=udr.sim.now + 120.0)
+    if not process.triggered:
+        raise AssertionError("operation did not complete within 120 s of "
+                             "simulated time")
+    if not process.ok:
+        raise process.exception
+    return process.value
+
+
+@pytest.fixture(scope="module")
+def small_udr():
+    """A module-scoped deployment for read-only inspection tests."""
+    udr, profiles = build_udr()
+    return udr, profiles
+
+
+@pytest.fixture
+def fresh_udr():
+    """A function-scoped deployment for tests that mutate state."""
+    udr, profiles = build_udr()
+    return udr, profiles
+
+
+@pytest.fixture
+def client_site(fresh_udr):
+    udr, _ = fresh_udr
+    return udr.topology.sites[0]
+
+
+def fe_site_for(udr, profile):
+    """The site an FE serving this subscriber would use (current region)."""
+    region = profile.current_region or profile.home_region
+    for site in udr.topology.sites:
+        if site.region.name == region:
+            return site
+    return udr.topology.sites[0]

@@ -1,0 +1,50 @@
+"""Shared helpers for building small simulated deployments in tests."""
+
+from repro.net import Network, make_multinational_topology
+from repro.replication import ReplicaSet
+from repro.sim import Simulation
+from repro.storage import DataPartition, ReplicaRole, StorageElement
+
+
+def build_replicated_partition(seed=1, num_elements=3, replication_factor=3,
+                               subscriber_capacity=1_000_000):
+    """One partition replicated across ``num_elements`` sites.
+
+    Returns (sim, network, topology, elements, replica_set); element ``i``
+    lives at site ``i`` of a three-country topology and element 0 holds the
+    master copy.
+    """
+    sim = Simulation(seed=seed)
+    topology = make_multinational_topology(("spain", "sweden", "germany"),
+                                           sites_per_region=2)
+    network = Network(sim, topology)
+    sites = topology.sites
+    partition = DataPartition(0)
+    replica_set = ReplicaSet(partition)
+    elements = []
+    for index in range(num_elements):
+        element = StorageElement(
+            f"se-{index}", site=sites[index % len(sites)],
+            subscriber_capacity=subscriber_capacity)
+        role = ReplicaRole.PRIMARY if index == 0 else ReplicaRole.SECONDARY
+        if index < replication_factor:
+            replica_set.add_member(element, role)
+        elements.append(element)
+    return sim, network, topology, elements, replica_set
+
+
+def master_write(replica_set, key, value, timestamp=0.0):
+    """Commit one write on the replica set's master copy; returns the record."""
+    copy = replica_set.master_copy
+    tx = copy.transactions.begin()
+    tx.write(key, value)
+    return tx.commit(timestamp=timestamp)
+
+
+def run_process(sim, generator):
+    """Run a generator as a process to completion and return its value."""
+    process = sim.process(generator)
+    sim.run()
+    if not process.ok:
+        raise process.exception
+    return process.value

@@ -1,0 +1,221 @@
+"""Unit tests for blades, blade clusters, the PoA balancer and SAF manager."""
+
+import pytest
+
+from repro.cluster import (
+    AvailabilityManager,
+    Blade,
+    BladeCluster,
+    ClusterLimits,
+    ComponentState,
+    PointOfAccess,
+    ProcessKind,
+)
+from repro.cluster.balancer import closest_point_of_access
+from repro.directory import ProvisionedLocator
+from repro.ldap import LdapServerPool
+from repro.net import Network, make_multinational_topology
+from repro.sim import Simulation, units
+from repro.storage import StorageElement
+
+
+class TestBlade:
+    def test_blade_hosts_se_and_ldap_process(self):
+        blade = Blade("b0")
+        blade.assign(ProcessKind.STORAGE_ELEMENT)
+        blade.assign(ProcessKind.LDAP_SERVER)
+        assert blade.process_count(ProcessKind.STORAGE_ELEMENT) == 1
+        assert blade.process_count(ProcessKind.LDAP_SERVER) == 1
+
+    def test_cpu_budget_enforced(self):
+        blade = Blade("b0")
+        blade.assign(ProcessKind.LDAP_SERVER)
+        assert not blade.can_host(ProcessKind.LDAP_SERVER)
+        with pytest.raises(ValueError):
+            blade.assign(ProcessKind.LDAP_SERVER)
+
+    def test_ram_budget_enforced(self):
+        blade = Blade("b0", ram_bytes=64 * units.GIB)
+        assert not blade.can_host(ProcessKind.STORAGE_ELEMENT)
+
+    def test_failed_blade_hosts_nothing(self):
+        blade = Blade("b0")
+        blade.fail()
+        assert not blade.can_host(ProcessKind.PLATFORM)
+        blade.repair()
+        assert blade.can_host(ProcessKind.PLATFORM)
+
+    def test_release_frees_capacity(self):
+        blade = Blade("b0")
+        blade.assign(ProcessKind.LDAP_SERVER)
+        blade.release(ProcessKind.LDAP_SERVER)
+        assert blade.can_host(ProcessKind.LDAP_SERVER)
+
+
+class TestBladeCluster:
+    def test_add_storage_element_consumes_two_blades(self):
+        cluster = BladeCluster("c0")
+        cluster.add_storage_element(StorageElement("se-0"))
+        assert cluster.blade_count() == 2
+        assert len(cluster.storage_elements) == 1
+
+    def test_storage_element_limit_enforced(self):
+        cluster = BladeCluster("c0", limits=ClusterLimits(max_storage_elements=1))
+        cluster.add_storage_element(StorageElement("se-0"))
+        with pytest.raises(ValueError):
+            cluster.add_storage_element(StorageElement("se-1"))
+
+    def test_ldap_server_limit_enforced(self):
+        cluster = BladeCluster("c0", limits=ClusterLimits(max_ldap_servers=2))
+        cluster.add_ldap_server()
+        cluster.add_ldap_server()
+        with pytest.raises(ValueError):
+            cluster.add_ldap_server()
+
+    def test_blade_limit_enforced(self):
+        cluster = BladeCluster("c0", limits=ClusterLimits(max_blades=2))
+        cluster.add_storage_element(StorageElement("se-0"))
+        with pytest.raises(ValueError):
+            cluster.add_storage_element(StorageElement("se-1"))
+
+    def test_paper_scale_cluster_capacity(self):
+        """16 SEs x 2M subscribers and 32 LDAP servers x 1M ops/s per cluster."""
+        cluster = BladeCluster("c0")
+        for index in range(16):
+            cluster.add_storage_element(StorageElement(f"se-{index}"))
+        for _ in range(32):
+            cluster.add_ldap_server()
+        assert cluster.subscriber_capacity == 32_000_000
+        assert cluster.ldap_capacity_ops_per_second == 32_000_000
+
+    def test_available_storage_elements_excludes_crashed(self):
+        cluster = BladeCluster("c0")
+        element = cluster.add_storage_element(StorageElement("se-0"))
+        assert cluster.available_storage_elements() == [element]
+        element.crash()
+        assert cluster.available_storage_elements() == []
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterLimits(max_blades=0)
+
+
+class TestPointOfAccess:
+    def make_poa(self, site=None, name="poa-0"):
+        return PointOfAccess(name, site, LdapServerPool.of_size(name, 2),
+                             ProvisionedLocator())
+
+    def test_select_server_round_robin(self):
+        poa = self.make_poa()
+        first = poa.select_server()
+        second = poa.select_server()
+        assert first is not second
+        assert poa.requests_balanced == 2
+
+    def test_failed_poa_rejects_requests(self):
+        poa = self.make_poa()
+        poa.fail()
+        assert not poa.can_serve()
+        with pytest.raises(RuntimeError):
+            poa.select_server()
+        poa.restore()
+        assert poa.can_serve()
+
+    def test_poa_unavailable_while_locator_syncs(self):
+        poa = self.make_poa()
+        poa.locator.begin_sync(100)
+        assert not poa.can_serve()
+        poa.locator.complete_sync()
+        assert poa.can_serve()
+
+    def test_closest_poa_prefers_same_site(self):
+        sim = Simulation(seed=1)
+        topology = make_multinational_topology()
+        network = Network(sim, topology)
+        spain = topology.site("spain-dc1")
+        sweden = topology.site("sweden-dc1")
+        poas = [self.make_poa(site=sweden, name="poa-sweden"),
+                self.make_poa(site=spain, name="poa-spain")]
+        chosen = closest_point_of_access(network, spain, poas)
+        assert chosen.name == "poa-spain"
+
+    def test_closest_poa_falls_back_to_lowest_latency(self):
+        sim = Simulation(seed=1)
+        topology = make_multinational_topology()
+        network = Network(sim, topology)
+        spain2 = topology.site("spain-dc2")
+        germany = topology.site("germany-dc1")
+        poas = [self.make_poa(site=germany, name="poa-germany"),
+                self.make_poa(site=spain2, name="poa-spain2")]
+        chosen = closest_point_of_access(network, topology.site("spain-dc1"), poas)
+        assert chosen.name == "poa-spain2"
+
+    def test_closest_poa_none_when_unreachable(self):
+        sim = Simulation(seed=1)
+        topology = make_multinational_topology()
+        network = Network(sim, topology)
+        spain = topology.site("spain-dc1")
+        network.fail_site(topology.site("germany-dc1"))
+        poas = [self.make_poa(site=topology.site("germany-dc1"), name="poa-g")]
+        assert closest_point_of_access(network, spain, poas) is None
+
+
+class TestAvailabilityManager:
+    def test_failure_and_automatic_repair(self):
+        sim = Simulation(seed=1)
+        element = StorageElement("se-0")
+        manager = AvailabilityManager(sim, default_repair_time=120.0)
+        manager.manage("se-0", fail_action=element.crash,
+                       repair_action=element.recover)
+        manager.fail_component("se-0")
+        assert not element.available
+        assert manager.component("se-0").state is ComponentState.REPAIRING
+        sim.run(until=200.0)
+        assert element.available
+        assert manager.component("se-0").state is ComponentState.IN_SERVICE
+        assert manager.component("se-0").downtime == pytest.approx(120.0)
+
+    def test_availability_accounting(self):
+        sim = Simulation(seed=1)
+        element = StorageElement("se-0")
+        manager = AvailabilityManager(sim, default_repair_time=60.0)
+        manager.manage("se-0", element.crash, element.recover)
+        manager.fail_component("se-0")
+        sim.run()
+        availability = manager.availability_of("se-0",
+                                                observation_period=6000.0)
+        assert availability == pytest.approx(1 - 60.0 / 6000.0)
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulation(seed=1)
+        manager = AvailabilityManager(sim)
+        manager.manage("x", lambda: None, lambda: None)
+        with pytest.raises(ValueError):
+            manager.manage("x", lambda: None, lambda: None)
+
+    def test_double_failure_is_ignored(self):
+        sim = Simulation(seed=1)
+        element = StorageElement("se-0")
+        manager = AvailabilityManager(sim, default_repair_time=10.0)
+        manager.manage("se-0", element.crash, element.recover)
+        manager.fail_component("se-0")
+        manager.fail_component("se-0")
+        assert manager.component("se-0").failures == 1
+
+    def test_manual_repair_without_auto(self):
+        sim = Simulation(seed=1)
+        element = StorageElement("se-0")
+        manager = AvailabilityManager(sim)
+        manager.manage("se-0", element.crash, element.recover)
+        manager.fail_component("se-0", auto_repair=False)
+        sim.run()
+        assert not element.available
+        manager.repair_component("se-0")
+        assert element.available
+
+    def test_invalid_observation_period(self):
+        sim = Simulation(seed=1)
+        manager = AvailabilityManager(sim)
+        manager.manage("x", lambda: None, lambda: None)
+        with pytest.raises(ValueError):
+            manager.availability_of("x", observation_period=0.0)

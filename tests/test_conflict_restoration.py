@@ -1,0 +1,195 @@
+"""Unit tests for divergence detection, conflict resolution and restoration."""
+
+import pytest
+
+from repro.replication import (
+    AttributeMergeResolver,
+    ConsistencyRestoration,
+    LastWriterWinsResolver,
+    PreferOriginResolver,
+    detect_conflicts,
+)
+from repro.replication.conflict import ConflictResolver, KeyConflict
+from repro.storage import TOMBSTONE
+
+from tests.helpers import build_replicated_partition, master_write
+
+
+def write_on(replica_set, element_name, key, value):
+    """Commit a write directly on a specific copy (simulating multi-master)."""
+    copy = replica_set.copy_on(element_name)
+    tx = copy.transactions.begin()
+    tx.write(key, value)
+    return tx.commit()
+
+
+def replicate_to_all(replica_set, record):
+    for name in replica_set.slave_names():
+        replica_set.copy_on(name).transactions.apply_log_record(record)
+
+
+def copies_of(replica_set):
+    return {name: replica_set.copy_on(name)
+            for name in replica_set.member_names}
+
+
+class TestConflictDetection:
+    def test_identical_copies_have_no_conflicts(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        record = master_write(replica_set, "sub-1", {"v": 1})
+        replicate_to_all(replica_set, record)
+        assert detect_conflicts(copies_of(replica_set)) == []
+
+    def test_replication_lag_is_not_a_conflict(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        master_write(replica_set, "sub-1", {"v": 1})
+        # Slaves have seen nothing; that is lag, not a fork.
+        assert detect_conflicts(copies_of(replica_set)) == []
+
+    def test_forked_writes_are_detected(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        base = master_write(replica_set, "sub-1", {"v": 0})
+        replicate_to_all(replica_set, base)
+        # Partition: both sides accept a different write for the same key.
+        write_on(replica_set, "se-0", "sub-1", {"v": "master-side"})
+        write_on(replica_set, "se-1", "sub-1", {"v": "slave-side"})
+        conflicts = detect_conflicts(copies_of(replica_set))
+        assert len(conflicts) == 1
+        assert conflicts[0].key == "sub-1"
+        assert set(conflicts[0].versions) >= {"se-0", "se-1"}
+
+    def test_forks_on_different_keys_do_not_conflict(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        write_on(replica_set, "se-0", "sub-a", {"v": 1})
+        write_on(replica_set, "se-1", "sub-b", {"v": 2})
+        assert detect_conflicts(copies_of(replica_set)) == []
+
+    def test_fork_converging_to_same_value_is_ignored(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        write_on(replica_set, "se-0", "sub-1", {"v": "same"})
+        write_on(replica_set, "se-1", "sub-1", {"v": "same"})
+        assert detect_conflicts(copies_of(replica_set)) == []
+
+    def test_single_copy_never_conflicts(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        write_on(replica_set, "se-0", "sub-1", {"v": 1})
+        assert detect_conflicts({"se-0": replica_set.copy_on("se-0")}) == []
+
+    def test_distinct_values_listed(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        write_on(replica_set, "se-0", "sub-1", {"v": 1})
+        write_on(replica_set, "se-1", "sub-1", {"v": 2})
+        conflict = detect_conflicts(copies_of(replica_set))[0]
+        assert len(conflict.distinct_values()) == 2
+
+
+class TestResolvers:
+    def make_conflict(self, replica_set):
+        write_on(replica_set, "se-0", "sub-1", {"barred": True})
+        write_on(replica_set, "se-1", "sub-1", {"forwarding": "+3466"})
+        write_on(replica_set, "se-1", "sub-1", {"forwarding": "+3467"})
+        return detect_conflicts(copies_of(replica_set))[0]
+
+    def test_last_writer_wins_prefers_higher_commit_seq(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        conflict = self.make_conflict(replica_set)
+        value = LastWriterWinsResolver().resolve(conflict)
+        assert value == {"forwarding": "+3467"}
+
+    def test_prefer_origin_keeps_designated_copy(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        conflict = self.make_conflict(replica_set)
+        value = PreferOriginResolver("se-0").resolve(conflict)
+        assert value == {"barred": True}
+
+    def test_prefer_origin_falls_back_when_absent(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        conflict = self.make_conflict(replica_set)
+        value = PreferOriginResolver("se-9").resolve(conflict)
+        assert value == {"forwarding": "+3467"}
+
+    def test_attribute_merge_keeps_both_sides(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        conflict = self.make_conflict(replica_set)
+        value = AttributeMergeResolver().resolve(conflict)
+        assert value == {"barred": True, "forwarding": "+3467"}
+
+    def test_attribute_merge_with_non_map_values_uses_tiebreak(self):
+        conflict = KeyConflict(key="k", versions={})
+        from repro.storage.records import RecordVersion
+        conflict.versions = {
+            "a": RecordVersion("k", "scalar", commit_seq=5,
+                               transaction_id=1, origin="a"),
+            "b": RecordVersion("k", {"x": 1}, commit_seq=3,
+                               transaction_id=1, origin="b"),
+        }
+        assert AttributeMergeResolver().resolve(conflict) == "scalar"
+
+    def test_attribute_merge_of_tombstones_uses_tiebreak(self):
+        from repro.storage.records import RecordVersion
+        conflict = KeyConflict(key="k", versions={
+            "a": RecordVersion("k", TOMBSTONE, commit_seq=2,
+                               transaction_id=1, origin="a"),
+            "b": RecordVersion("k", TOMBSTONE, commit_seq=4,
+                               transaction_id=1, origin="b"),
+        })
+        assert AttributeMergeResolver().resolve(conflict) is TOMBSTONE
+
+    def test_abstract_resolver_rejects_use(self):
+        with pytest.raises(NotImplementedError):
+            ConflictResolver().resolve(None)
+
+
+class TestRestoration:
+    def test_clean_replica_set_reports_clean(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        record = master_write(replica_set, "sub-1", {"v": 1})
+        replicate_to_all(replica_set, record)
+        report = ConsistencyRestoration().restore(replica_set)
+        assert report.clean
+        assert report.keys_scanned == 1
+
+    def test_conflicts_resolved_and_copies_converge(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        write_on(replica_set, "se-0", "sub-1", {"v": "a"})
+        write_on(replica_set, "se-1", "sub-1", {"v": "b"})
+        report = ConsistencyRestoration().restore(replica_set)
+        assert report.conflicts_found == 1
+        assert report.conflicts_resolved == 1
+        values = {replica_set.copy_on(name).store.read_committed("sub-1")["v"]
+                  for name in replica_set.member_names}
+        assert len(values) == 1, "all copies hold the same survivor"
+
+    def test_lagging_copies_caught_up(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        master_write(replica_set, "sub-1", {"v": 1})
+        report = ConsistencyRestoration().restore(replica_set)
+        assert report.lagging_keys_repaired == 1
+        for name in replica_set.member_names:
+            assert replica_set.copy_on(name).store.contains("sub-1")
+
+    def test_restoration_work_grows_with_divergence(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        for index in range(10):
+            write_on(replica_set, "se-0", f"sub-{index}", {"v": "a"})
+            write_on(replica_set, "se-1", f"sub-{index}", {"v": "b"})
+        report = ConsistencyRestoration().restore(replica_set)
+        assert report.conflicts_found == 10
+        assert report.estimated_duration > 0
+        small_report = ConsistencyRestoration().restore(replica_set)
+        assert small_report.conflicts_found == 0, "second run finds no work"
+
+    def test_resolver_choice_recorded(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        report = ConsistencyRestoration(
+            resolver=AttributeMergeResolver()).restore(replica_set)
+        assert report.resolver_name == "attribute-merge"
+
+    def test_merge_resolver_preserves_both_updates(self):
+        _, _, _, _, replica_set = build_replicated_partition()
+        write_on(replica_set, "se-0", "sub-1", {"barred": True})
+        write_on(replica_set, "se-1", "sub-1", {"forwarding": "+34"})
+        ConsistencyRestoration(resolver=AttributeMergeResolver()).restore(
+            replica_set)
+        merged = replica_set.master_copy.store.read_committed("sub-1")
+        assert merged == {"barred": True, "forwarding": "+34"}

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs end to end and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300, check=False)
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "loaded 120 subscribers" in output
+        assert "provisioning success ratio: 1.000" in output
+
+    def test_capacity_planning(self):
+        output = run_example("capacity_planning.py")
+        assert "512,000,000" in output or "512000000" in output
+        assert "blade clusters" in output
+
+    def test_partition_drill(self):
+        output = run_example("partition_drill.py")
+        assert "prefer_consistency" in output
+        assert "prefer_availability" in output
+
+    def test_durability_tuning(self):
+        output = run_example("durability_tuning.py")
+        assert "asynchronous" in output
+        assert "quorum" in output

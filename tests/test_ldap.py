@@ -1,0 +1,244 @@
+"""Unit tests for the LDAP front door: DNs, filters, schema, server plans."""
+
+import pytest
+
+from repro.directory import IdentityType
+from repro.ldap import (
+    AddRequest,
+    DeleteRequest,
+    DistinguishedName,
+    FilterError,
+    LdapServer,
+    LdapServerPool,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+    SubscriberSchema,
+    parse_filter,
+)
+from repro.ldap.server import PlanKind
+
+
+class TestDistinguishedName:
+    def test_parse_and_format_roundtrip(self):
+        text = "imsi=214070000000001,ou=subscribers,dc=udr,dc=operator,dc=example"
+        dn = DistinguishedName.parse(text)
+        assert str(dn) == text
+        assert dn.leaf_attribute == "imsi"
+        assert dn.leaf_value == "214070000000001"
+        assert len(dn) == 5
+
+    def test_attribute_types_case_insensitive(self):
+        assert DistinguishedName.parse("IMSI=1,OU=subscribers") == \
+            DistinguishedName.parse("imsi=1,ou=subscribers")
+
+    def test_escaped_comma_in_value(self):
+        dn = DistinguishedName.parse(r"cn=Doe\, John,ou=people")
+        assert dn.leaf_value == "Doe, John"
+        assert DistinguishedName.parse(str(dn)) == dn
+
+    def test_parent_and_child(self):
+        base = DistinguishedName.parse("ou=subscribers,dc=udr")
+        child = base.child("imsi", "1")
+        assert child.parent() == base
+        assert child.is_descendant_of(base)
+        assert not base.is_descendant_of(child)
+        assert DistinguishedName.parse("dc=udr").parent() is None
+
+    def test_malformed_dns_rejected(self):
+        for bad in ("", "   ", "nocomponent", "=value", "attr=", "a=1,,b=2"):
+            with pytest.raises(ValueError):
+                DistinguishedName.parse(bad)
+
+    def test_dn_hashable(self):
+        a = DistinguishedName.parse("imsi=1,ou=subscribers")
+        b = DistinguishedName.parse("imsi=1,ou=subscribers")
+        assert len({a, b}) == 1
+
+
+class TestFilters:
+    def test_equality_filter(self):
+        parsed = parse_filter("(msisdn=+34600000001)")
+        assert parsed.matches({"msisdn": "+34600000001"})
+        assert not parsed.matches({"msisdn": "+34600000002"})
+        assert not parsed.matches({})
+
+    def test_equality_on_multi_valued_attribute(self):
+        parsed = parse_filter("(impu=sip:alice@ims)")
+        assert parsed.matches({"impu": ["sip:bob@ims", "sip:alice@ims"]})
+
+    def test_presence_filter(self):
+        parsed = parse_filter("(servingMsc=*)")
+        assert parsed.matches({"servingmsc": "msc-1"})
+        assert not parsed.matches({"servingmsc": None})
+
+    def test_substring_filter(self):
+        parsed = parse_filter("(impu=sip:*@ims.example.net)")
+        assert parsed.matches({"impu": "sip:user1@ims.example.net"})
+        assert not parsed.matches({"impu": "tel:+34600"})
+
+    def test_and_or_not_composition(self):
+        parsed = parse_filter(
+            "(&(objectClass=subscriber)(|(imsi=1)(msisdn=2))(!(status=barred)))")
+        assert parsed.matches({"objectclass": "subscriber", "imsi": "1",
+                               "status": "active"})
+        assert not parsed.matches({"objectclass": "subscriber", "imsi": "1",
+                                   "status": "barred"})
+        assert not parsed.matches({"objectclass": "subscriber", "imsi": "9",
+                                   "msisdn": "9", "status": "active"})
+
+    def test_case_insensitive_attribute_matching(self):
+        assert parse_filter("(MSISDN=1)").matches({"msisdn": "1"})
+
+    def test_referenced_attributes_collected(self):
+        parsed = parse_filter("(&(imsi=1)(!(msisdn=2)))")
+        assert set(parsed.referenced_attributes()) == {"imsi", "msisdn"}
+
+    def test_malformed_filters_rejected(self):
+        for bad in ("", "imsi=1", "(imsi=1", "(&)", "((imsi=1))",
+                    "(imsi=1)x", "(&(imsi=1)", "(noequals)"):
+            with pytest.raises(FilterError):
+                parse_filter(bad)
+
+
+class TestSchema:
+    def test_subscriber_dn_construction(self):
+        dn = SubscriberSchema.subscriber_dn("214070000000001")
+        assert SubscriberSchema.is_subscriber_dn(dn)
+        assert SubscriberSchema.identity_from_dn(dn) == \
+            (IdentityType.IMSI, "214070000000001")
+
+    def test_non_subscriber_dn_rejected(self):
+        assert not SubscriberSchema.is_subscriber_dn(
+            DistinguishedName.parse("ou=subscribers,dc=udr,dc=operator,dc=example"))
+        assert SubscriberSchema.identity_from_dn(
+            DistinguishedName.parse("cn=admin,dc=udr")) is None
+
+    def test_identity_from_assertions_prefers_imsi(self):
+        identity = SubscriberSchema.identity_from_assertions(
+            {"msisdn": "+34600", "imsi": "21407"})
+        assert identity == (IdentityType.IMSI, "21407")
+
+    def test_identity_from_assertions_none_when_absent(self):
+        assert SubscriberSchema.identity_from_assertions(
+            {"objectclass": "subscriber"}) is None
+
+    def test_validate_new_entry(self):
+        good = {"imsi": "1", "msisdn": "2", "homeRegion": "spain",
+                "subscriberStatus": "active"}
+        assert SubscriberSchema.validate_new_entry(good) == []
+        problems = SubscriberSchema.validate_new_entry({"imsi": "1"})
+        assert len(problems) >= 2
+        bad_status = dict(good, subscriberStatus="weird")
+        assert SubscriberSchema.validate_new_entry(bad_status)
+
+    def test_front_end_writable_attributes(self):
+        assert SubscriberSchema.front_end_may_write({"servingMsc": "msc-1"})
+        assert not SubscriberSchema.front_end_may_write({"svcBarPremium": True})
+
+
+class TestLdapServerPlanning:
+    def setup_method(self):
+        self.server = LdapServer("ldap-0")
+        self.dn = SubscriberSchema.subscriber_dn("214070000000001")
+
+    def test_base_search_plans_read(self):
+        plan = self.server.plan(SearchRequest(dn=self.dn))
+        assert plan.ok
+        assert plan.kind is PlanKind.READ
+        assert plan.identity_type == IdentityType.IMSI
+        assert plan.identity_value == "214070000000001"
+
+    def test_filter_search_extracts_identity(self):
+        request = SearchRequest(
+            dn=SubscriberSchema.BASE_DN,
+            filter_text="(&(objectClass=udrSubscriber)(msisdn=+34600000001))")
+        plan = self.server.plan(request)
+        assert plan.ok
+        assert plan.identity_type == IdentityType.MSISDN
+        assert plan.identity_value == "+34600000001"
+
+    def test_unindexed_search_rejected(self):
+        request = SearchRequest(dn=SubscriberSchema.BASE_DN,
+                                filter_text="(homeRegion=spain)")
+        plan = self.server.plan(request)
+        assert not plan.ok
+        assert plan.error is ResultCode.UNWILLING_TO_PERFORM
+        assert self.server.translation_errors == 1
+
+    def test_modify_plans_update(self):
+        plan = self.server.plan(ModifyRequest(dn=self.dn,
+                                              changes={"servingMsc": "msc-3"}))
+        assert plan.ok
+        assert plan.kind is PlanKind.UPDATE
+        assert plan.changes == {"servingMsc": "msc-3"}
+        assert plan.is_write
+
+    def test_empty_modify_rejected(self):
+        plan = self.server.plan(ModifyRequest(dn=self.dn, changes={}))
+        assert not plan.ok
+
+    def test_add_requires_valid_schema(self):
+        attributes = {"imsi": "214070000000001", "msisdn": "+34600",
+                      "homeRegion": "spain", "subscriberStatus": "active"}
+        plan = self.server.plan(AddRequest(dn=self.dn, attributes=attributes))
+        assert plan.ok
+        assert plan.kind is PlanKind.CREATE
+        missing = self.server.plan(AddRequest(dn=self.dn,
+                                              attributes={"imsi": "1"}))
+        assert not missing.ok
+
+    def test_add_with_mismatched_dn_rejected(self):
+        attributes = {"imsi": "999", "msisdn": "+34600",
+                      "homeRegion": "spain", "subscriberStatus": "active"}
+        plan = self.server.plan(AddRequest(dn=self.dn, attributes=attributes))
+        assert not plan.ok
+
+    def test_delete_plans_delete(self):
+        plan = self.server.plan(DeleteRequest(dn=self.dn))
+        assert plan.ok
+        assert plan.kind is PlanKind.DELETE
+
+    def test_modify_of_non_subscriber_dn_rejected(self):
+        plan = self.server.plan(ModifyRequest(
+            dn=DistinguishedName.parse("cn=admin,dc=udr"), changes={"a": 1}))
+        assert plan.error is ResultCode.NO_SUCH_OBJECT
+
+    def test_operations_counted(self):
+        self.server.plan(SearchRequest(dn=self.dn))
+        self.server.plan(DeleteRequest(dn=self.dn))
+        assert self.server.operations_processed == 2
+
+
+class TestLdapServerCapacity:
+    def test_paper_capacity_default(self):
+        server = LdapServer("ldap-0")
+        assert server.capacity_ops_per_second == 1_000_000
+        assert server.service_time() == pytest.approx(1e-6)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LdapServer("x", capacity_ops_per_second=0)
+
+    def test_pool_aggregates_capacity(self):
+        pool = LdapServerPool.of_size("cluster-0", 32)
+        assert len(pool) == 32
+        assert pool.capacity_ops_per_second == 32_000_000
+        assert pool.service_time() == pytest.approx(1e-6)
+
+    def test_pool_round_robin(self):
+        pool = LdapServerPool.of_size("cluster-0", 3)
+        picks = [pool.next_server().name for _ in range(6)]
+        assert picks[:3] == picks[3:]
+        assert len(set(picks)) == 3
+
+    def test_pool_scale_up(self):
+        pool = LdapServerPool.of_size("cluster-0", 2)
+        pool.add_server(LdapServer("cluster-0-ldap-extra"))
+        assert len(pool) == 3
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            LdapServerPool.of_size("x", 0)
+        with pytest.raises(RuntimeError):
+            LdapServerPool("empty").next_server()

@@ -1,0 +1,203 @@
+"""Unit tests for latency, availability, consistency metrics and reporting."""
+
+import pytest
+
+from repro.metrics import (
+    AvailabilityTracker,
+    ConsistencyTracker,
+    LatencyRecorder,
+    MetricsRegistry,
+    OperationOutcomes,
+    format_markdown_table,
+    format_table,
+)
+from repro.sim import units
+
+
+class TestLatencyRecorder:
+    def test_basic_statistics(self):
+        recorder = LatencyRecorder()
+        recorder.extend([0.001, 0.002, 0.003, 0.004])
+        assert recorder.count == 4
+        assert recorder.mean() == pytest.approx(0.0025)
+        assert recorder.minimum() == 0.001
+        assert recorder.maximum() == 0.004
+        assert recorder.median() == pytest.approx(0.002, abs=0.001)
+
+    def test_percentiles_ordered(self):
+        recorder = LatencyRecorder()
+        recorder.extend(i * 0.001 for i in range(1, 101))
+        assert recorder.percentile(0.5) <= recorder.p95() <= recorder.p99()
+        assert recorder.p99() == pytest.approx(0.1, rel=0.02)
+
+    def test_empty_recorder_is_safe(self):
+        recorder = LatencyRecorder()
+        assert recorder.empty
+        assert recorder.mean() == 0.0
+        assert recorder.percentile(0.99) == 0.0
+        assert not recorder.meets_target_on_average()
+
+    def test_paper_target_check(self):
+        recorder = LatencyRecorder()
+        recorder.extend([0.005] * 90 + [0.050] * 10)
+        assert recorder.within_target(units.TEN_MILLISECONDS) == \
+            pytest.approx(0.9)
+        assert recorder.meets_target_on_average(), \
+            "average is 9.5 ms, under the 10 ms requirement"
+
+    def test_invalid_inputs_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
+
+    def test_summary_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.010)
+        assert recorder.summary()["mean_ms"] == pytest.approx(10.0)
+
+
+class TestOperationOutcomes:
+    def test_availability_ratio(self):
+        outcomes = OperationOutcomes()
+        for _ in range(99):
+            outcomes.record_success()
+        outcomes.record_failure("partition")
+        assert outcomes.availability() == pytest.approx(0.99)
+        assert outcomes.failures_by_reason == {"partition": 1}
+
+    def test_empty_outcomes_are_fully_available(self):
+        assert OperationOutcomes().availability() == 1.0
+
+    def test_merge(self):
+        a, b = OperationOutcomes(), OperationOutcomes()
+        a.record_success()
+        b.record_failure("crash")
+        b.record_failure("crash")
+        merged = a.merge(b)
+        assert merged.attempted == 3
+        assert merged.failures_by_reason == {"crash": 2}
+
+
+class TestAvailabilityTracker:
+    def test_downtime_accumulates_per_entity(self):
+        tracker = AvailabilityTracker(observation_period=1000.0)
+        tracker.mark_down("sub-group-1", timestamp=100.0)
+        tracker.mark_up("sub-group-1", timestamp=150.0)
+        assert tracker.downtime_of("sub-group-1") == pytest.approx(50.0)
+        assert tracker.availability_of("sub-group-1") == pytest.approx(0.95)
+
+    def test_open_interval_counted_with_now(self):
+        tracker = AvailabilityTracker(observation_period=1000.0)
+        tracker.mark_down("x", timestamp=0.0)
+        assert tracker.downtime_of("x", now=10.0) == pytest.approx(10.0)
+
+    def test_mark_up_without_down_is_noop(self):
+        tracker = AvailabilityTracker()
+        tracker.mark_up("x", timestamp=5.0)
+        assert tracker.availability_of("x") == 1.0
+
+    def test_double_mark_down_keeps_first_timestamp(self):
+        tracker = AvailabilityTracker(observation_period=100.0)
+        tracker.mark_down("x", timestamp=10.0)
+        tracker.mark_down("x", timestamp=20.0)
+        tracker.mark_up("x", timestamp=30.0)
+        assert tracker.downtime_of("x") == pytest.approx(20.0)
+
+    def test_five_nines_budget(self):
+        tracker = AvailabilityTracker(observation_period=units.YEAR)
+        tracker.mark_down("sub", timestamp=0.0)
+        tracker.mark_up("sub", timestamp=300.0)       # five minutes down
+        assert tracker.meets_five_nines("sub")
+        tracker.mark_down("sub", timestamp=1000.0)
+        tracker.mark_up("sub", timestamp=1400.0)      # now > 315s total
+        assert not tracker.meets_five_nines("sub")
+
+    def test_average_availability_over_entities(self):
+        tracker = AvailabilityTracker(observation_period=100.0)
+        tracker.mark_down("a", 0.0)
+        tracker.mark_up("a", 10.0)
+        tracker.mark_down("b", 0.0)
+        tracker.mark_up("b", 30.0)
+        assert tracker.average_availability() == pytest.approx(0.8)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTracker(observation_period=0.0)
+
+
+class TestConsistencyTracker:
+    def test_stale_fraction(self):
+        tracker = ConsistencyTracker()
+        tracker.record_read(served_from_slave=True, stale=True,
+                            versions_behind=3)
+        tracker.record_read(served_from_slave=True)
+        tracker.record_read(served_from_slave=False, client_type="fe")
+        assert tracker.stale_read_fraction() == pytest.approx(1 / 3)
+        assert tracker.slave_read_fraction() == pytest.approx(2 / 3)
+        assert tracker.mean_staleness() == pytest.approx(3.0)
+        assert tracker.by_client == {"fe": 1}
+
+    def test_empty_tracker(self):
+        tracker = ConsistencyTracker()
+        assert tracker.stale_read_fraction() == 0.0
+        assert tracker.mean_staleness() == 0.0
+
+    def test_merge(self):
+        a, b = ConsistencyTracker(), ConsistencyTracker()
+        a.record_read(served_from_slave=True, stale=True, versions_behind=1)
+        b.record_read(served_from_slave=False, client_type="ps")
+        merged = a.merge(b)
+        assert merged.reads == 2
+        assert merged.stale_reads == 1
+        assert merged.by_client == {"ps": 1}
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.increment("ops")
+        registry.increment("ops", 4)
+        registry.set_gauge("lag", 0.5)
+        assert registry.counter("ops") == 5
+        assert registry.gauge("lag") == 0.5
+        assert registry.counter("missing") == 0
+
+    def test_structured_metrics_are_cached(self):
+        registry = MetricsRegistry()
+        assert registry.latency("read") is registry.latency("read")
+        assert registry.outcomes("fe") is registry.outcomes("fe")
+        assert registry.consistency("fe") is registry.consistency("fe")
+
+    def test_snapshot_flattens_everything(self):
+        registry = MetricsRegistry()
+        registry.increment("ops")
+        registry.latency("read").record(0.002)
+        registry.outcomes("fe").record_success()
+        snapshot = registry.snapshot()
+        assert snapshot["counter.ops"] == 1
+        assert snapshot["latency.read.count"] == 1
+        assert snapshot["outcomes.fe.availability"] == 1.0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["subscribers", 512_000_000],
+                              ["ops/s", 9.216e9]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "512000000" in table
+
+    def test_format_markdown_table(self):
+        table = format_markdown_table(["a", "b"], [[1, 2]])
+        assert table.splitlines()[0] == "| a | b |"
+        assert table.splitlines()[2] == "| 1 | 2 |"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

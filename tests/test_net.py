@@ -1,0 +1,282 @@
+"""Unit tests for the network substrate (topology, latency, partitions)."""
+
+import pytest
+
+from repro.sim import Simulation, units
+from repro.net import (
+    CompositeLatency,
+    FixedLatency,
+    LinkClass,
+    LinkProfile,
+    LogNormalLatency,
+    Network,
+    NetworkPartition,
+    NetworkPartitionedError,
+    NetworkTimeoutError,
+    UniformLatency,
+    make_multinational_topology,
+)
+from repro.net.topology import NetworkTopology
+
+
+@pytest.fixture
+def topology():
+    return make_multinational_topology(("spain", "sweden", "germany"),
+                                       sites_per_region=2)
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def network(sim, topology):
+    return Network(sim, topology)
+
+
+def run_transfer(sim, network, src, dst):
+    """Drive a single transfer to completion and return (ok, error, elapsed)."""
+    outcome = {}
+
+    def proc(sim):
+        start = sim.now
+        try:
+            yield from network.transfer(src, dst)
+        except Exception as exc:  # noqa: BLE001 - recording for assertions
+            outcome["error"] = exc
+        outcome["elapsed"] = sim.now - start
+
+    sim.process(proc(sim))
+    sim.run()
+    return outcome
+
+
+class TestTopology:
+    def test_multinational_topology_shape(self, topology):
+        assert len(topology.regions) == 3
+        assert len(topology.sites) == 6
+        spain = topology.region("spain")
+        assert len(topology.sites_in_region(spain)) == 2
+
+    def test_site_lookup(self, topology):
+        site = topology.site("spain-dc1")
+        assert site.region.name == "spain"
+        assert str(site) == "spain/spain-dc1"
+
+    def test_unknown_lookups_raise(self, topology):
+        with pytest.raises(KeyError):
+            topology.site("atlantis-dc1")
+        with pytest.raises(KeyError):
+            topology.region("atlantis")
+
+    def test_duplicate_site_same_region_is_idempotent(self):
+        topology = NetworkTopology()
+        a = topology.add_site("dc1", "spain")
+        b = topology.add_site("dc1", "spain")
+        assert a is b
+
+    def test_duplicate_site_other_region_rejected(self):
+        topology = NetworkTopology()
+        topology.add_site("dc1", "spain")
+        with pytest.raises(ValueError):
+            topology.add_site("dc1", "sweden")
+
+    def test_site_pairs_cover_all_combinations(self, topology):
+        pairs = list(topology.site_pairs())
+        n = len(topology.sites)
+        assert len(pairs) == n * (n - 1) // 2
+
+
+class TestLatencyModels:
+    def test_fixed_latency(self):
+        model = FixedLatency(0.01)
+        assert model.sample(None) == 0.01
+        assert model.mean() == 0.01
+
+    def test_uniform_latency_bounds(self):
+        sim = Simulation(seed=1)
+        model = UniformLatency(0.001, 0.002)
+        samples = [model.sample(sim.rng("x")) for _ in range(200)]
+        assert all(0.001 <= s <= 0.002 for s in samples)
+        assert model.mean() == pytest.approx(0.0015)
+
+    def test_lognormal_latency_respects_floor(self):
+        sim = Simulation(seed=1)
+        model = LogNormalLatency(median=0.002, sigma=1.0, floor=0.0015)
+        samples = [model.sample(sim.rng("x")) for _ in range(500)]
+        assert min(samples) >= 0.0015
+
+    def test_lognormal_mean_exceeds_median(self):
+        model = LogNormalLatency(median=0.01, sigma=0.5)
+        assert model.mean() > 0.01
+
+    def test_composite_latency_sums(self):
+        model = CompositeLatency([FixedLatency(0.001), FixedLatency(0.002)])
+        assert model.mean() == pytest.approx(0.003)
+        assert model.sample(None) == pytest.approx(0.003)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            CompositeLatency([])
+
+
+class TestLinkClassification:
+    def test_same_site_is_local(self, network, topology):
+        site = topology.site("spain-dc1")
+        assert network.classify(site, site) is LinkClass.LOCAL
+
+    def test_same_region_is_regional(self, network, topology):
+        a, b = topology.site("spain-dc1"), topology.site("spain-dc2")
+        assert network.classify(a, b) is LinkClass.REGIONAL
+
+    def test_cross_region_is_backbone(self, network, topology):
+        a, b = topology.site("spain-dc1"), topology.site("sweden-dc1")
+        assert network.classify(a, b) is LinkClass.BACKBONE
+
+    def test_backbone_slower_than_local(self, network, topology):
+        local = network.mean_one_way_latency(topology.site("spain-dc1"),
+                                             topology.site("spain-dc1"))
+        backbone = network.mean_one_way_latency(topology.site("spain-dc1"),
+                                                topology.site("sweden-dc1"))
+        assert backbone > 10 * local
+
+
+class TestTransfer:
+    def test_transfer_takes_positive_time(self, sim, network, topology):
+        outcome = run_transfer(sim, network,
+                               topology.site("spain-dc1"),
+                               topology.site("sweden-dc1"))
+        assert "error" not in outcome
+        assert outcome["elapsed"] > 0
+
+    def test_transfer_counts_messages(self, sim, network, topology):
+        run_transfer(sim, network, topology.site("spain-dc1"),
+                     topology.site("sweden-dc1"))
+        assert network.stats.messages[LinkClass.BACKBONE] == 1
+        assert network.stats.backbone_fraction() == 1.0
+
+    def test_round_trip_doubles_latency(self, sim, topology):
+        profiles = {link: LinkProfile(latency=FixedLatency(0.010))
+                    for link in LinkClass}
+        network = Network(sim, topology, profiles=profiles)
+        result = {}
+
+        def proc(sim):
+            elapsed = yield from network.round_trip(
+                topology.site("spain-dc1"), topology.site("sweden-dc1"))
+            result["elapsed"] = elapsed
+
+        sim.process(proc(sim))
+        sim.run()
+        assert result["elapsed"] == pytest.approx(0.020)
+
+    def test_latency_factor_inflates_delay(self, sim, topology):
+        profiles = {link: LinkProfile(latency=FixedLatency(0.010))
+                    for link in LinkClass}
+        network = Network(sim, topology, profiles=profiles)
+        network.set_latency_factor(LinkClass.BACKBONE, 3.0)
+        outcome = run_transfer(sim, network, topology.site("spain-dc1"),
+                               topology.site("sweden-dc1"))
+        assert outcome["elapsed"] == pytest.approx(0.030)
+
+    def test_lossy_link_times_out(self, sim, topology):
+        profiles = {link: LinkProfile(latency=FixedLatency(0.001),
+                                      loss_probability=0.999999,
+                                      timeout=0.25)
+                    for link in LinkClass}
+        network = Network(sim, topology, profiles=profiles)
+        outcome = run_transfer(sim, network, topology.site("spain-dc1"),
+                               topology.site("sweden-dc1"))
+        assert isinstance(outcome["error"], NetworkTimeoutError)
+        assert outcome["elapsed"] == pytest.approx(0.25)
+        assert network.stats.losses == 1
+
+
+class TestPartitions:
+    def test_partition_blocks_cross_group_traffic(self, sim, network, topology):
+        spain1 = topology.site("spain-dc1")
+        sweden1 = topology.site("sweden-dc1")
+        partition = NetworkPartition.isolating(spain1)
+        network.apply_partition(partition)
+        assert not network.reachable(spain1, sweden1)
+        outcome = run_transfer(sim, network, spain1, sweden1)
+        assert isinstance(outcome["error"], NetworkPartitionedError)
+        assert network.stats.partition_rejections >= 1
+
+    def test_partition_allows_same_group_traffic(self, network, topology):
+        spain1 = topology.site("spain-dc1")
+        spain2 = topology.site("spain-dc2")
+        network.apply_partition(
+            NetworkPartition([[spain1, spain2]], name="iberia cut"))
+        assert network.reachable(spain1, spain2)
+
+    def test_heal_partition_restores_traffic(self, network, topology):
+        spain1 = topology.site("spain-dc1")
+        sweden1 = topology.site("sweden-dc1")
+        partition = NetworkPartition.isolating(spain1)
+        network.apply_partition(partition)
+        network.heal_partition(partition)
+        assert network.reachable(spain1, sweden1)
+
+    def test_clear_partitions(self, network, topology):
+        network.apply_partition(
+            NetworkPartition.isolating(topology.site("spain-dc1")))
+        network.apply_partition(
+            NetworkPartition.isolating(topology.site("sweden-dc1")))
+        network.clear_partitions()
+        assert network.partitions == []
+
+    def test_region_split_constructor(self, network, topology):
+        partition = NetworkPartition.splitting_regions(
+            topology, topology.region("spain"))
+        network.apply_partition(partition)
+        assert not network.reachable(topology.site("spain-dc1"),
+                                     topology.site("germany-dc1"))
+        assert network.reachable(topology.site("spain-dc1"),
+                                 topology.site("spain-dc2"))
+
+    def test_overlapping_groups_rejected(self, topology):
+        site = topology.site("spain-dc1")
+        with pytest.raises(ValueError):
+            NetworkPartition([[site], [site]])
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkPartition([[]])
+
+    def test_failed_site_unreachable(self, network, topology):
+        spain1 = topology.site("spain-dc1")
+        network.fail_site(spain1)
+        assert not network.reachable(topology.site("sweden-dc1"), spain1)
+        assert not network.reachable(spain1, spain1)
+        network.restore_site(spain1)
+        assert network.reachable(topology.site("sweden-dc1"), spain1)
+
+
+class TestDefaults:
+    def test_default_backbone_latency_in_tens_of_milliseconds(self, network,
+                                                              topology):
+        mean = network.mean_one_way_latency(topology.site("spain-dc1"),
+                                            topology.site("germany-dc1"))
+        assert 10 * units.MILLISECOND < mean < 100 * units.MILLISECOND
+
+    def test_default_local_latency_sub_millisecond(self, network, topology):
+        site = topology.site("spain-dc1")
+        assert network.mean_one_way_latency(site, site) < units.MILLISECOND
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            LinkProfile(latency=FixedLatency(0.01), loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkProfile(latency=FixedLatency(0.01), timeout=0.0)
+
+    def test_invalid_latency_factor_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.set_latency_factor(LinkClass.BACKBONE, 0.0)

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These check the invariants the rest of the system leans on: MVCC visibility,
+lock exclusivity, replication-order preservation, identity-map/partition
+determinism, consistent-hash stability, DN and filter round-trips, and the
+availability arithmetic.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directory import ConsistentHashRing, IdentityLocationMap, UnknownIdentity
+from repro.ldap import DistinguishedName, parse_filter
+from repro.metrics import LatencyRecorder
+from repro.sim import units
+from repro.storage import (
+    IsolationLevel,
+    PartitionScheme,
+    RecordStore,
+    RecordVersion,
+    TransactionManager,
+    WriteAheadLog,
+)
+from repro.storage.records import merge_attributes, record_size
+
+keys = st.text(alphabet=string.ascii_lowercase + string.digits,
+               min_size=1, max_size=12)
+attribute_values = st.one_of(st.integers(-1000, 1000), st.booleans(),
+                             st.text(max_size=20))
+records = st.dictionaries(keys, attribute_values, max_size=6)
+
+
+class TestStoreProperties:
+    @given(st.lists(st.tuples(keys, records), min_size=1, max_size=40))
+    def test_latest_committed_version_always_wins(self, writes):
+        store = RecordStore()
+        last_value = {}
+        for seq, (key, value) in enumerate(writes, start=1):
+            store.apply_version(RecordVersion(key, value, seq, seq))
+            last_value[key] = value
+        for key, expected in last_value.items():
+            assert store.read_committed(key) == expected
+
+    @given(st.lists(st.tuples(keys, records), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=30))
+    def test_snapshot_reads_ignore_later_versions(self, writes, cut):
+        store = RecordStore()
+        visible = {}
+        for seq, (key, value) in enumerate(writes, start=1):
+            store.apply_version(RecordVersion(key, value, seq, seq))
+            if seq <= cut:
+                visible[key] = value
+        for key, expected in visible.items():
+            assert store.as_of(key, cut) == expected
+
+    @given(st.lists(st.tuples(keys, records), min_size=1, max_size=30))
+    def test_snapshot_restore_roundtrip(self, writes):
+        store = RecordStore()
+        for seq, (key, value) in enumerate(writes, start=1):
+            store.apply_version(RecordVersion(key, value, seq, seq))
+        image = store.snapshot()
+        other = RecordStore()
+        other.restore(image, commit_seq=store.last_applied_seq)
+        assert {k: other.read_committed(k) for k in other.keys()} == image
+
+    @given(records, records)
+    def test_merge_attributes_is_idempotent_and_non_destructive(self, base,
+                                                                changes):
+        merged_once = merge_attributes(base, changes)
+        merged_twice = merge_attributes(merged_once, changes)
+        assert merged_once == merged_twice
+        for attribute, value in changes.items():
+            if value is not None:
+                assert merged_once[attribute] == value
+
+    @given(records)
+    def test_record_size_is_positive_and_monotonic(self, value):
+        size = record_size(value)
+        assert size > 0
+        grown = dict(value)
+        grown["extra-attribute"] = "x" * 50
+        assert record_size(grown) > size
+
+
+class TestTransactionProperties:
+    @given(st.lists(st.tuples(keys, records), min_size=1, max_size=25))
+    def test_committed_transactions_replay_identically_on_slave(self, writes):
+        """Applying the master's log in order yields an identical replica."""
+        master = TransactionManager(RecordStore(), WriteAheadLog(), name="m")
+        slave = TransactionManager(RecordStore(), WriteAheadLog(), name="s")
+        for key, value in writes:
+            transaction = master.begin()
+            transaction.write(key, value)
+            record = transaction.commit()
+            slave.apply_log_record(record)
+        for key in master.store.keys():
+            assert slave.store.read_committed(key) == \
+                master.store.read_committed(key)
+        assert slave.store.last_applied_seq == master.store.last_applied_seq
+
+    @given(st.lists(st.tuples(keys, records), min_size=1, max_size=20),
+           st.booleans())
+    def test_aborted_transactions_leave_no_trace(self, writes, use_delete):
+        manager = TransactionManager(RecordStore(), WriteAheadLog())
+        before_commits = manager.commits
+        transaction = manager.begin()
+        for key, value in writes:
+            transaction.write(key, value)
+        if use_delete:
+            transaction.delete(writes[0][0])
+        transaction.abort()
+        assert len(manager.store) == 0
+        assert len(manager.wal) == 0
+        assert manager.commits == before_commits
+
+    @given(st.lists(keys, min_size=1, max_size=15, unique=True))
+    def test_no_two_active_transactions_hold_the_same_write_lock(self, key_list):
+        manager = TransactionManager(RecordStore(), WriteAheadLog())
+        first = manager.begin(IsolationLevel.READ_COMMITTED)
+        for key in key_list:
+            first.write(key, {"v": 1})
+        second = manager.begin()
+        from repro.storage import WriteConflict
+        with pytest.raises(WriteConflict):
+            second.write(key_list[0], {"v": 2})
+        first.commit()
+
+
+class TestDirectoryProperties:
+    @given(st.dictionaries(keys, st.sampled_from(["se-0", "se-1", "se-2"]),
+                           min_size=1, max_size=50))
+    def test_identity_map_returns_what_was_registered(self, entries):
+        index = IdentityLocationMap("imsi")
+        for identity, location in entries.items():
+            index.insert(identity, location)
+        for identity, location in entries.items():
+            assert index.locate(identity) == location
+        assert len(index) == len(entries)
+
+    @given(st.lists(keys, min_size=1, max_size=50, unique=True))
+    def test_identity_map_remove_makes_identity_unknown(self, identities):
+        index = IdentityLocationMap("imsi")
+        for identity in identities:
+            index.insert(identity, "se-0")
+        for identity in identities:
+            index.remove(identity)
+            with pytest.raises(UnknownIdentity):
+                index.locate(identity)
+
+    @given(st.lists(keys, min_size=1, max_size=80),
+           st.integers(min_value=1, max_value=12))
+    def test_partition_scheme_is_deterministic_and_total(self, key_list,
+                                                         partitions):
+        scheme = PartitionScheme(num_partitions=partitions)
+        for key in key_list:
+            partition = scheme.partition_for_key(key)
+            assert partition is scheme.partition_for_key(key)
+            assert 0 <= partition.index < partitions
+
+    @given(st.lists(keys, min_size=5, max_size=60, unique=True))
+    @settings(max_examples=25)
+    def test_consistent_hash_only_moves_keys_of_removed_node(self, key_list):
+        ring = ConsistentHashRing(["se-0", "se-1", "se-2", "se-3"],
+                                  virtual_nodes=32)
+        before = {key: ring.locate(key) for key in key_list}
+        ring.remove_location("se-3")
+        after = {key: ring.locate(key) for key in key_list}
+        for key in key_list:
+            if before[key] != "se-3":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "se-3"
+
+
+class TestLdapProperties:
+    dn_values = st.text(alphabet=string.ascii_letters + string.digits + " .-",
+                        min_size=1, max_size=15).map(str.strip).filter(bool)
+
+    @given(st.lists(st.tuples(st.sampled_from(["imsi", "msisdn", "ou", "dc"]),
+                              dn_values), min_size=1, max_size=5))
+    def test_dn_parse_format_roundtrip(self, rdns):
+        dn = DistinguishedName(rdns)
+        assert DistinguishedName.parse(str(dn)) == dn
+
+    @given(st.dictionaries(st.sampled_from(["imsi", "msisdn", "status"]),
+                           st.text(alphabet=string.ascii_lowercase + string.digits,
+                                   min_size=1, max_size=10),
+                           min_size=1, max_size=3))
+    def test_equality_filters_match_their_own_entries(self, entry):
+        clauses = "".join(f"({attribute}={value})"
+                          for attribute, value in entry.items())
+        parsed = parse_filter(f"(&{clauses})" if len(entry) > 1
+                              else clauses)
+        assert parsed.matches(entry)
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_percentiles_are_monotonic_and_bounded(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        tolerance = 1e-9
+        assert recorder.minimum() <= recorder.median() <= recorder.maximum()
+        assert recorder.median() <= recorder.p95() <= recorder.p99() \
+            <= recorder.maximum()
+        assert recorder.minimum() - tolerance <= recorder.mean() \
+            <= recorder.maximum() + tolerance
+
+    @given(st.floats(min_value=0.0, max_value=units.YEAR, allow_nan=False))
+    def test_availability_downtime_roundtrip(self, downtime):
+        availability = units.availability_from_downtime(downtime)
+        assert 0.0 <= availability <= 1.0
+        assert units.downtime_budget(availability) == pytest.approx(
+            min(downtime, units.YEAR), abs=1e-6)

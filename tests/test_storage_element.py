@@ -1,0 +1,208 @@
+"""Unit tests for partitioning, copy placement and the storage element."""
+
+import pytest
+
+from repro.sim import units
+from repro.storage import (
+    DataPartition,
+    PartitionLayout,
+    PartitionScheme,
+    ReplicaRole,
+    ServiceTimeModel,
+    StorageElement,
+    StorageElementUnavailable,
+)
+
+
+class TestPartitionScheme:
+    def test_keys_map_deterministically(self):
+        scheme = PartitionScheme(num_partitions=4)
+        key = "imsi-214070000000001"
+        assert scheme.partition_for_key(key) is scheme.partition_for_key(key)
+
+    def test_keys_spread_over_partitions(self):
+        scheme = PartitionScheme(num_partitions=8)
+        hits = {scheme.partition_for_key(f"imsi-{i}").index for i in range(500)}
+        assert hits == set(range(8))
+
+    def test_sub_partitions(self):
+        partition = DataPartition(0, sub_partitions=4)
+        assert 0 <= partition.sub_partition_for("key") < 4
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionScheme(num_partitions=0)
+        with pytest.raises(ValueError):
+            PartitionScheme(num_partitions=1, sub_partitions=0)
+
+
+class TestPartitionLayout:
+    def test_paper_example_three_elements(self):
+        """Section 2.3: 3 SEs, each primary of one partition, secondary of two."""
+        scheme = PartitionScheme(num_partitions=3)
+        layout = PartitionLayout(scheme, ["se-0", "se-1", "se-2"],
+                                 replication_factor=3)
+        for index, element in enumerate(["se-0", "se-1", "se-2"]):
+            assignment = layout.assignment(scheme.partition(index))
+            assert assignment.primary_element == element
+            assert len(assignment.secondary_elements) == 2
+        copies = layout.copies_on("se-0")
+        assert sorted(role for role in copies.values()) == \
+            ["primary", "secondary", "secondary"]
+
+    def test_full_replication_survives_down_to_one_element(self):
+        """The paper's claim: service for 100% of subscribers with one SE left."""
+        scheme = PartitionScheme(num_partitions=3)
+        layout = PartitionLayout(scheme, ["se-0", "se-1", "se-2"],
+                                 replication_factor=3)
+        assert layout.surviving_coverage(["se-2"]) == 1.0
+
+    def test_partial_replication_loses_coverage(self):
+        scheme = PartitionScheme(num_partitions=4)
+        layout = PartitionLayout(scheme, [f"se-{i}" for i in range(4)],
+                                 replication_factor=2)
+        assert layout.surviving_coverage(["se-0"]) < 1.0
+
+    def test_assignment_for_key_matches_scheme(self):
+        scheme = PartitionScheme(num_partitions=3)
+        layout = PartitionLayout(scheme, ["a", "b", "c"], replication_factor=2)
+        key = "imsi-1"
+        assignment = layout.assignment_for_key(key)
+        assert assignment.partition is scheme.partition_for_key(key)
+
+    def test_replication_factor_bounds(self):
+        scheme = PartitionScheme(num_partitions=2)
+        with pytest.raises(ValueError):
+            PartitionLayout(scheme, ["a", "b"], replication_factor=3)
+        with pytest.raises(ValueError):
+            PartitionLayout(scheme, ["a", "b"], replication_factor=0)
+        with pytest.raises(ValueError):
+            PartitionLayout(scheme, [], replication_factor=1)
+
+    def test_partition_element_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionLayout(PartitionScheme(3), ["a", "b"], replication_factor=1)
+
+
+class TestServiceTimeModel:
+    def test_transaction_time_scales_with_operations(self):
+        model = ServiceTimeModel()
+        small = model.transaction_time(reads=1, writes=0)
+        large = model.transaction_time(reads=3, writes=2)
+        assert large > small
+
+    def test_read_only_transactions_skip_commit_cost(self):
+        model = ServiceTimeModel()
+        assert model.transaction_time(reads=2, writes=0) == \
+            pytest.approx(2 * model.read_time)
+
+    def test_sync_commit_penalty_dominates(self):
+        model = ServiceTimeModel()
+        asynchronous = model.transaction_time(reads=0, writes=1)
+        synchronous = model.transaction_time(reads=0, writes=1,
+                                             synchronous_commit=True)
+        assert synchronous - asynchronous == pytest.approx(
+            model.sync_commit_penalty)
+
+    def test_scaled_model(self):
+        model = ServiceTimeModel().scaled(2.0)
+        assert model.read_time == pytest.approx(2 * ServiceTimeModel().read_time)
+
+
+class TestStorageElement:
+    def make_element(self, **kwargs):
+        return StorageElement("se-test", blades=2, **kwargs)
+
+    def test_add_and_access_copies(self):
+        element = self.make_element()
+        partition = DataPartition(0)
+        copy = element.add_copy(partition, ReplicaRole.PRIMARY)
+        assert element.hosts(partition)
+        assert element.copy_of(partition) is copy
+        assert element.primary_copies == [copy]
+
+    def test_duplicate_copy_rejected(self):
+        element = self.make_element()
+        partition = DataPartition(0)
+        element.add_copy(partition, ReplicaRole.PRIMARY)
+        with pytest.raises(ValueError):
+            element.add_copy(partition, ReplicaRole.SECONDARY)
+
+    def test_unknown_partition_lookup_raises(self):
+        with pytest.raises(KeyError):
+            self.make_element().copy_of(DataPartition(5))
+
+    def test_minimum_blade_count_enforced(self):
+        with pytest.raises(ValueError):
+            StorageElement("tiny", blades=1)
+
+    def test_blade_failure_tolerated_with_redundancy(self):
+        element = StorageElement("se", blades=4)
+        assert element.blade_failure() is False
+        assert element.available
+
+    def test_losing_all_blades_crashes_element(self):
+        element = StorageElement("se", blades=2)
+        element.blade_failure()
+        went_down = element.blade_failure()
+        assert went_down is True
+        assert not element.available
+
+    def test_crash_reverts_to_checkpoint_and_counts_losses(self):
+        element = self.make_element()
+        partition = DataPartition(0)
+        copy = element.add_copy(partition, ReplicaRole.PRIMARY)
+        copy.transactions.run(lambda tx: tx.write("kept", {"v": 1}))
+        copy.checkpointer.checkpoint()
+        copy.transactions.run(lambda tx: tx.write("lost", {"v": 2}))
+        lost = element.crash(timestamp=50.0)
+        assert element.lost_transactions == 1
+        assert [r.keys for r in lost] == [("lost",)]
+        assert not element.available
+        with pytest.raises(StorageElementUnavailable):
+            element.require_available()
+
+    def test_recover_tracks_downtime(self):
+        element = self.make_element()
+        element.crash(timestamp=100.0)
+        element.recover(timestamp=160.0)
+        assert element.available
+        assert element.total_downtime == pytest.approx(60.0)
+
+    def test_double_crash_is_noop(self):
+        element = self.make_element()
+        element.crash()
+        assert element.crash() == []
+        assert element.crashes == 1
+
+    def test_promote_and_demote_copy(self):
+        element = self.make_element()
+        copy = element.add_copy(DataPartition(0), ReplicaRole.SECONDARY)
+        assert not copy.is_primary
+        copy.promote()
+        assert copy.is_primary
+        copy.demote()
+        assert not copy.is_primary
+
+    def test_memory_and_subscriber_accounting(self):
+        element = self.make_element(subscriber_capacity=2)
+        copy = element.add_copy(DataPartition(0), ReplicaRole.PRIMARY)
+        copy.transactions.run(lambda tx: tx.write("sub-1", {"msisdn": "1"}))
+        assert element.subscriber_count() == 1
+        assert element.memory_used > 0
+        assert 0 < element.memory_utilisation < 1
+        assert element.has_capacity_for(1)
+        copy.transactions.run(lambda tx: tx.write("sub-2", {"msisdn": "2"}))
+        assert not element.has_capacity_for(1)
+
+    def test_secondary_copies_do_not_count_subscribers(self):
+        element = self.make_element()
+        secondary = element.add_copy(DataPartition(1), ReplicaRole.SECONDARY)
+        secondary.transactions.run(lambda tx: tx.write("sub-9", {"v": 1}))
+        assert element.subscriber_count() == 0
+
+    def test_default_capacity_matches_paper(self):
+        """A 2-blade SE holds 2 million subscribers and ~200 GB (section 3.5)."""
+        element = StorageElement("se-paper")
+        assert element.subscriber_capacity == 2_000_000
+        assert element.ram_bytes == 200 * units.GIB

@@ -1,0 +1,186 @@
+"""Unit tests for the MVCC record store, records and locks."""
+
+import pytest
+
+from repro.storage import (
+    LockManager,
+    LockMode,
+    RecordNotFound,
+    RecordStore,
+    RecordVersion,
+    TOMBSTONE,
+    WriteConflict,
+    record_size,
+)
+from repro.storage.engine import staleness
+from repro.storage.records import merge_attributes
+
+
+def version(key, value, seq, tx=1, origin="test"):
+    return RecordVersion(key=key, value=value, commit_seq=seq,
+                         transaction_id=tx, origin=origin)
+
+
+class TestRecordStore:
+    def test_read_latest_committed(self):
+        store = RecordStore()
+        store.apply_version(version("imsi-1", {"msisdn": "34600000001"}, 1))
+        store.apply_version(version("imsi-1", {"msisdn": "34600000002"}, 2))
+        assert store.read_committed("imsi-1") == {"msisdn": "34600000002"}
+
+    def test_missing_key_raises(self):
+        store = RecordStore()
+        with pytest.raises(RecordNotFound):
+            store.read_committed("missing")
+        assert store.get("missing", default="x") == "x"
+
+    def test_tombstone_hides_record(self):
+        store = RecordStore()
+        store.apply_version(version("k", {"a": 1}, 1))
+        store.apply_version(version("k", TOMBSTONE, 2))
+        with pytest.raises(RecordNotFound):
+            store.read_committed("k")
+        assert not store.contains("k")
+        assert len(store) == 0
+
+    def test_snapshot_read_as_of(self):
+        store = RecordStore()
+        store.apply_version(version("k", {"v": 1}, 1))
+        store.apply_version(version("k", {"v": 2}, 5))
+        store.apply_version(version("k", {"v": 3}, 9))
+        assert store.as_of("k", 1) == {"v": 1}
+        assert store.as_of("k", 7) == {"v": 2}
+        assert store.as_of("k", 100) == {"v": 3}
+        with pytest.raises(RecordNotFound):
+            store.as_of("k", 0)
+
+    def test_version_chain_preserved(self):
+        store = RecordStore()
+        for seq in range(1, 4):
+            store.apply_version(version("k", {"v": seq}, seq))
+        chain = store.versions("k")
+        assert [v.commit_seq for v in chain] == [1, 2, 3]
+
+    def test_last_applied_seq_tracks_max(self):
+        store = RecordStore()
+        store.apply_version(version("a", {"v": 1}, 3))
+        store.apply_version(version("b", {"v": 1}, 2))
+        assert store.last_applied_seq == 3
+
+    def test_live_bytes_accounting(self):
+        store = RecordStore()
+        store.apply_version(version("k", {"name": "alice"}, 1))
+        first = store.live_bytes
+        assert first > 0
+        store.apply_version(version("k", {"name": "alice", "extra": "x" * 100}, 2))
+        assert store.live_bytes > first
+        store.apply_version(version("k", TOMBSTONE, 3))
+        assert store.live_bytes == 0
+
+    def test_dirty_values_visible_until_cleared(self):
+        store = RecordStore()
+        store.register_dirty(7, "k", {"v": "uncommitted"})
+        assert store.dirty_value("k") == {"v": "uncommitted"}
+        store.clear_dirty(7, ["k"])
+        assert store.dirty_value("k") is None
+
+    def test_snapshot_and_restore(self):
+        store = RecordStore()
+        store.apply_version(version("a", {"v": 1}, 1))
+        store.apply_version(version("b", {"v": 2}, 2))
+        image = store.snapshot()
+        store.apply_version(version("c", {"v": 3}, 3))
+        store.restore(image, commit_seq=2)
+        assert sorted(store.keys()) == ["a", "b"]
+        assert store.last_applied_seq == 2
+        assert not store.contains("c")
+
+    def test_average_record_size(self):
+        store = RecordStore()
+        assert store.estimated_average_record_size() == 0.0
+        store.apply_version(version("a", {"v": 1}, 1))
+        assert store.estimated_average_record_size() == store.live_bytes
+
+    def test_staleness_between_copies(self):
+        master, slave = RecordStore("m"), RecordStore("s")
+        for seq in range(1, 6):
+            master.apply_version(version("k", {"v": seq}, seq))
+        for seq in range(1, 3):
+            slave.apply_version(version("k", {"v": seq}, seq))
+        assert staleness(master, slave) == 3
+        assert staleness(slave, master) == 0
+
+
+class TestRecordHelpers:
+    def test_record_size_grows_with_content(self):
+        small = record_size({"msisdn": "346"})
+        large = record_size({"msisdn": "346", "services": ["a"] * 50})
+        assert large > small
+
+    def test_record_size_of_tombstone_and_none(self):
+        assert record_size(TOMBSTONE) == 16
+        assert record_size(None) == 16
+
+    def test_merge_attributes_updates_and_deletes(self):
+        base = {"a": 1, "b": 2}
+        merged = merge_attributes(base, {"b": None, "c": 3})
+        assert merged == {"a": 1, "c": 3}
+        assert base == {"a": 1, "b": 2}, "merge must not mutate the base"
+
+    def test_merge_attributes_accepts_none_base(self):
+        assert merge_attributes(None, {"a": 1}) == {"a": 1}
+
+    def test_tombstone_is_falsy_singleton(self):
+        from repro.storage.records import _Tombstone
+        assert not TOMBSTONE
+        assert _Tombstone() is TOMBSTONE
+
+
+class TestLockManager:
+    def test_exclusive_lock_conflicts(self):
+        locks = LockManager()
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        with pytest.raises(WriteConflict):
+            locks.acquire(2, "k", LockMode.EXCLUSIVE)
+        assert locks.conflicts == 1
+
+    def test_shared_locks_are_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, "k", LockMode.SHARED)
+        locks.acquire(2, "k", LockMode.SHARED)
+        assert locks.holders("k") == {1, 2}
+
+    def test_shared_then_exclusive_conflicts(self):
+        locks = LockManager()
+        locks.acquire(1, "k", LockMode.SHARED)
+        with pytest.raises(WriteConflict):
+            locks.acquire(2, "k", LockMode.EXCLUSIVE)
+
+    def test_sole_holder_can_upgrade(self):
+        locks = LockManager()
+        locks.acquire(1, "k", LockMode.SHARED)
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert locks.mode("k") is LockMode.EXCLUSIVE
+
+    def test_release_all_frees_keys(self):
+        locks = LockManager()
+        locks.acquire(1, "a")
+        locks.acquire(1, "b")
+        locks.release_all(1)
+        assert len(locks) == 0
+        locks.acquire(2, "a")  # must not raise
+
+    def test_release_unknown_transaction_is_noop(self):
+        locks = LockManager()
+        locks.release_all(99)
+        assert len(locks) == 0
+
+    def test_held_keys(self):
+        locks = LockManager()
+        locks.acquire(5, "x")
+        locks.acquire(5, "y")
+        assert locks.held_keys(5) == {"x", "y"}
+
+    def test_mode_of_unlocked_key_raises(self):
+        with pytest.raises(KeyError):
+            LockManager().mode("nothing")

@@ -1,0 +1,143 @@
+"""Unit tests for the subscriber data model and generator."""
+
+import pytest
+
+from repro.directory import IdentityType
+from repro.subscriber import (
+    IdentitySet,
+    ServiceProfile,
+    SubscriberGenerator,
+    SubscriberProfile,
+    format_imsi,
+    format_msisdn,
+)
+
+
+class TestIdentities:
+    def test_imsi_has_fifteen_digits(self):
+        imsi = format_imsi("spain", 42)
+        assert len(imsi) == 15
+        assert imsi.startswith("214")
+
+    def test_unknown_region_uses_default_mcc(self):
+        assert format_imsi("atlantis", 1).startswith("999")
+
+    def test_msisdn_uses_country_code(self):
+        assert format_msisdn("sweden", 7).startswith("+46")
+
+    def test_identity_set_mapping_covers_all_types(self):
+        identities = IdentitySet.for_serial("spain", 5)
+        mapping = identities.as_mapping()
+        assert set(mapping) == {IdentityType.IMSI, IdentityType.MSISDN,
+                                IdentityType.IMPU, IdentityType.IMPI}
+        assert mapping[IdentityType.IMSI] == identities.imsi
+
+    def test_identity_sets_are_unique_per_serial(self):
+        a = IdentitySet.for_serial("spain", 1)
+        b = IdentitySet.for_serial("spain", 2)
+        assert a.imsi != b.imsi
+        assert a.msisdn != b.msisdn
+
+
+class TestServiceProfile:
+    def test_roundtrip_through_attributes(self):
+        services = ServiceProfile(barring_premium_numbers=True,
+                                  call_forwarding_unconditional="+34911",
+                                  ims_enabled=True,
+                                  operator_services=["vpn"])
+        restored = ServiceProfile.from_attributes(services.to_attributes())
+        assert restored == services
+
+    def test_enabled_service_count(self):
+        assert ServiceProfile().enabled_service_count() == 0
+        services = ServiceProfile(barring_premium_numbers=True,
+                                  ims_enabled=True)
+        assert services.enabled_service_count() == 2
+
+
+class TestSubscriberProfile:
+    def make_profile(self, region="spain"):
+        return SubscriberProfile(
+            identities=IdentitySet.for_serial(region, 9),
+            home_region=region,
+            authentication_key="k" * 16,
+        )
+
+    def test_key_is_imsi_based(self):
+        profile = self.make_profile()
+        assert profile.key == f"sub:{profile.identities.imsi}"
+
+    def test_record_roundtrip(self):
+        profile = self.make_profile()
+        restored = SubscriberProfile.from_record(profile.to_record())
+        assert restored.identities == profile.identities
+        assert restored.home_region == profile.home_region
+        assert restored.services == profile.services
+
+    def test_current_region_defaults_to_home(self):
+        profile = self.make_profile("sweden")
+        assert profile.current_region == "sweden"
+        assert not profile.roaming()
+
+    def test_with_location_marks_roaming(self):
+        profile = self.make_profile("spain").with_location("germany", "msc-7")
+        assert profile.roaming()
+        assert profile.serving_msc == "msc-7"
+
+    def test_record_contains_service_attributes(self):
+        record = self.make_profile().to_record()
+        assert "svcRoamingAllowed" in record
+        assert record["subscriberStatus"] == "active"
+
+
+class TestSubscriberGenerator:
+    def test_generation_is_deterministic(self):
+        first = SubscriberGenerator(["spain", "sweden"], seed=5).generate(20)
+        second = SubscriberGenerator(["spain", "sweden"], seed=5).generate(20)
+        assert [p.identities.imsi for p in first] == \
+            [p.identities.imsi for p in second]
+
+    def test_different_seeds_differ(self):
+        a = SubscriberGenerator(["spain"], seed=1).generate(10)
+        b = SubscriberGenerator(["spain"], seed=2).generate(10)
+        assert [p.services.ims_enabled for p in a] != \
+            [p.services.ims_enabled for p in b] or \
+            [p.home_region for p in a] != [p.home_region for p in b] or \
+            [p.organisation for p in a] != [p.organisation for p in b]
+
+    def test_region_weights_respected(self):
+        generator = SubscriberGenerator(
+            ["spain", "sweden"], seed=3,
+            region_weights={"spain": 9.0, "sweden": 1.0})
+        profiles = generator.generate(500)
+        counts = generator.region_distribution(profiles)
+        assert counts["spain"] > 3 * counts["sweden"]
+
+    def test_ims_share_roughly_respected(self):
+        generator = SubscriberGenerator(["spain"], seed=4, ims_share=0.5)
+        profiles = generator.generate(600)
+        share = sum(p.services.ims_enabled for p in profiles) / len(profiles)
+        assert 0.4 < share < 0.6
+
+    def test_identities_are_unique_across_population(self):
+        profiles = SubscriberGenerator(["spain", "sweden"], seed=6).generate(300)
+        imsis = {p.identities.imsi for p in profiles}
+        assert len(imsis) == 300
+
+    def test_stream_matches_list_generation(self):
+        streamed = list(SubscriberGenerator(["spain"], seed=8).stream(15))
+        listed = SubscriberGenerator(["spain"], seed=8).generate(15)
+        assert [p.key for p in streamed] == [p.key for p in listed]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SubscriberGenerator([], seed=1)
+        with pytest.raises(ValueError):
+            SubscriberGenerator(["spain"], ims_share=1.5)
+        with pytest.raises(ValueError):
+            SubscriberGenerator(["spain"], organisation_share=-0.1)
+        with pytest.raises(ValueError):
+            SubscriberGenerator(["spain"],
+                                region_weights={"spain": 0.0})
+        with pytest.raises(ValueError):
+            SubscriberGenerator(["spain"]).generate(-1)

@@ -1,0 +1,207 @@
+"""Unit tests for the workload models and the fault injector."""
+
+import pytest
+
+from repro.faults import (
+    ElementFailureProcess,
+    FaultInjector,
+    FaultSchedule,
+    PartitionIncident,
+    SiteDisaster,
+)
+from repro.net import NetworkPartition
+from repro.sim import Simulation, units
+from repro.subscriber import SubscriberGenerator
+from repro.workloads import BusyHourProfile, RoamingModel, TrafficProfile, WorkloadMix
+
+from tests.conftest import build_udr
+
+
+class TestTrafficProfile:
+    def test_rates_scale_with_subscribers(self):
+        profile = TrafficProfile(procedures_per_subscriber_per_hour=7.2)
+        assert profile.procedure_rate(1000) == pytest.approx(2.0)
+        assert profile.procedure_rate(2000) == pytest.approx(4.0)
+
+    def test_ldap_ops_scale_with_procedure_cost(self):
+        profile = TrafficProfile()
+        classic = profile.ldap_ops_per_second(10_000, ops_per_procedure=2)
+        ims = profile.ldap_ops_per_second(10_000, ops_per_procedure=6)
+        assert ims == pytest.approx(3 * classic)
+
+    def test_provisioning_rate(self):
+        profile = TrafficProfile(
+            provisioning_ops_per_thousand_subscribers_per_hour=3.6)
+        assert profile.provisioning_rate(1_000_000) == pytest.approx(1.0)
+
+    def test_offered_load_far_below_paper_ceiling(self):
+        """The headroom claim: real traffic uses a small share of capacity."""
+        profile = TrafficProfile(procedures_per_subscriber_per_hour=10)
+        offered_per_subscriber = profile.ldap_ops_per_second(
+            1, ops_per_procedure=3)
+        assert offered_per_subscriber < 0.01 < 16
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficProfile(procedures_per_subscriber_per_hour=-1)
+        with pytest.raises(ValueError):
+            TrafficProfile().ldap_ops_per_second(10, ops_per_procedure=0)
+
+
+class TestBusyHourProfile:
+    def test_factor_follows_hour_of_day(self):
+        profile = BusyHourProfile()
+        assert profile.factor_at(9 * units.HOUR) == 1.0
+        assert profile.factor_at(3 * units.HOUR) < 0.2
+        assert profile.factor_at(27 * units.HOUR) == \
+            profile.factor_at(3 * units.HOUR), "the day wraps around"
+
+    def test_busy_and_low_hours_disjoint(self):
+        profile = BusyHourProfile()
+        assert set(profile.busy_hours()).isdisjoint(
+            profile.low_traffic_hours())
+        assert profile.low_traffic_hours(), \
+            "there are low-traffic hours for batch provisioning"
+
+    def test_scale_rate(self):
+        profile = BusyHourProfile()
+        assert profile.scale_rate(10.0, 9 * units.HOUR) == pytest.approx(10.0)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BusyHourProfile(hourly_factors=(1.0,) * 23)
+        with pytest.raises(ValueError):
+            BusyHourProfile(hourly_factors=(-1.0,) + (1.0,) * 23)
+
+
+class TestRoamingModel:
+    def test_home_share_roughly_matches_probability(self):
+        sim = Simulation(seed=5)
+        subscribers = SubscriberGenerator(["spain", "sweden"], seed=5).generate(400)
+        model = RoamingModel(["spain", "sweden"], roaming_probability=0.2)
+        placed = model.place_population(subscribers, sim.rng("roam"))
+        census = model.roaming_census(placed)
+        share = census["roaming"] / len(placed)
+        assert 0.12 < share < 0.28
+
+    def test_zero_roaming_keeps_everyone_home(self):
+        sim = Simulation(seed=5)
+        subscribers = SubscriberGenerator(["spain", "sweden"], seed=5).generate(50)
+        model = RoamingModel(["spain", "sweden"], roaming_probability=0.0)
+        placed = model.place_population(subscribers, sim.rng("roam"))
+        assert all(not subscriber.roaming() for subscriber in placed)
+
+    def test_single_region_never_roams(self):
+        model = RoamingModel(["spain"], roaming_probability=0.9)
+        assert model.expected_roaming_share() == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RoamingModel([], 0.1)
+        with pytest.raises(ValueError):
+            RoamingModel(["spain"], 1.5)
+
+
+class TestWorkloadMix:
+    def test_population_generation_and_grouping(self):
+        mix = WorkloadMix(subscribers=120, seed=3, roaming_probability=0.1)
+        population = mix.generate_population()
+        assert len(population) == 120
+        groups = mix.subscribers_by_region(population)
+        assert set(groups) >= set(mix.regions)
+        assert sum(len(group) for group in groups.values()) == 120
+
+    def test_average_operations_per_procedure_in_paper_range(self):
+        mix = WorkloadMix(subscribers=5, seed=3)
+        sample = mix.generate_population()[0]
+        assert 1.0 <= mix.average_operations_per_procedure(sample) <= 3.0
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(subscribers=0)
+
+
+class TestFaultDescriptions:
+    def test_partition_incident_window(self):
+        partition = NetworkPartition([["some-site"]])
+        incident = PartitionIncident(partition=partition, start=5.0,
+                                     duration=10.0)
+        assert incident.end == 15.0
+        with pytest.raises(ValueError):
+            PartitionIncident(partition=partition, start=-1, duration=10)
+        with pytest.raises(ValueError):
+            PartitionIncident(partition=partition, start=0, duration=0)
+
+    def test_element_failure_process_draws_within_horizon(self):
+        sim = Simulation(seed=9)
+        process = ElementFailureProcess(mtbf=10 * units.DAY, mttr=units.HOUR)
+        times = process.draw_failure_times(sim.rng("f"), horizon=365 * units.DAY)
+        assert all(0 < t < 365 * units.DAY for t in times)
+        assert len(times) == pytest.approx(process.expected_failures(
+            365 * units.DAY), abs=15)
+
+    def test_expected_unavailability(self):
+        process = ElementFailureProcess(mtbf=99 * units.HOUR, mttr=units.HOUR)
+        assert process.expected_unavailability() == pytest.approx(0.01)
+
+    def test_invalid_process_rejected(self):
+        with pytest.raises(ValueError):
+            ElementFailureProcess(mtbf=0)
+        with pytest.raises(ValueError):
+            SiteDisaster(site_name="x", start=-1)
+
+
+class TestFaultInjector:
+    def test_scheduled_partition_applies_and_heals(self):
+        udr, _ = build_udr(subscribers=10)
+        spain = udr.topology.region("spain")
+        partition = NetworkPartition.splitting_regions(udr.topology, spain)
+        schedule = FaultSchedule().add_partition(
+            PartitionIncident(partition=partition, start=10.0, duration=20.0))
+        injector = FaultInjector(udr, schedule)
+        injector.start()
+        spain_site = udr.topology.site("spain-dc1")
+        sweden_site = udr.topology.site("sweden-dc1")
+        udr.sim.run(until=15.0)
+        assert not udr.network.reachable(spain_site, sweden_site)
+        udr.sim.run(until=40.0)
+        assert udr.network.reachable(spain_site, sweden_site)
+        assert injector.partitions_applied == 1
+
+    def test_site_disaster_takes_down_and_restores_everything(self):
+        udr, _ = build_udr(subscribers=10)
+        schedule = FaultSchedule().add_disaster(
+            SiteDisaster(site_name="spain-dc1", start=5.0, duration=30.0))
+        injector = FaultInjector(udr, schedule)
+        injector.start()
+        udr.sim.run(until=10.0)
+        spain_elements = [element for element in udr.elements.values()
+                          if element.site.name == "spain-dc1"]
+        assert all(not element.available for element in spain_elements)
+        spain_poa = next(poa for poa in udr.points_of_access
+                         if poa.site.name == "spain-dc1")
+        assert not spain_poa.available
+        udr.sim.run(until=60.0)
+        assert all(element.available for element in spain_elements)
+        assert spain_poa.available
+
+    def test_stochastic_element_failures_schedule_and_repair(self):
+        udr, _ = build_udr(subscribers=10)
+        process = ElementFailureProcess(mtbf=2 * units.HOUR,
+                                        mttr=10 * units.MINUTE)
+        scheduled = FaultInjector(udr).run_element_failures(
+            process, horizon=12 * units.HOUR,
+            element_names=[next(iter(udr.elements))])
+        assert scheduled > 0
+        udr.sim.run(until=12 * units.HOUR)
+        element = udr.elements[next(iter(udr.elements))]
+        assert element.crashes >= 1
+        assert element.available, "the SAF manager repaired it"
+
+    def test_empty_schedule_is_harmless(self):
+        udr, _ = build_udr(subscribers=5)
+        injector = FaultInjector(udr)
+        assert injector.schedule.empty
+        injector.start()
+        udr.sim.run(until=1.0)
+        assert injector.partitions_applied == 0
