@@ -9,3 +9,4 @@ def test_bench_e10_location_cost(benchmark):
     result = run_experiment(benchmark, e10_location_cost.run)
     assert result.notes["logarithmic_growth"]
     assert result.notes["weak_link"]
+    assert result.notes["cache_fast_path"]

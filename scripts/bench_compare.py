@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and fail on regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.20] [--metric mean]
+
+Benchmarks are matched by name; for each pair the relative change of the
+chosen statistic (default: mean) is printed.  The exit status is non-zero
+when any benchmark regressed by more than ``--threshold`` (default 20%),
+so CI can gate merges on it.  Benchmarks present in only one file are
+reported but do not fail the comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: Path) -> dict:
+    """Map benchmark name -> stats dict from a pytest-benchmark JSON file."""
+    with path.open() as handle:
+        payload = json.load(handle)
+    return {bench["name"]: bench["stats"] for bench in payload["benchmarks"]}
+
+
+def compare(baseline: dict, candidate: dict, metric: str,
+            threshold: float) -> int:
+    regressions = 0
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("no benchmarks in common between the two files", file=sys.stderr)
+        return 1
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12} "
+          f"{'change':>9}  verdict")
+    for name in shared:
+        base = baseline[name][metric]
+        cand = candidate[name][metric]
+        change = (cand - base) / base if base else 0.0
+        if change > threshold:
+            verdict = f"REGRESSION (> {threshold:.0%})"
+            regressions += 1
+        elif change < 0:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {base:>11.6f}s  {cand:>11.6f}s "
+              f"{change:>+8.1%}  {verdict}")
+    for name in sorted(set(baseline) - set(candidate)):
+        print(f"{name:<{width}}  only in baseline")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"{name:<{width}}  only in candidate")
+    return 1 if regressions else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="pytest-benchmark JSON of the reference run")
+    parser.add_argument("candidate", type=Path,
+                        help="pytest-benchmark JSON of the run under test")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated relative slowdown "
+                             "(default: 0.20 = 20%%)")
+    parser.add_argument("--metric", default="mean",
+                        choices=("mean", "median", "min", "max"),
+                        help="which statistic to compare (default: mean)")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_benchmarks(args.baseline)
+        candidate = load_benchmarks(args.candidate)
+    except (OSError, KeyError, ValueError) as error:
+        print(f"error: cannot read benchmark data: {error}", file=sys.stderr)
+        return 2
+    return compare(baseline, candidate, args.metric, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

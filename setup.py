@@ -1,0 +1,11 @@
+"""Shim for editable installs with toolchains that predate PEP 660 support.
+
+All metadata lives in ``pyproject.toml``; modern tooling should use
+``pip install -e .[dev]``.  Environments whose setuptools lacks the
+``wheel`` dependency of the PEP 660 backend can fall back to
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

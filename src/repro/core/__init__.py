@@ -19,10 +19,19 @@ from repro.core.config import (
     ClientType,
     LocationMode,
     PartitionPolicy,
+    PlacementMode,
     ReplicationMode,
     UDRConfig,
 )
 from repro.core.udr import UDRNetworkFunction
+from repro.core.deployment import Deployment, DeploymentBuilder
+from repro.core.lifecycle import ClusterController
+from repro.core.location_cache import LocationCacheGroup, PoALocationCache
+from repro.core.pipeline import (
+    OperationContext,
+    OperationFailure,
+    OperationPipeline,
+)
 from repro.core.capacity import CapacityModel, CapacityReport
 from repro.core.frash import (
     Characteristic,
@@ -40,11 +49,20 @@ __all__ = [
     "CapacityReport",
     "Characteristic",
     "ClientType",
+    "ClusterController",
+    "Deployment",
+    "DeploymentBuilder",
     "DesignDecision",
     "FrashGraph",
+    "LocationCacheGroup",
     "LocationMode",
+    "OperationContext",
+    "OperationFailure",
+    "OperationPipeline",
+    "PoALocationCache",
     "PacelcClassification",
     "PartitionPolicy",
+    "PlacementMode",
     "ReplicationMode",
     "TradeOffLink",
     "TradeOffPosition",

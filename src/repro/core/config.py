@@ -99,6 +99,15 @@ class UDRConfig:
     location_mode: LocationMode = LocationMode.PROVISIONED_MAPS
     placement: PlacementMode = PlacementMode.HOME_REGION
     regulatory_pins: Dict[str, str] = field(default_factory=dict)
+    #: Per-PoA read-through cache in front of the data-location stage; see
+    #: :mod:`repro.core.location_cache`.  Capacity 0 means unbounded.
+    location_cache_enabled: bool = True
+    location_cache_capacity: int = 0
+
+    # -- observability ------------------------------------------------------------------
+    #: Completed requests buffered before the pipeline's metric batch is
+    #: flushed to the registry; 1 (the default) flushes per request.
+    metrics_batch_size: int = 1
 
     # -- misc ---------------------------------------------------------------------------
     seed: int = 0
@@ -126,6 +135,10 @@ class UDRConfig:
             raise ValueError("replication interval must be positive")
         if self.checkpoint_period <= 0:
             raise ValueError("checkpoint period must be positive")
+        if self.location_cache_capacity < 0:
+            raise ValueError("location cache capacity cannot be negative")
+        if self.metrics_batch_size < 1:
+            raise ValueError("metrics batch size must be at least 1")
 
     # -- derived quantities ------------------------------------------------------------
 

@@ -1,0 +1,510 @@
+"""Pipeline layer: one LDAP request as a sequence of composable stages.
+
+``execute()`` used to be one monolithic generator; it is now an
+:class:`OperationPipeline` walking a fixed sequence of stage objects, each
+owning one of the hops the paper describes:
+
+* :class:`AdmissionStage` -- reach the closest Point of Access;
+* :class:`LdapPlanStage` -- LDAP server time and request translation;
+* :class:`LocateStage` -- resolve the data location, with the per-PoA
+  read-through cache fast path (:mod:`repro.core.location_cache`);
+* :class:`ReadPath` / :class:`WritePath` -- the intra-SE transaction against
+  the chosen copy (master, slave when the client's policy allows it, or a
+  fallback master under multi-master);
+* :class:`ReplicateStage` -- the synchronous replication modes' commit cost;
+* :class:`RespondStage` -- the answer back to the client (lost responses are
+  counted in the ``response_lost`` metric).
+
+Stages share a per-request :class:`OperationContext` and signal failures by
+raising :class:`OperationFailure`, which the pipeline maps to an LDAP result
+code -- never an exception to the caller, exactly as a directory server
+would answer.  New scenarios (batched provisioning, priority classes, retry
+policies) plug in as additional stages instead of more branches.
+
+Metric recording is batched: stages record into a
+:class:`~repro.metrics.collector.MetricsBatch` that is flushed every
+``UDRConfig.metrics_batch_size`` completed requests (default 1, i.e. at the
+end of each request).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.balancer import PointOfAccess, closest_point_of_access
+from repro.directory.errors import LocatorSyncInProgress, UnknownIdentity
+from repro.ldap.operations import LdapRequest, LdapResponse, ResultCode
+from repro.ldap.schema import SubscriberSchema
+from repro.ldap.server import OperationPlan, PlanKind
+from repro.metrics.collector import MetricsBatch, MetricsRegistry
+from repro.net.errors import NetworkError
+from repro.net.topology import Site
+from repro.replication.errors import MasterUnreachable, NotEnoughReplicas
+from repro.replication.replica_set import ReplicaSet
+from repro.storage.errors import RecordNotFound, WriteConflict
+from repro.core.config import (
+    ClientType,
+    LocationMode,
+    ReplicationMode,
+    UDRConfig,
+)
+from repro.core.deployment import Deployment, IDENTITY_RECORD_ATTRIBUTE
+from repro.core.location_cache import LocationCacheGroup, PoALocationCache
+
+
+class OperationFailure(Exception):
+    """Control-flow exception mapping operational failures to result codes."""
+
+    def __init__(self, code: ResultCode, reason: str, respond: bool = True):
+        super().__init__(reason)
+        self.code = code
+        self.reason = reason
+        #: Whether the PoA still sends an answer back to the client (false
+        #: when the client could not even reach a PoA).
+        self.respond = respond
+
+
+class OperationContext:
+    """Everything one in-flight request's stages share."""
+
+    __slots__ = ("request", "client_type", "client_site", "start", "poa",
+                 "plan", "located_element", "entries", "served_from")
+
+    def __init__(self, request: LdapRequest, client_type: ClientType,
+                 client_site: Site, start: float):
+        self.request = request
+        self.client_type = client_type
+        self.client_site = client_site
+        self.start = start
+        self.poa: Optional[PointOfAccess] = None
+        self.plan: Optional[OperationPlan] = None
+        self.located_element: Optional[str] = None
+        self.entries: List[dict] = []
+        self.served_from = ""
+
+
+class PipelineStage:
+    """Base class: stages share the deployment handle and the simulation."""
+
+    def __init__(self, pipeline: "OperationPipeline"):
+        self.pipeline = pipeline
+        self.sim = pipeline.sim
+        self.config = pipeline.config
+        self.deployment = pipeline.deployment
+        self.network = pipeline.deployment.network
+
+
+class AdmissionStage(PipelineStage):
+    """Reach the closest serving Point of Access."""
+
+    def run(self, ctx: OperationContext):
+        poa = closest_point_of_access(self.network, ctx.client_site,
+                                      self.deployment.points_of_access)
+        if poa is None:
+            raise OperationFailure(ResultCode.UNAVAILABLE, "no reachable PoA",
+                                   respond=False)
+        ctx.poa = poa
+        try:
+            yield from self.network.transfer(ctx.client_site, poa.site)
+        except NetworkError:
+            raise OperationFailure(ResultCode.UNAVAILABLE,
+                                   "client to PoA failed",
+                                   respond=False) from None
+
+
+class LdapPlanStage(PipelineStage):
+    """LDAP server processing: request translation and service time."""
+
+    def run(self, ctx: OperationContext):
+        server = ctx.poa.select_server()
+        plan = server.plan(ctx.request)
+        ctx.plan = plan
+        yield self.sim.timeout(server.service_time())
+        if not plan.ok:
+            raise OperationFailure(plan.error, plan.diagnostic)
+
+
+class LocateStage(PipelineStage):
+    """Resolve the data location, serving repeats from the per-PoA cache.
+
+    A syncing locator (scale-out) bypasses and clears the PoA's cache: the
+    maps being copied may supersede anything cached before the sync began.
+    Synchronous stage -- location is a local map probe, not a network hop.
+    """
+
+    def run(self, ctx: OperationContext) -> None:
+        plan = ctx.plan
+        try:
+            ctx.located_element = self._resolve(ctx)
+        except LocatorSyncInProgress:
+            raise OperationFailure(ResultCode.BUSY,
+                                   "locator syncing") from None
+        except UnknownIdentity:
+            if plan.kind is not PlanKind.CREATE:
+                raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                       "unknown identity") from None
+            ctx.located_element = None
+
+    def _resolve(self, ctx: OperationContext) -> str:
+        poa, plan = ctx.poa, ctx.plan
+        cache = self.pipeline.cache_for(poa)
+        if cache is not None and not poa.locator_ready:
+            cache.clear()
+            cache = None
+        if cache is None:
+            return poa.locator.locate(plan.identity_type, plan.identity_value)
+        location = cache.get(plan.identity_type, plan.identity_value)
+        if location is not None:
+            return location
+        location = poa.locator.locate(plan.identity_type, plan.identity_value)
+        cache.store(plan.identity_type, plan.identity_value, location)
+        return location
+
+
+class ReadPath(PipelineStage):
+    """Serve a read from the best reachable copy the client may use."""
+
+    def run(self, ctx: OperationContext):
+        plan, poa, client_type = ctx.plan, ctx.poa, ctx.client_type
+        replica_set = self.deployment.replica_set_of_element(
+            ctx.located_element)
+        key = f"sub:{self._imsi_of(plan, replica_set, ctx.located_element)}"
+        copy_element = self._choose_read_element(replica_set, poa.site,
+                                                 client_type)
+        if copy_element is None:
+            raise OperationFailure(ResultCode.UNAVAILABLE,
+                                   "no reachable copy for read")
+        element = self.deployment.elements[copy_element]
+        copy = replica_set.copy_on(copy_element)
+        if poa.site != element.site:
+            try:
+                yield from self.network.round_trip(poa.site, element.site)
+            except NetworkError:
+                raise OperationFailure(ResultCode.UNAVAILABLE,
+                                       "copy unreachable") from None
+        yield self.sim.timeout(
+            element.service_times.transaction_time(reads=1, writes=0))
+        transaction = copy.transactions.begin()
+        try:
+            record = transaction.read(key)
+        except RecordNotFound:
+            transaction.abort()
+            raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                   "record not found") from None
+        transaction.commit()
+        served_from_slave = copy_element != replica_set.master_element_name
+        stale, versions_behind = self._staleness(replica_set, copy_element,
+                                                 key)
+        self.pipeline.batch.record_read(
+            client_type.value, served_from_slave=served_from_slave,
+            stale=stale, versions_behind=versions_behind)
+        entry = dict(record)
+        entry["dn"] = str(SubscriberSchema.subscriber_dn(entry.get("imsi", "")))
+        if plan.requested_attributes:
+            wanted = set(plan.requested_attributes) | {"dn"}
+            entry = {name: value for name, value in entry.items()
+                     if name in wanted}
+        ctx.entries = [entry]
+        ctx.served_from = copy_element
+
+    def _imsi_of(self, plan: OperationPlan, replica_set: ReplicaSet,
+                 located_element: str) -> str:
+        if plan.identity_type == "imsi":
+            return plan.identity_value
+        # Non-IMSI identities: find the record through the master copy's
+        # attribute values (the LDAP server would use the SE's local index).
+        attribute = IDENTITY_RECORD_ATTRIBUTE.get(plan.identity_type, "")
+        copy = replica_set.copy_on(located_element)
+        for key in copy.store.keys():
+            record = copy.store.get(key)
+            if isinstance(record, dict) and record.get(attribute) == \
+                    plan.identity_value:
+                return record.get("imsi", plan.identity_value)
+        return plan.identity_value
+
+    def _choose_read_element(self, replica_set: ReplicaSet, poa_site: Site,
+                             client_type: ClientType) -> Optional[str]:
+        reachable = [name for name in replica_set.member_names
+                     if replica_set.element(name).available
+                     and self.network.reachable(
+                         poa_site, replica_set.element(name).site)]
+        if not reachable:
+            return None
+        master = replica_set.master_element_name
+        if not self.config.reads_from_slave(client_type):
+            return master if master in reachable else None
+        # Prefer a copy co-located with the PoA, then the closest one.
+        for name in reachable:
+            if replica_set.element(name).site == poa_site:
+                return name
+        return min(reachable,
+                   key=lambda name: self.network.mean_one_way_latency(
+                       poa_site, replica_set.element(name).site))
+
+    def _staleness(self, replica_set: ReplicaSet, copy_element: str,
+                   key: str) -> Tuple[bool, int]:
+        master_name = replica_set.master_element_name
+        if master_name is None or copy_element == master_name:
+            return False, 0
+        master_version = replica_set.master_copy.store.latest(key)
+        copy_version = replica_set.copy_on(copy_element).store.latest(key)
+        if master_version is None:
+            return False, 0
+        if copy_version is None:
+            return True, 1
+        behind = master_version.commit_seq - copy_version.commit_seq
+        return behind > 0, max(0, behind)
+
+
+class WritePath(PipelineStage):
+    """Run a write plan against the partition's write copy."""
+
+    def run(self, ctx: OperationContext):
+        plan, poa, located_element = ctx.plan, ctx.poa, ctx.located_element
+        if plan.kind is PlanKind.CREATE and located_element is None:
+            located_element = self.deployment.place_subscriber(
+                _PlacementView(plan.attributes),
+                plan.attributes.get("imsi", ""))
+            ctx.located_element = located_element
+        replica_set = self.deployment.replica_set_of_element(located_element)
+        partition_index = self.deployment.primary_partition_of_element[
+            located_element]
+        coordinator = self.deployment.coordinators[partition_index]
+        reachable = [name for name in replica_set.member_names
+                     if replica_set.element(name).available
+                     and self.network.reachable(
+                         poa.site, replica_set.element(name).site)]
+        try:
+            target_name = coordinator.choose_write_element(
+                reachable, timestamp=self.sim.now)
+        except MasterUnreachable as error:
+            raise OperationFailure(
+                ResultCode.UNAVAILABLE,
+                f"master unreachable ({error.reason})") from None
+        element = self.deployment.elements[target_name]
+        copy = replica_set.copy_on(target_name)
+        if poa.site != element.site:
+            try:
+                yield from self.network.round_trip(poa.site, element.site)
+            except NetworkError:
+                raise OperationFailure(ResultCode.UNAVAILABLE,
+                                       "write copy unreachable") from None
+        reads = 1 if plan.kind is PlanKind.UPDATE else 0
+        yield self.sim.timeout(element.service_times.transaction_time(
+            reads=reads, writes=1,
+            synchronous_commit=self.config.synchronous_commit))
+
+        key, record, prior_value = self._apply_write(plan, copy)
+
+        # Synchronous replication modes add their commit-path cost here.
+        if record is not None and \
+                self.config.replication_mode is not ReplicationMode.ASYNCHRONOUS:
+            yield from self.pipeline.replicate.run(partition_index, record)
+
+        if plan.kind is PlanKind.CREATE:
+            identities = {itype: plan.attributes.get(attr)
+                          for itype, attr in IDENTITY_RECORD_ATTRIBUTE.items()
+                          if plan.attributes.get(attr)}
+            self.deployment.register_identities(
+                identities, located_element,
+                all_locators=self.config.location_mode is
+                LocationMode.PROVISIONED_MAPS,
+                serving_locator=poa.locator)
+            self.pipeline.warm_cache(poa, identities, located_element)
+        elif plan.kind is PlanKind.DELETE and isinstance(prior_value, dict):
+            deleted_identities = {
+                itype: prior_value.get(attr)
+                for itype, attr in IDENTITY_RECORD_ATTRIBUTE.items()
+                if prior_value.get(attr)}
+            self.deployment.deregister_identities(deleted_identities)
+            # Placement change: the location must not be served from any
+            # PoA's cache any more.
+            self.pipeline.caches.invalidate_identities(deleted_identities)
+
+        ctx.entries = []
+        ctx.served_from = target_name
+
+    def _apply_write(self, plan: OperationPlan, copy):
+        """Run the intra-SE transaction for a write plan.
+
+        Returns ``(key, commit_record, prior_value)``; the commit record is
+        ``None`` for no-op writes and ``prior_value`` is the record that
+        existed before a DELETE (used to deregister its identities).  Raises
+        :class:`OperationFailure` on business errors.
+        """
+        transactions = copy.transactions
+        key_imsi = plan.identity_value if plan.identity_type == "imsi" else None
+        if plan.kind is PlanKind.CREATE:
+            key = f"sub:{plan.attributes['imsi']}"
+        else:
+            if key_imsi is None:
+                key_imsi = self._imsi_by_attribute(copy, plan)
+                if key_imsi is None:
+                    raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                           "record not found")
+            key = f"sub:{key_imsi}"
+        transaction = transactions.begin()
+        prior_value = None
+        try:
+            if plan.kind is PlanKind.CREATE:
+                if transaction.exists(key):
+                    transaction.abort()
+                    raise OperationFailure(ResultCode.ENTRY_ALREADY_EXISTS,
+                                           "entry already exists")
+                transaction.write(key, dict(plan.attributes))
+            elif plan.kind is PlanKind.UPDATE:
+                if not transaction.exists(key):
+                    transaction.abort()
+                    raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                           "record not found")
+                transaction.modify(key, plan.changes)
+            else:  # DELETE
+                prior_value = transaction.read_or_default(key)
+                if prior_value is None:
+                    transaction.abort()
+                    raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                           "record not found")
+                transaction.delete(key)
+        except WriteConflict:
+            raise OperationFailure(ResultCode.BUSY,
+                                   "write conflict, retry") from None
+        record = transaction.commit(timestamp=self.sim.now)
+        return key, record, prior_value
+
+    def _imsi_by_attribute(self, copy, plan: OperationPlan) -> Optional[str]:
+        attribute = IDENTITY_RECORD_ATTRIBUTE.get(plan.identity_type, "")
+        for key in copy.store.keys():
+            record = copy.store.get(key)
+            if isinstance(record, dict) and \
+                    record.get(attribute) == plan.identity_value:
+                return record.get("imsi")
+        return None
+
+
+class ReplicateStage(PipelineStage):
+    """Synchronous replication cost on the commit path."""
+
+    def run(self, partition_index: int, record):
+        try:
+            if self.config.replication_mode is ReplicationMode.DUAL_IN_SEQUENCE:
+                yield from self.deployment.dual_replicators[partition_index] \
+                    .replicate_commit(record)
+            elif self.config.replication_mode is ReplicationMode.QUORUM:
+                yield from self.deployment.quorum_replicators[partition_index] \
+                    .replicate_commit(record)
+        except NotEnoughReplicas:
+            raise OperationFailure(
+                ResultCode.UNAVAILABLE,
+                "not enough replicas for the configured durability") from None
+
+
+class RespondStage(PipelineStage):
+    """The answer travels back from the PoA to the client."""
+
+    def run(self, ctx: OperationContext):
+        try:
+            yield from self.network.transfer(ctx.poa.site, ctx.client_site)
+        except NetworkError:
+            # The response is lost; the client times out.  The operation's
+            # outcome is still decided by what happened at the UDR, but the
+            # loss itself must stay observable in experiment reports.
+            self.pipeline.batch.increment("response_lost")
+
+
+class OperationPipeline:
+    """The staged operation path of one UDR deployment."""
+
+    def __init__(self, sim, config: UDRConfig, deployment: Deployment,
+                 metrics: MetricsRegistry, caches: LocationCacheGroup):
+        self.sim = sim
+        self.config = config
+        self.deployment = deployment
+        self.metrics = metrics
+        self.caches = caches
+        self.batch = MetricsBatch(metrics,
+                                  flush_threshold=config.metrics_batch_size)
+        self.admission = AdmissionStage(self)
+        self.plan_stage = LdapPlanStage(self)
+        self.locate = LocateStage(self)
+        self.read_path = ReadPath(self)
+        self.write_path = WritePath(self)
+        self.replicate = ReplicateStage(self)
+        self.respond = RespondStage(self)
+
+    # -- cache plumbing ------------------------------------------------------------
+
+    def cache_for(self, poa: PointOfAccess) -> Optional[PoALocationCache]:
+        if not self.config.location_cache_enabled:
+            return None
+        return self.caches.for_poa(poa)
+
+    def warm_cache(self, poa: PointOfAccess, identities: Dict[str, str],
+                   element_name: str) -> None:
+        """Pre-warm the serving PoA's cache after a CREATE placed data."""
+        cache = self.cache_for(poa)
+        if cache is None or not poa.locator_ready:
+            return
+        for identity_type, value in identities.items():
+            cache.store(identity_type, value, element_name)
+
+    # -- the operation path --------------------------------------------------------
+
+    def execute(self, request: LdapRequest, client_type: ClientType,
+                client_site: Site):
+        """Generator: run one LDAP request through the stages.
+
+        Returns an :class:`~repro.ldap.operations.LdapResponse`; never raises
+        for operational failures -- they are encoded as result codes, exactly
+        as a directory server would answer.
+        """
+        ctx = OperationContext(request, client_type, client_site,
+                               start=self.sim.now)
+        try:
+            yield from self.admission.run(ctx)
+            yield from self.plan_stage.run(ctx)
+            self.locate.run(ctx)
+            if ctx.plan.kind is PlanKind.READ:
+                yield from self.read_path.run(ctx)
+            else:
+                yield from self.write_path.run(ctx)
+        except OperationFailure as failure:
+            if failure.respond:
+                yield from self.respond.run(ctx)
+            return self._finish(ctx, failure.code, reason=failure.reason)
+        yield from self.respond.run(ctx)
+        return self._finish(ctx, ResultCode.SUCCESS)
+
+    def _finish(self, ctx: OperationContext, code: ResultCode,
+                reason: str = "") -> LdapResponse:
+        latency = self.sim.now - ctx.start
+        response = LdapResponse(result_code=code, request=ctx.request,
+                                entries=list(ctx.entries),
+                                diagnostic_message=reason,
+                                latency=latency, served_from=ctx.served_from)
+        client = ctx.client_type.value
+        if code.is_success:
+            self.batch.record_outcome(client, success=True)
+            self.batch.record_latency(client, latency)
+        else:
+            self.batch.record_outcome(client, success=False,
+                                      reason=reason or code.name.lower())
+        self.batch.request_done()
+        return response
+
+    def flush_metrics(self) -> None:
+        """Apply any batched metric records to the registry now."""
+        self.batch.flush()
+
+    def __repr__(self) -> str:
+        return (f"<OperationPipeline {self.config.name!r} "
+                f"caches={len(self.caches)} "
+                f"batch_size={self.config.metrics_batch_size}>")
+
+
+class _PlacementView:
+    """Adapts a new entry's attributes to the placement policy interface."""
+
+    def __init__(self, attributes: Dict[str, object]):
+        self.key = f"sub:{attributes.get('imsi', '')}"
+        self.home_region = attributes.get("homeRegion")
+        self.organisation = attributes.get("organisation")

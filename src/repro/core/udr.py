@@ -1,90 +1,59 @@
-"""The UDR network function: deployment builder and simulated operation path.
+"""The UDR network function: a façade over three cooperating layers.
 
-:class:`UDRNetworkFunction` assembles a complete UDC deployment from a
-:class:`~repro.core.config.UDRConfig` -- sites, blade clusters, storage
-elements with geographically dispersed replica sets, LDAP server pools,
-Points of Access with their data-location stage instances, replication
-channels, checkpointing and availability management -- and exposes the
-operation path clients use:
+:class:`UDRNetworkFunction` assembles and drives a complete UDC deployment,
+delegating to:
 
-``execute(request, client_type, client_site)`` is a simulation generator that
-walks one LDAP request through the same stages the paper describes: reach the
-closest PoA, spend LDAP server time, resolve the data location, reach the
-storage element holding the chosen copy (master, or a slave for reads when
-the client's policy allows it, or a fallback master under the multi-master
-policy), run the intra-SE transaction, replicate according to the configured
-mode, and return.  Every failure mode of interest (partitions, crashed
-elements, syncing locators, write conflicts) maps to an LDAP result code, and
-everything is measured in :attr:`metrics`.
+* :mod:`repro.core.deployment` -- :class:`~repro.core.deployment.DeploymentBuilder`
+  builds the static structure (sites, blade clusters, storage elements with
+  geographically dispersed replica sets, LDAP server pools, Points of Access
+  with their data-location stage instances, replication channels) from a
+  :class:`~repro.core.config.UDRConfig`;
+* :mod:`repro.core.pipeline` -- :class:`~repro.core.pipeline.OperationPipeline`
+  walks one LDAP request through the paper's stages (PoA, LDAP server time,
+  data location with the per-PoA cache fast path, the intra-SE transaction,
+  synchronous replication, response), encoding every failure mode of
+  interest as an LDAP result code and recording everything in
+  :attr:`metrics`;
+* :mod:`repro.core.lifecycle` -- :class:`~repro.core.lifecycle.ClusterController`
+  owns crash/recovery, fail-over, consistency restoration, scale-out and the
+  background replication/checkpoint processes.
+
+The façade keeps the attribute surface the experiments, front-ends and tests
+grew against (``topology``, ``elements``, ``replica_sets``, ``locators``,
+``execute``, ...); new code should reach for the layers directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.balancer import PointOfAccess, closest_point_of_access
-from repro.cluster.blade_cluster import BladeCluster, ClusterLimits
-from repro.cluster.saf import AvailabilityManager
-from repro.directory.errors import LocatorSyncInProgress, UnknownIdentity
-from repro.directory.locator import (
-    CachedLocator,
-    ConsistentHashLocator,
-    Locator,
-    ProvisionedLocator,
-)
-from repro.directory.placement import (
-    HomeRegionPlacement,
-    PlacementCandidate,
-    PlacementPolicy,
-    RandomPlacement,
-    RegulatoryPinning,
-    RoundRobinPlacement,
-)
+from repro.cluster.balancer import PointOfAccess
 from repro.directory.sync import MapSynchroniser
-from repro.ldap.operations import LdapRequest, LdapResponse, ResultCode
-from repro.ldap.schema import SubscriberSchema
-from repro.ldap.server import OperationPlan, PlanKind
+from repro.ldap.operations import LdapRequest
 from repro.metrics.collector import MetricsRegistry
-from repro.net.errors import NetworkError
-from repro.net.network import Network
-from repro.net.topology import NetworkTopology, Site
-from repro.replication.asynchronous import AsyncReplicationChannel
-from repro.replication.errors import (
-    MasterUnreachable,
-    NotEnoughReplicas,
-    ReplicationError,
-)
-from repro.replication.multimaster import MultiMasterCoordinator
-from repro.replication.quorum import QuorumReplicator
+from repro.net.topology import Site
 from repro.replication.replica_set import ReplicaSet
-from repro.replication.restoration import ConsistencyRestoration, RestorationReport
-from repro.replication.synchronous import DualInSequenceReplicator
+from repro.replication.restoration import RestorationReport
 from repro.sim.engine import Simulation
-from repro.storage.checkpoint import CheckpointPolicy
-from repro.storage.errors import (
-    RecordNotFound,
-    StorageElementUnavailable,
-    WriteConflict,
-)
-from repro.storage.partitioning import PartitionScheme
-from repro.storage.storage_element import ReplicaRole, StorageElement
+from repro.storage.storage_element import StorageElement
 from repro.subscriber.profile import SubscriberProfile
-from repro.core.config import (
-    ClientType,
-    LocationMode,
-    PartitionPolicy,
-    PlacementMode,
-    ReplicationMode,
-    UDRConfig,
+from repro.core.config import ClientType, UDRConfig
+from repro.core.deployment import (
+    IDENTITY_RECORD_ATTRIBUTE,
+    Deployment,
+    DeploymentBuilder,
+)
+from repro.core.lifecycle import ClusterController
+from repro.core.location_cache import LocationCacheGroup
+from repro.core.pipeline import (
+    OperationFailure,
+    OperationPipeline,
+    _PlacementView,
 )
 
-#: Record attribute consulted for each identity namespace (cached locator).
-_IDENTITY_RECORD_ATTRIBUTE = {
-    "imsi": "imsi",
-    "msisdn": "msisdn",
-    "impu": "impu",
-    "impi": "impi",
-}
+#: Backwards-compatible aliases for the pre-refactor private names.
+_IDENTITY_RECORD_ATTRIBUTE = IDENTITY_RECORD_ATTRIBUTE
+_OperationFailure = OperationFailure
 
 
 class UDRNetworkFunction:
@@ -95,162 +64,48 @@ class UDRNetworkFunction:
         self.config = config
         self.sim = simulation or Simulation(seed=config.seed)
         self.metrics = MetricsRegistry(name=config.name)
-        self.topology = NetworkTopology()
-        self._build_topology()
-        self.network = Network(self.sim, self.topology, name=f"{config.name}.net")
-        self.availability_manager = AvailabilityManager(
-            self.sim, name=f"{config.name}.amf")
 
-        self.clusters: List[BladeCluster] = []
-        self.elements: Dict[str, StorageElement] = {}
-        self._element_order: List[str] = []
-        self.replica_sets: Dict[int, ReplicaSet] = {}
-        self.coordinators: Dict[int, MultiMasterCoordinator] = {}
-        self.channels: List[AsyncReplicationChannel] = []
-        self.dual_replicators: Dict[int, DualInSequenceReplicator] = {}
-        self.quorum_replicators: Dict[int, QuorumReplicator] = {}
-        self.locators: Dict[str, Locator] = {}
-        self.points_of_access: List[PointOfAccess] = []
-        self._primary_partition_of_element: Dict[str, int] = {}
-        self._started = False
+        self.builder = DeploymentBuilder(config, self.sim)
+        self.deployment: Deployment = self.builder.build()
+        self.location_caches = LocationCacheGroup(
+            capacity=config.location_cache_capacity)
+        self.pipeline = OperationPipeline(self.sim, config, self.deployment,
+                                          self.metrics, self.location_caches)
+        self.controller = ClusterController(self.sim, config, self.deployment,
+                                            self.builder, self.location_caches)
 
-        self._build_clusters_and_elements()
-        self._build_replica_sets()
-        self._build_replicators()
-        self._build_points_of_access()
-        self.placement_policy = self._build_placement_policy()
+        # The attribute surface predating the layer split: live views of the
+        # deployment handle's collections.
+        deployment = self.deployment
+        self.topology = deployment.topology
+        self.network = deployment.network
+        self.availability_manager = deployment.availability_manager
+        self.clusters = deployment.clusters
+        self.elements = deployment.elements
+        self.scheme = deployment.scheme
+        self.replica_sets = deployment.replica_sets
+        self.coordinators = deployment.coordinators
+        self.channels = deployment.channels
+        self.dual_replicators = deployment.dual_replicators
+        self.quorum_replicators = deployment.quorum_replicators
+        self.locators = deployment.locators
+        self.points_of_access = deployment.points_of_access
+        self.placement_policy = deployment.placement_policy
         self.subscribers_loaded = 0
-
-    # ------------------------------------------------------------------ build
-
-    def _build_topology(self) -> None:
-        for region in self.config.regions:
-            self.topology.add_region(region)
-            for index in range(1, self.config.sites_per_region + 1):
-                self.topology.add_site(f"{region}-dc{index}", region)
-
-    def _build_clusters_and_elements(self) -> None:
-        checkpoint_policy = CheckpointPolicy(
-            period=self.config.checkpoint_period,
-            synchronous_commit=self.config.synchronous_commit)
-        # Interleave elements across sites so consecutive elements sit at
-        # different sites; the round-robin replica layout then places every
-        # secondary copy at a different geographic location, as required.
-        per_site_elements: List[List[StorageElement]] = []
-        for site in self.topology.sites:
-            cluster = BladeCluster(
-                name=f"cluster-{site.name}", site=site,
-                limits=ClusterLimits())
-            self.clusters.append(cluster)
-            site_elements = []
-            for index in range(self.config.storage_elements_per_site):
-                element = StorageElement(
-                    name=f"se-{site.name}-{index}",
-                    site=site,
-                    subscriber_capacity=self.config.subscriber_capacity_per_element,
-                    checkpoint_policy=checkpoint_policy)
-                cluster.add_storage_element(element)
-                self.elements[element.name] = element
-                site_elements.append(element)
-                self.availability_manager.manage(
-                    element.name,
-                    fail_action=element.crash,
-                    repair_action=self._make_recovery_action(element))
-            for _ in range(self.config.ldap_servers_per_cluster):
-                cluster.add_ldap_server()
-            per_site_elements.append(site_elements)
-        for index in range(self.config.storage_elements_per_site):
-            for site_elements in per_site_elements:
-                self._element_order.append(site_elements[index].name)
-
-    def _build_replica_sets(self) -> None:
-        self.scheme = PartitionScheme(num_partitions=len(self._element_order))
-        for partition in self.scheme:
-            replica_set = ReplicaSet(partition)
-            primary_name = self._element_order[partition.index]
-            replica_set.add_member(self.elements[primary_name],
-                                   ReplicaRole.PRIMARY)
-            self._primary_partition_of_element[primary_name] = partition.index
-            count = len(self._element_order)
-            for offset in range(1, self.config.replication_factor):
-                secondary_name = self._element_order[
-                    (partition.index + offset) % count]
-                replica_set.add_member(self.elements[secondary_name],
-                                       ReplicaRole.SECONDARY)
-            self.replica_sets[partition.index] = replica_set
-            self.coordinators[partition.index] = MultiMasterCoordinator(
-                replica_set, enabled=self.config.multi_master_enabled())
-
-    def _build_replicators(self) -> None:
-        for index, replica_set in self.replica_sets.items():
-            for slave_name in replica_set.slave_names():
-                self.channels.append(AsyncReplicationChannel(
-                    self.sim, self.network, replica_set, slave_name,
-                    interval=self.config.replication_interval))
-            self.dual_replicators[index] = DualInSequenceReplicator(
-                self.sim, self.network, replica_set)
-            self.quorum_replicators[index] = QuorumReplicator(
-                self.sim, self.network, replica_set,
-                write_quorum=self.config.write_quorum)
-
-    def _build_points_of_access(self) -> None:
-        for cluster in self.clusters:
-            locator = self._make_locator(cluster.name)
-            self.locators[cluster.name] = locator
-            poa = PointOfAccess(
-                name=f"poa-{cluster.site.name}", site=cluster.site,
-                ldap_pool=cluster.ldap_pool, locator=locator)
-            self.points_of_access.append(poa)
-
-    def _make_locator(self, name: str) -> Locator:
-        mode = self.config.location_mode
-        if mode is LocationMode.PROVISIONED_MAPS:
-            return ProvisionedLocator()
-        if mode is LocationMode.CACHED_MAPS:
-            return CachedLocator(authority=self._authoritative_lookup,
-                                 fanout=max(1, len(self.elements)))
-        return ConsistentHashLocator(sorted(self.elements))
-
-    def _build_placement_policy(self) -> PlacementPolicy:
-        mode = self.config.placement
-        if mode is PlacementMode.RANDOM:
-            policy: PlacementPolicy = RandomPlacement(
-                self.sim.rng("placement"))
-        elif mode is PlacementMode.ROUND_ROBIN:
-            policy = RoundRobinPlacement()
-        else:
-            policy = HomeRegionPlacement()
-        if self.config.regulatory_pins:
-            policy = RegulatoryPinning(self.config.regulatory_pins,
-                                       fallback=policy)
-        return policy
 
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
         """Start background processes: replication channels and checkpoints."""
-        if self._started:
-            return
-        self._started = True
-        for channel in self.channels:
-            channel.start()
-        for element in self.elements.values():
-            self.sim.process(self._checkpoint_loop(element),
-                             name=f"checkpoint:{element.name}")
+        self.controller.start()
 
     def stop(self) -> None:
-        for channel in self.channels:
-            channel.stop()
-        self._started = False
+        self.controller.stop()
+        self.pipeline.flush_metrics()
 
-    def _checkpoint_loop(self, element: StorageElement):
-        period = self.config.checkpoint_period
-        while self._started:
-            yield self.sim.timeout(period)
-            if not element.available:
-                continue
-            for copy in element.copies:
-                copy.checkpointer.checkpoint(timestamp=self.sim.now)
+    @property
+    def _started(self) -> bool:
+        return self.controller.started
 
     # --------------------------------------------------------------- loading
 
@@ -262,17 +117,19 @@ class UDRNetworkFunction:
         identities are registered with every data-location stage instance.
         Returns the number of profiles loaded.
         """
+        deployment = self.deployment
         loaded = 0
         for profile in profiles:
-            element_name = self._place_subscriber(profile)
-            replica_set = self._replica_set_of_element(element_name)
+            element_name = deployment.place_subscriber(
+                profile, profile.identities.imsi)
+            replica_set = deployment.replica_set_of_element(element_name)
             record = self._commit_on_copy(replica_set.master_copy,
                                           profile.key, profile.to_record())
             for slave_name in replica_set.slave_names():
                 replica_set.copy_on(slave_name).transactions.apply_log_record(
                     record)
-            self._register_identities(profile.identities.as_mapping(),
-                                      element_name, all_locators=True)
+            deployment.register_identities(profile.identities.as_mapping(),
+                                           element_name, all_locators=True)
             loaded += 1
         self.subscribers_loaded += loaded
         return loaded
@@ -283,44 +140,20 @@ class UDRNetworkFunction:
         transaction.write(key, value)
         return transaction.commit()
 
-    def _place_subscriber(self, profile: SubscriberProfile) -> str:
-        if self.config.location_mode is LocationMode.CONSISTENT_HASH:
-            locator = next(iter(self.locators.values()))
-            return locator.locate("imsi", profile.identities.imsi)
-        candidates = [
-            PlacementCandidate(
-                element_name=element.name,
-                region=element.site.region.name,
-                has_capacity=element.has_capacity_for(1))
-            for element in self.elements.values()]
-        return self.placement_policy.choose(profile, candidates)
-
-    def _register_identities(self, identities: Dict[str, str],
-                             element_name: str, all_locators: bool,
-                             serving_locator: Optional[Locator] = None) -> None:
-        if all_locators:
-            for locator in self.locators.values():
-                locator.register(identities, element_name)
-        elif serving_locator is not None:
-            serving_locator.register(identities, element_name)
-
-    def _deregister_identities(self, identities: Dict[str, str]) -> None:
-        for locator in self.locators.values():
-            locator.deregister(identities)
-
     # ------------------------------------------------------------ inspection
 
     def element(self, name: str) -> StorageElement:
         return self.elements[name]
 
     def _replica_set_of_element(self, element_name: str) -> ReplicaSet:
-        return self.replica_sets[
-            self._primary_partition_of_element[element_name]]
+        return self.deployment.replica_set_of_element(element_name)
+
+    @property
+    def _primary_partition_of_element(self) -> Dict[str, int]:
+        return self.deployment.primary_partition_of_element
 
     def reachable_elements_from(self, site: Site) -> List[str]:
-        return [name for name, element in self.elements.items()
-                if element.available
-                and self.network.reachable(site, element.site)]
+        return self.deployment.reachable_elements_from(site)
 
     def subscriber_record(self, imsi: str) -> Optional[dict]:
         """Direct (non-simulated) read of the authoritative record, for tests."""
@@ -334,463 +167,52 @@ class UDRNetworkFunction:
 
     def _authoritative_lookup(self, identity_type: str,
                               value: str) -> Optional[str]:
-        """Search every element's primary copies for an identity (cache miss)."""
-        attribute = _IDENTITY_RECORD_ATTRIBUTE.get(identity_type)
-        if attribute is None:
-            return None
-        for element in self.elements.values():
-            for copy in element.primary_copies:
-                for key in copy.store.keys():
-                    record = copy.store.get(key)
-                    if isinstance(record, dict) and record.get(attribute) == value:
-                        return element.name
-        return None
+        return self.deployment.authoritative_lookup(identity_type, value)
 
     # ------------------------------------------------------- fault injection
 
     def crash_element(self, name: str, auto_repair: bool = False) -> None:
-        self.availability_manager.fail_component(name, auto_repair=auto_repair)
+        self.controller.crash_element(name, auto_repair=auto_repair)
 
     def recover_element(self, name: str) -> None:
-        self.availability_manager.repair_component(name)
-
-    def _make_recovery_action(self, element: StorageElement) -> Callable[[], None]:
-        """Recovery restores the disk image and then resyncs from peer copies.
-
-        A real storage element comes back with the state of its last dump and
-        catches up from the surviving copies before taking traffic again; the
-        resync here copies any newer record versions from the most up-to-date
-        available peer copy of each hosted partition.
-        """
-        def recover() -> None:
-            element.recover(timestamp=self.sim.now)
-            self._resynchronise_element(element)
-        return recover
-
-    def _resynchronise_element(self, element: StorageElement) -> None:
-        for copy in element.copies:
-            replica_set = self.replica_sets.get(copy.partition.index)
-            if replica_set is None:
-                continue
-            best_name = replica_set.most_up_to_date(
-                [name for name in replica_set.available_members()
-                 if name != element.name])
-            if best_name is None:
-                continue
-            source = replica_set.copy_on(best_name).store
-            target = copy.store
-            for key in source.keys():
-                newest = source.latest(key)
-                current = target.latest(key)
-                if newest is None:
-                    continue
-                if current is None or current.commit_seq < newest.commit_seq:
-                    target.apply_version(newest)
+        self.controller.recover_element(name)
 
     def fail_over(self, element_name: str) -> Dict[int, str]:
         """Promote new masters for every partition mastered on ``element_name``."""
-        promotions: Dict[int, str] = {}
-        for index, replica_set in self.replica_sets.items():
-            if replica_set.master_element_name != element_name:
-                continue
-            try:
-                promotions[index] = replica_set.fail_over()
-            except ReplicationError:
-                continue
-        return promotions
+        return self.controller.fail_over(element_name)
 
     # --------------------------------------------------------- restoration
 
     def restore_consistency(self, resolver=None) -> List[RestorationReport]:
         """Run post-partition consistency restoration over every partition."""
-        restoration = ConsistencyRestoration(resolver=resolver)
-        reports = []
-        for index, replica_set in sorted(self.replica_sets.items()):
-            reports.append(restoration.restore(replica_set,
-                                               timestamp=self.sim.now))
-            self.coordinators[index].clear_divergence()
-        return reports
+        return self.controller.restore_consistency(resolver=resolver)
 
     # ------------------------------------------------------------- scale-out
 
     def scale_out_new_cluster(self, region: str,
                               synchroniser: Optional[MapSynchroniser] = None
                               ) -> Tuple[PointOfAccess, Optional[object]]:
-        """Deploy an additional blade cluster (new PoA) in ``region``.
-
-        With provisioned maps the new data-location stage instance must sync
-        from a peer before the PoA can serve (returns the sync process);
-        cached and hashed locators are ready immediately (returns ``None``).
-        """
-        site_index = len([s for s in self.topology.sites
-                          if s.region.name == region]) + 1
-        site = self.topology.add_site(f"{region}-dc{site_index}", region)
-        cluster = BladeCluster(name=f"cluster-{site.name}", site=site)
-        for _ in range(self.config.ldap_servers_per_cluster):
-            cluster.add_ldap_server()
-        self.clusters.append(cluster)
-        locator = self._make_locator(cluster.name)
-        self.locators[cluster.name] = locator
-        poa = PointOfAccess(name=f"poa-{site.name}", site=site,
-                            ldap_pool=cluster.ldap_pool, locator=locator)
-        self.points_of_access.append(poa)
-        sync_process = None
-        if isinstance(locator, ProvisionedLocator):
-            peer = next((existing for existing in self.locators.values()
-                         if isinstance(existing, ProvisionedLocator)
-                         and existing is not locator and not existing.syncing),
-                        None)
-            if peer is not None:
-                # The PoA must not serve before its maps are in place, even
-                # before the sync process gets its first slice of time.
-                locator.begin_sync(peer.directory.total_entries())
-                synchroniser = synchroniser or MapSynchroniser()
-                source_site = self.clusters[0].site
-                sync_process = self.sim.process(
-                    synchroniser.sync(self.sim, self.network, source_site,
-                                      site, peer, locator),
-                    name=f"map-sync:{cluster.name}")
-        return poa, sync_process
+        """Deploy an additional blade cluster (new PoA) in ``region``."""
+        return self.controller.scale_out_new_cluster(
+            region, synchroniser=synchroniser)
 
     # ------------------------------------------------------------ operations
 
     def execute(self, request: LdapRequest, client_type: ClientType,
                 client_site: Site):
-        """Generator: run one LDAP request through the deployment.
+        """Generator: run one LDAP request through the staged pipeline.
 
         Returns an :class:`~repro.ldap.operations.LdapResponse`; never raises
         for operational failures -- they are encoded as result codes, exactly
         as a directory server would answer.
         """
-        start = self.sim.now
-        outcomes = self.metrics.outcomes(client_type.value)
-        latencies = self.metrics.latency(client_type.value)
+        return self.pipeline.execute(request, client_type, client_site)
 
-        def finish(code: ResultCode, entries=None, served_from: str = "",
-                   reason: str = "") -> LdapResponse:
-            latency = self.sim.now - start
-            response = LdapResponse(result_code=code, request=request,
-                                    entries=list(entries or []),
-                                    diagnostic_message=reason,
-                                    latency=latency, served_from=served_from)
-            if code.is_success:
-                outcomes.record_success()
-                latencies.record(latency)
-            else:
-                outcomes.record_failure(reason or code.name.lower())
-            return response
-
-        # 1. Reach the closest Point of Access.
-        poa = closest_point_of_access(self.network, client_site,
-                                      self.points_of_access)
-        if poa is None:
-            return finish(ResultCode.UNAVAILABLE, reason="no reachable PoA")
-        try:
-            yield from self.network.transfer(client_site, poa.site)
-        except NetworkError:
-            return finish(ResultCode.UNAVAILABLE, reason="client to PoA failed")
-
-        # 2. LDAP server processing.
-        server = poa.select_server()
-        plan = server.plan(request)
-        yield self.sim.timeout(server.service_time())
-        if not plan.ok:
-            yield from self._respond(poa.site, client_site)
-            return finish(plan.error, reason=plan.diagnostic)
-
-        # 3. Data location.
-        try:
-            located_element = self._locate(poa, plan)
-        except LocatorSyncInProgress:
-            yield from self._respond(poa.site, client_site)
-            return finish(ResultCode.BUSY, reason="locator syncing")
-        except UnknownIdentity:
-            if plan.kind is not PlanKind.CREATE:
-                yield from self._respond(poa.site, client_site)
-                return finish(ResultCode.NO_SUCH_OBJECT,
-                              reason="unknown identity")
-            located_element = None
-
-        # 4. Execute against the storage layer.
-        try:
-            if plan.kind is PlanKind.READ:
-                result = yield from self._serve_read(
-                    plan, poa, client_type, located_element)
-            else:
-                result = yield from self._serve_write(
-                    plan, poa, client_type, located_element)
-        except _OperationFailure as failure:
-            yield from self._respond(poa.site, client_site)
-            return finish(failure.code, reason=failure.reason)
-
-        entries, served_from = result
-
-        # 5. Response back to the client.
-        yield from self._respond(poa.site, client_site)
-        return finish(ResultCode.SUCCESS, entries=entries,
-                      served_from=served_from)
-
-    def _respond(self, poa_site: Site, client_site: Site):
-        try:
-            yield from self.network.transfer(poa_site, client_site)
-        except NetworkError:
-            # The response is lost; the client times out.  The operation's
-            # outcome is still decided by what happened at the UDR.
-            return
-
-    # -- location ------------------------------------------------------------------
-
-    def _locate(self, poa: PointOfAccess, plan: OperationPlan) -> str:
-        return poa.locator.locate(plan.identity_type, plan.identity_value)
-
-    # -- reads ------------------------------------------------------------------------
-
-    def _serve_read(self, plan: OperationPlan, poa: PointOfAccess,
-                    client_type: ClientType, located_element: str):
-        replica_set = self._replica_set_of_element(located_element)
-        consistency = self.metrics.consistency(client_type.value)
-        key = f"sub:{self._imsi_of(plan, replica_set, located_element)}"
-        copy_element = self._choose_read_element(replica_set, poa.site,
-                                                 client_type)
-        if copy_element is None:
-            raise _OperationFailure(ResultCode.UNAVAILABLE,
-                                    "no reachable copy for read")
-        element = self.elements[copy_element]
-        copy = replica_set.copy_on(copy_element)
-        if poa.site != element.site:
-            try:
-                yield from self.network.round_trip(poa.site, element.site)
-            except NetworkError:
-                raise _OperationFailure(ResultCode.UNAVAILABLE,
-                                        "copy unreachable") from None
-        yield self.sim.timeout(
-            element.service_times.transaction_time(reads=1, writes=0))
-        transaction = copy.transactions.begin()
-        try:
-            record = transaction.read(key)
-        except RecordNotFound:
-            transaction.abort()
-            raise _OperationFailure(ResultCode.NO_SUCH_OBJECT,
-                                    "record not found") from None
-        transaction.commit()
-        served_from_slave = copy_element != replica_set.master_element_name
-        stale, versions_behind = self._staleness(replica_set, copy_element, key)
-        consistency.record_read(served_from_slave=served_from_slave,
-                                stale=stale, versions_behind=versions_behind,
-                                client_type=client_type.value)
-        entry = dict(record)
-        entry["dn"] = str(SubscriberSchema.subscriber_dn(entry.get("imsi", "")))
-        if plan.requested_attributes:
-            wanted = set(plan.requested_attributes) | {"dn"}
-            entry = {name: value for name, value in entry.items()
-                     if name in wanted}
-        return [entry], copy_element
-
-    def _imsi_of(self, plan: OperationPlan, replica_set: ReplicaSet,
-                 located_element: str) -> str:
-        if plan.identity_type == "imsi":
-            return plan.identity_value
-        # Non-IMSI identities: find the record through the master copy's
-        # attribute values (the LDAP server would use the SE's local index).
-        attribute = _IDENTITY_RECORD_ATTRIBUTE.get(plan.identity_type, "")
-        copy = replica_set.copy_on(located_element)
-        for key in copy.store.keys():
-            record = copy.store.get(key)
-            if isinstance(record, dict) and record.get(attribute) == \
-                    plan.identity_value:
-                return record.get("imsi", plan.identity_value)
-        return plan.identity_value
-
-    def _choose_read_element(self, replica_set: ReplicaSet, poa_site: Site,
-                             client_type: ClientType) -> Optional[str]:
-        reachable = [name for name in replica_set.member_names
-                     if replica_set.element(name).available
-                     and self.network.reachable(poa_site,
-                                                replica_set.element(name).site)]
-        if not reachable:
-            return None
-        master = replica_set.master_element_name
-        if not self.config.reads_from_slave(client_type):
-            return master if master in reachable else None
-        # Prefer a copy co-located with the PoA, then the closest one.
-        for name in reachable:
-            if replica_set.element(name).site == poa_site:
-                return name
-        return min(reachable, key=lambda name: self.network.mean_one_way_latency(
-            poa_site, replica_set.element(name).site))
-
-    def _staleness(self, replica_set: ReplicaSet, copy_element: str,
-                   key: str) -> Tuple[bool, int]:
-        master_name = replica_set.master_element_name
-        if master_name is None or copy_element == master_name:
-            return False, 0
-        master_version = replica_set.master_copy.store.latest(key)
-        copy_version = replica_set.copy_on(copy_element).store.latest(key)
-        if master_version is None:
-            return False, 0
-        if copy_version is None:
-            return True, 1
-        behind = master_version.commit_seq - copy_version.commit_seq
-        return behind > 0, max(0, behind)
-
-    # -- writes -------------------------------------------------------------------------
-
-    def _serve_write(self, plan: OperationPlan, poa: PointOfAccess,
-                     client_type: ClientType, located_element: Optional[str]):
-        if plan.kind is PlanKind.CREATE and located_element is None:
-            located_element = self._place_new_subscriber(plan)
-        replica_set = self._replica_set_of_element(located_element)
-        partition_index = self._primary_partition_of_element[located_element]
-        coordinator = self.coordinators[partition_index]
-        reachable = [name for name in replica_set.member_names
-                     if replica_set.element(name).available
-                     and self.network.reachable(poa.site,
-                                                replica_set.element(name).site)]
-        try:
-            target_name = coordinator.choose_write_element(
-                reachable, timestamp=self.sim.now)
-        except MasterUnreachable as error:
-            raise _OperationFailure(
-                ResultCode.UNAVAILABLE,
-                f"master unreachable ({error.reason})") from None
-        element = self.elements[target_name]
-        copy = replica_set.copy_on(target_name)
-        if poa.site != element.site:
-            try:
-                yield from self.network.round_trip(poa.site, element.site)
-            except NetworkError:
-                raise _OperationFailure(ResultCode.UNAVAILABLE,
-                                        "write copy unreachable") from None
-        reads = 1 if plan.kind is PlanKind.UPDATE else 0
-        yield self.sim.timeout(element.service_times.transaction_time(
-            reads=reads, writes=1,
-            synchronous_commit=self.config.synchronous_commit))
-
-        key, record, prior_value = self._apply_write(plan, copy)
-
-        # Synchronous replication modes add their commit-path cost here.
-        if record is not None and \
-                self.config.replication_mode is not ReplicationMode.ASYNCHRONOUS:
-            yield from self._replicate_synchronously(partition_index, record)
-
-        if plan.kind is PlanKind.CREATE:
-            identities = {itype: plan.attributes.get(attr)
-                          for itype, attr in _IDENTITY_RECORD_ATTRIBUTE.items()
-                          if plan.attributes.get(attr)}
-            self._register_identities(
-                identities, located_element,
-                all_locators=self.config.location_mode is
-                LocationMode.PROVISIONED_MAPS,
-                serving_locator=poa.locator)
-        elif plan.kind is PlanKind.DELETE and isinstance(prior_value, dict):
-            deleted_identities = {
-                itype: prior_value.get(attr)
-                for itype, attr in _IDENTITY_RECORD_ATTRIBUTE.items()
-                if prior_value.get(attr)}
-            self._deregister_identities(deleted_identities)
-
-        return [], target_name
-
-    def _place_new_subscriber(self, plan: OperationPlan) -> str:
-        profile_like = _PlacementView(plan.attributes)
-        if self.config.location_mode is LocationMode.CONSISTENT_HASH:
-            locator = next(iter(self.locators.values()))
-            return locator.locate("imsi", plan.attributes.get("imsi", ""))
-        candidates = [
-            PlacementCandidate(element_name=element.name,
-                               region=element.site.region.name,
-                               has_capacity=element.has_capacity_for(1))
-            for element in self.elements.values()]
-        return self.placement_policy.choose(profile_like, candidates)
-
-    def _apply_write(self, plan: OperationPlan, copy):
-        """Run the intra-SE transaction for a write plan.
-
-        Returns ``(key, commit_record, prior_value)``; the commit record is
-        ``None`` for no-op writes and ``prior_value`` is the record that
-        existed before a DELETE (used to deregister its identities).  Raises
-        :class:`_OperationFailure` on business errors.
-        """
-        transactions = copy.transactions
-        key_imsi = plan.identity_value if plan.identity_type == "imsi" else None
-        if plan.kind is PlanKind.CREATE:
-            key = f"sub:{plan.attributes['imsi']}"
-        else:
-            if key_imsi is None:
-                key_imsi = self._imsi_by_attribute(copy, plan)
-                if key_imsi is None:
-                    raise _OperationFailure(ResultCode.NO_SUCH_OBJECT,
-                                            "record not found")
-            key = f"sub:{key_imsi}"
-        transaction = transactions.begin()
-        prior_value = None
-        try:
-            if plan.kind is PlanKind.CREATE:
-                if transaction.exists(key):
-                    transaction.abort()
-                    raise _OperationFailure(ResultCode.ENTRY_ALREADY_EXISTS,
-                                            "entry already exists")
-                transaction.write(key, dict(plan.attributes))
-            elif plan.kind is PlanKind.UPDATE:
-                if not transaction.exists(key):
-                    transaction.abort()
-                    raise _OperationFailure(ResultCode.NO_SUCH_OBJECT,
-                                            "record not found")
-                transaction.modify(key, plan.changes)
-            else:  # DELETE
-                prior_value = transaction.read_or_default(key)
-                if prior_value is None:
-                    transaction.abort()
-                    raise _OperationFailure(ResultCode.NO_SUCH_OBJECT,
-                                            "record not found")
-                transaction.delete(key)
-        except WriteConflict:
-            raise _OperationFailure(ResultCode.BUSY,
-                                    "write conflict, retry") from None
-        record = transaction.commit(timestamp=self.sim.now)
-        return key, record, prior_value
-
-    def _imsi_by_attribute(self, copy, plan: OperationPlan) -> Optional[str]:
-        attribute = _IDENTITY_RECORD_ATTRIBUTE.get(plan.identity_type, "")
-        for key in copy.store.keys():
-            record = copy.store.get(key)
-            if isinstance(record, dict) and \
-                    record.get(attribute) == plan.identity_value:
-                return record.get("imsi")
-        return None
-
-    def _replicate_synchronously(self, partition_index: int, record):
-        try:
-            if self.config.replication_mode is ReplicationMode.DUAL_IN_SEQUENCE:
-                yield from self.dual_replicators[partition_index] \
-                    .replicate_commit(record)
-            elif self.config.replication_mode is ReplicationMode.QUORUM:
-                yield from self.quorum_replicators[partition_index] \
-                    .replicate_commit(record)
-        except NotEnoughReplicas:
-            raise _OperationFailure(
-                ResultCode.UNAVAILABLE,
-                "not enough replicas for the configured durability") from None
+    def flush_metrics(self) -> None:
+        """Apply any batched metric records to :attr:`metrics` now."""
+        self.pipeline.flush_metrics()
 
     def __repr__(self) -> str:
         return (f"<UDRNetworkFunction {self.config.name!r} "
                 f"sites={len(self.topology)} elements={len(self.elements)} "
                 f"subscribers={self.subscribers_loaded}>")
-
-
-class _OperationFailure(Exception):
-    """Internal control-flow exception mapping failures to result codes."""
-
-    def __init__(self, code: ResultCode, reason: str):
-        super().__init__(reason)
-        self.code = code
-        self.reason = reason
-
-
-class _PlacementView:
-    """Adapts a new entry's attributes to the placement policy interface."""
-
-    def __init__(self, attributes: Dict[str, object]):
-        self.key = f"sub:{attributes.get('imsi', '')}"
-        self.home_region = attributes.get("homeRegion")
-        self.organisation = attributes.get("organisation")

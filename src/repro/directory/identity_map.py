@@ -45,9 +45,14 @@ class IdentityLocationMap:
             del self._keys[index]
 
     def bulk_load(self, entries: Iterable[Tuple[str, str]]) -> None:
-        """Load many entries at once (initial sync of a new location stage)."""
-        for identity, location in entries:
-            self._locations[identity] = location
+        """Load many entries at once (initial sync of a new location stage).
+
+        ``dict.update`` consumes the pairs in C instead of a per-entry
+        Python loop -- same O(N) stores plus one O(N log N) sort, but
+        without the interpreter overhead per entry.  This is the hot path
+        of locator synchronisation and of the E10 population build.
+        """
+        self._locations.update(entries)
         self._keys = sorted(self._locations)
 
     # -- lookup ---------------------------------------------------------------------

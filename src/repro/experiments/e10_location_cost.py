@@ -1,17 +1,24 @@
-"""E10 — Data-location lookup cost: O(log N) maps vs O(1) hashing (H-F link).
+"""E10 — Data-location lookup cost: O(log N) maps vs O(1) alternatives (H-F link).
 
 "A state-full data location stage's processing cost typically grows as
 O(log N) [...] this impact is very small and can be neglected in most
 calculations, hence the link has been represented with a dotted line."
 The experiment measures the comparison count of identity-location-map lookups
 as the subscriber count grows, next to the (constant) cost of consistent-hash
-lookups, confirming both the growth law and the "weak link" verdict.
+lookups and of the per-PoA location cache's fast path, confirming the growth
+law, the "weak link" verdict, and that repeated resolutions of the same
+identities collapse to O(1) once the read-through cache is warm.
+
+The population is built incrementally -- each size extends the previous
+one's identity-location map -- so every identity string is materialised
+exactly once across the whole sweep.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.core.location_cache import PoALocationCache
 from repro.directory.consistent_hash import ConsistentHashRing
 from repro.directory.identity_map import IdentityLocationMap
 from repro.experiments.runner import ExperimentResult
@@ -19,18 +26,33 @@ from repro.experiments.runner import ExperimentResult
 
 def run(population_sizes=(1_000, 10_000, 100_000, 1_000_000),
         lookups_per_size: int = 200) -> ExperimentResult:
-    ring = ConsistentHashRing([f"se-{i}" for i in range(16)], virtual_nodes=64)
+    locations = [f"se-{i}" for i in range(16)]
+    ring = ConsistentHashRing(locations, virtual_nodes=64)
+    index = IdentityLocationMap("imsi")
     rows = []
     map_costs = []
+    loaded = 0
     for size in population_sizes:
-        index = IdentityLocationMap("imsi")
-        index.bulk_load((f"{i:012d}", f"se-{i % 16}") for i in range(size))
+        index.bulk_load(("%012d" % i, locations[i % 16])
+                        for i in range(loaded, size))
+        loaded = size
+        index.reset_counters()
         step = max(1, size // lookups_per_size)
-        for i in range(0, size, step):
-            index.locate(f"{i:012d}")
+        probes = ["%012d" % i for i in range(0, size, step)]
+        for identity in probes:
+            index.locate(identity)
         ring.lookups = ring.comparisons = 0
-        for i in range(0, size, step):
-            ring.locate(f"imsi:{i:012d}")
+        for identity in probes:
+            ring.locate(f"imsi:{identity}")
+        # The per-PoA cache fast path, exercised as the pipeline uses it:
+        # a read-through miss consults the map and remembers the answer,
+        # every repeat is an O(1) hit.
+        cache = PoALocationCache(f"poa-e10-{size}")
+        for _ in range(2):
+            for identity in probes:
+                if cache.get("imsi", identity) is None:
+                    cache.store("imsi", identity, index.get(identity))
+        repeat_hit_ratio = cache.stats.hits / len(probes)
         map_cost = index.average_lookup_cost()
         map_costs.append((size, map_cost))
         rows.append([
@@ -38,6 +60,7 @@ def run(population_sizes=(1_000, 10_000, 100_000, 1_000_000),
             round(map_cost, 2),
             round(math.log2(size), 2),
             round(ring.average_lookup_cost(), 2),
+            round(repeat_hit_ratio, 2),
         ])
     # Growth law check: cost ratio across two decades of N tracks log2 ratio.
     smallest, largest = map_costs[0], map_costs[-1]
@@ -45,6 +68,7 @@ def run(population_sizes=(1_000, 10_000, 100_000, 1_000_000),
     expected_ratio = math.log2(largest[0]) / math.log2(smallest[0])
     logarithmic = abs(measured_ratio - expected_ratio) / expected_ratio < 0.3
     weak_link = largest[1] < 64  # tens of comparisons even at 10^6 subscribers
+    cache_fast_path = all(row[4] == 1.0 for row in rows)
     return ExperimentResult(
         experiment_id="E10",
         title="Data-location lookup cost vs subscriber count (H-F weak link)",
@@ -53,11 +77,13 @@ def run(population_sizes=(1_000, 10_000, 100_000, 1_000_000),
                      "but cannot support multiple identities or selective "
                      "placement"),
         headers=["subscribers", "map comparisons/lookup", "log2(N)",
-                 "hash ring comparisons/lookup"],
+                 "hash ring comparisons/lookup", "PoA cache repeat hit ratio"],
         rows=rows,
         finding=(f"map lookup cost grows as log2(N) (ratio {measured_ratio:.2f} "
                  f"vs expected {expected_ratio:.2f}); hash lookups stay flat; "
                  f"even at 10^6 subscribers the map needs ~{largest[1]:.0f} "
-                 f"comparisons, supporting the 'weak link' verdict"),
-        notes={"logarithmic_growth": logarithmic, "weak_link": weak_link},
+                 f"comparisons, supporting the 'weak link' verdict; warm "
+                 f"per-PoA cache hits resolve repeats at O(1)"),
+        notes={"logarithmic_growth": logarithmic, "weak_link": weak_link,
+               "cache_fast_path": cache_fast_path},
     )

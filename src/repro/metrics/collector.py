@@ -87,6 +87,87 @@ class MetricsRegistry:
                 f"latencies={len(self._latencies)}>")
 
 
+class MetricsBatch:
+    """Buffered metric recording, applied to a registry in batches.
+
+    The operation pipeline records per-request metrics (outcomes, latency
+    samples, consistency observations, counters) into a batch instead of
+    straight into the registry; the batch coalesces counter increments and
+    flushes everything after ``flush_threshold`` completed requests.  The
+    default threshold of 1 flushes at the end of every request, so callers
+    that inspect the registry between requests see exactly the same state as
+    with unbatched recording; high-throughput experiments raise the
+    threshold (``UDRConfig.metrics_batch_size``) and flush once per batch.
+    """
+
+    def __init__(self, registry: MetricsRegistry, flush_threshold: int = 1):
+        if flush_threshold < 1:
+            raise ValueError("flush threshold must be at least 1")
+        self.registry = registry
+        self.flush_threshold = flush_threshold
+        self._counters: Dict[str, int] = {}
+        self._outcomes: list = []
+        self._latencies: list = []
+        self._reads: list = []
+        self._requests_pending = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_outcome(self, client: str, success: bool,
+                       reason: str = "") -> None:
+        self._outcomes.append((client, success, reason))
+
+    def record_latency(self, client: str, value: float) -> None:
+        self._latencies.append((client, value))
+
+    def record_read(self, client: str, served_from_slave: bool, stale: bool,
+                    versions_behind: int) -> None:
+        self._reads.append((client, served_from_slave, stale, versions_behind))
+
+    # -- flushing -------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Buffered record count (all kinds), for introspection and tests."""
+        return (len(self._counters) + len(self._outcomes)
+                + len(self._latencies) + len(self._reads))
+
+    def request_done(self) -> None:
+        """One request finished; flush if the batch is full."""
+        self._requests_pending += 1
+        if self._requests_pending >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        registry = self.registry
+        for name, amount in self._counters.items():
+            registry.increment(name, amount)
+        for client, success, reason in self._outcomes:
+            outcomes = registry.outcomes(client)
+            if success:
+                outcomes.record_success()
+            else:
+                outcomes.record_failure(reason)
+        for client, value in self._latencies:
+            registry.latency(client).record(value)
+        for client, served_from_slave, stale, versions_behind in self._reads:
+            registry.consistency(client).record_read(
+                served_from_slave=served_from_slave, stale=stale,
+                versions_behind=versions_behind, client_type=client)
+        self._counters.clear()
+        self._outcomes.clear()
+        self._latencies.clear()
+        self._reads.clear()
+        self._requests_pending = 0
+
+    def __repr__(self) -> str:
+        return (f"<MetricsBatch pending={self.pending} "
+                f"threshold={self.flush_threshold}>")
+
+
 _default_registry: Optional[MetricsRegistry] = None
 
 

@@ -101,6 +101,10 @@ class AsyncReplicationChannel:
             self.stalled_rounds += 1
             return 0
         shipped_lsn = self._shipped_lsn.get(master_name, 0)
+        if master_copy.wal.last_lsn == shipped_lsn:
+            # Idle tick: nothing committed since the last round, so skip the
+            # log scan entirely (the common case on the 50 ms cadence).
+            return 0
         pending = master_copy.wal.since(shipped_lsn)[:self.batch_limit]
         # Skip records the slave already has (e.g. after a failover the new
         # master's log contains history the slave applied long ago).

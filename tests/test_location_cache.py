@@ -1,0 +1,119 @@
+"""Unit tests for the per-PoA location cache (fast path + invalidation)."""
+
+import pytest
+
+from repro.core.location_cache import (
+    LocationCacheGroup,
+    PoALocationCache,
+)
+
+
+class TestPoALocationCache:
+    def test_miss_then_hit(self):
+        cache = PoALocationCache("poa-a")
+        assert cache.get("imsi", "123") is None
+        cache.store("imsi", "123", "se-1")
+        assert cache.get("imsi", "123") == "se-1"
+        assert cache.stats.lookups == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio() == pytest.approx(0.5)
+
+    def test_identity_namespaces_are_distinct(self):
+        cache = PoALocationCache("poa-a")
+        cache.store("imsi", "123", "se-1")
+        assert cache.get("msisdn", "123") is None
+
+    def test_store_updates_existing_entry(self):
+        cache = PoALocationCache("poa-a")
+        cache.store("imsi", "123", "se-1")
+        cache.store("imsi", "123", "se-2")
+        assert cache.get("imsi", "123") == "se-2"
+        assert len(cache) == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = PoALocationCache("poa-a", capacity=2)
+        cache.store("imsi", "1", "se-1")
+        cache.store("imsi", "2", "se-2")
+        assert cache.get("imsi", "1") == "se-1"  # refresh "1"
+        cache.store("imsi", "3", "se-3")         # evicts "2", the LRU entry
+        assert cache.get("imsi", "2") is None
+        assert cache.get("imsi", "1") == "se-1"
+        assert cache.get("imsi", "3") == "se-3"
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PoALocationCache("poa-a", capacity=-1)
+
+    def test_invalidate_element_drops_only_matching_entries(self):
+        cache = PoALocationCache("poa-a")
+        cache.store("imsi", "1", "se-1")
+        cache.store("imsi", "2", "se-2")
+        cache.store("msisdn", "700", "se-1")
+        dropped = cache.invalidate_element("se-1")
+        assert dropped == 2
+        assert cache.get("imsi", "1") is None
+        assert cache.get("msisdn", "700") is None
+        assert cache.get("imsi", "2") == "se-2"
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_identities_mapping(self):
+        cache = PoALocationCache("poa-a")
+        cache.store("imsi", "1", "se-1")
+        cache.store("msisdn", "700", "se-1")
+        cache.invalidate_identities({"imsi": "1", "msisdn": "700",
+                                     "impu": "sip:x"})
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2  # the impu entry never existed
+
+    def test_clear(self):
+        cache = PoALocationCache("poa-a")
+        cache.store("imsi", "1", "se-1")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("imsi", "1") is None
+
+
+class TestLocationCacheGroup:
+    class _PoA:
+        def __init__(self, name):
+            self.name = name
+
+    def test_one_cache_per_poa(self):
+        group = LocationCacheGroup()
+        poa_a, poa_b = self._PoA("poa-a"), self._PoA("poa-b")
+        cache_a = group.for_poa(poa_a)
+        assert group.for_poa(poa_a) is cache_a
+        assert group.for_poa(poa_b) is not cache_a
+        assert len(group) == 2
+        assert group.cache("poa-a") is cache_a
+        assert group.cache("poa-missing") is None
+
+    def test_capacity_propagates(self):
+        group = LocationCacheGroup(capacity=1)
+        cache = group.for_poa(self._PoA("poa-a"))
+        cache.store("imsi", "1", "se-1")
+        cache.store("imsi", "2", "se-2")
+        assert len(cache) == 1
+
+    def test_fleet_wide_invalidation(self):
+        group = LocationCacheGroup()
+        cache_a = group.for_poa(self._PoA("poa-a"))
+        cache_b = group.for_poa(self._PoA("poa-b"))
+        cache_a.store("imsi", "1", "se-1")
+        cache_b.store("imsi", "1", "se-1")
+        cache_b.store("imsi", "2", "se-2")
+        assert group.invalidate_element("se-1") == 2
+        assert len(cache_a) == 0
+        assert cache_b.get("imsi", "2") == "se-2"
+        group.invalidate_identities({"imsi": "2"})
+        assert len(cache_b) == 0
+
+    def test_clear_all(self):
+        group = LocationCacheGroup()
+        cache = group.for_poa(self._PoA("poa-a"))
+        cache.store("imsi", "1", "se-1")
+        group.clear_all()
+        assert len(cache) == 0

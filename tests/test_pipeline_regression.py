@@ -1,0 +1,117 @@
+"""Regression guard: the staged pipeline answers a canned request matrix
+with exactly the result codes the monolithic ``execute()`` produced, and
+the location-cache fast path never changes a result code."""
+
+import pytest
+
+from repro.core import ClientType, UDRConfig
+from repro.ldap import (
+    AddRequest,
+    DeleteRequest,
+    ModifyRequest,
+    ResultCode,
+    SearchRequest,
+    SubscriberSchema,
+)
+from repro.net import NetworkPartition
+from repro.subscriber import SubscriberGenerator
+
+from tests.conftest import build_udr, fe_site_for, run_to_completion
+
+
+def run_request_matrix(udr, profiles):
+    """Drive a fixed request sequence; return the result-code names."""
+    known = profiles[0]
+    other = profiles[1]
+    generator = SubscriberGenerator(udr.config.regions, seed=987)
+    newcomer = generator.generate_one()
+    fe, ps = ClientType.APPLICATION_FE, ClientType.PROVISIONING
+    home = fe_site_for(udr, known)
+    remote = next(site for site in udr.topology.sites
+                  if site.region.name != known.home_region)
+
+    def dn(profile):
+        return SubscriberSchema.subscriber_dn(profile.identities.imsi)
+
+    matrix = [
+        ("read known imsi", fe, home, SearchRequest(dn=dn(known))),
+        ("repeat read (cache hit path)", fe, home,
+         SearchRequest(dn=dn(known))),
+        ("read by msisdn filter", fe, home, SearchRequest(
+            dn=SubscriberSchema.BASE_DN,
+            filter_text=f"(msisdn={known.identities.msisdn})")),
+        ("read unknown imsi", fe, home, SearchRequest(
+            dn=SubscriberSchema.subscriber_dn("999999999999999"))),
+        ("create newcomer", ps, home, AddRequest(
+            dn=dn(newcomer), attributes=newcomer.to_record())),
+        ("read newcomer", fe, home, SearchRequest(dn=dn(newcomer))),
+        ("duplicate create", ps, home, AddRequest(
+            dn=dn(known), attributes=known.to_record())),
+        ("modify known", fe, home, ModifyRequest(
+            dn=dn(known), changes={"servingMsc": "msc-1"})),
+        ("modify unknown", ps, home, ModifyRequest(
+            dn=SubscriberSchema.subscriber_dn("999999999999999"),
+            changes={"servingMsc": "x"})),
+        ("delete other", ps, home, DeleteRequest(dn=dn(other))),
+        ("read deleted", fe, home, SearchRequest(dn=dn(other))),
+        ("unsupported scope search", fe, home, SearchRequest(
+            dn=SubscriberSchema.BASE_DN, filter_text="(objectClass=*)")),
+    ]
+    codes = []
+    for label, client, site, request in matrix:
+        response = run_to_completion(udr, udr.execute(request, client, site))
+        codes.append((label, response.result_code.name))
+
+    # Partition the known subscriber's home region away and write from the
+    # wrong side (the paper's prefer-consistency failure), then heal.
+    region = udr.topology.region(known.home_region)
+    partition = NetworkPartition.splitting_regions(udr.topology, region)
+    udr.network.apply_partition(partition)
+    response = run_to_completion(udr, udr.execute(
+        ModifyRequest(dn=dn(known), changes={"svcBarPremium": True}),
+        ClientType.PROVISIONING, remote))
+    codes.append(("write from cut-off side", response.result_code.name))
+    udr.network.heal_partition(partition)
+    response = run_to_completion(udr, udr.execute(
+        ModifyRequest(dn=dn(known), changes={"svcBarPremium": True}),
+        ClientType.PROVISIONING, remote))
+    codes.append(("write after heal", response.result_code.name))
+    return codes
+
+
+EXPECTED = [
+    ("read known imsi", "SUCCESS"),
+    ("repeat read (cache hit path)", "SUCCESS"),
+    ("read by msisdn filter", "SUCCESS"),
+    ("read unknown imsi", "NO_SUCH_OBJECT"),
+    ("create newcomer", "SUCCESS"),
+    ("read newcomer", "SUCCESS"),
+    ("duplicate create", "ENTRY_ALREADY_EXISTS"),
+    ("modify known", "SUCCESS"),
+    ("modify unknown", "NO_SUCH_OBJECT"),
+    ("delete other", "SUCCESS"),
+    ("read deleted", "NO_SUCH_OBJECT"),
+    ("unsupported scope search", "UNWILLING_TO_PERFORM"),
+    ("write from cut-off side", "UNAVAILABLE"),
+    ("write after heal", "SUCCESS"),
+]
+
+
+class TestResultCodeRegression:
+    def test_result_codes_unchanged_across_refactor(self):
+        """The canned matrix pins the monolith's observable behaviour."""
+        udr, profiles = build_udr(config=UDRConfig(seed=7))
+        assert run_request_matrix(udr, profiles) == EXPECTED
+
+    def test_result_codes_identical_with_cache_disabled(self):
+        """The fast path is an optimisation, never a behaviour change."""
+        cached_udr, cached_profiles = build_udr(config=UDRConfig(seed=7))
+        plain_udr, plain_profiles = build_udr(config=UDRConfig(
+            location_cache_enabled=False, seed=7))
+        assert run_request_matrix(cached_udr, cached_profiles) == \
+            run_request_matrix(plain_udr, plain_profiles)
+
+    def test_result_codes_identical_with_batched_metrics(self):
+        batched_udr, batched_profiles = build_udr(config=UDRConfig(
+            metrics_batch_size=64, seed=7))
+        assert run_request_matrix(batched_udr, batched_profiles) == EXPECTED
