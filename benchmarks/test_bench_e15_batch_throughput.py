@@ -1,0 +1,17 @@
+"""Bench E15: batched pipelining throughput vs admission-wave size."""
+
+from repro.experiments import e15_batch_throughput
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e15_batch_throughput(benchmark):
+    result = run_experiment(benchmark, e15_batch_throughput.run)
+    # The acceptance bar of the batching PR: >= 1.3x ops/s at the largest
+    # wave size, with result codes identical to unbatched execution.
+    assert result.notes["largest_batch_size"] == 32
+    assert result.notes["meets_1_3x_speedup"]
+    assert result.notes["speedup_at_largest_batch"] >= 1.3
+    assert result.notes["codes_identical_across_batch_sizes"]
+    assert result.notes["all_succeeded"]
+    benchmark.extra_info.update(result.notes)

@@ -10,7 +10,9 @@ Benchmarks are matched by name; for each pair the relative change of the
 chosen statistic (default: mean) is printed.  The exit status is non-zero
 when any benchmark regressed by more than ``--threshold`` (default 20%),
 so CI can gate merges on it.  Benchmarks present in only one file are
-reported but do not fail the comparison.
+reported but do not fail the comparison -- unless they are named by
+``--require`` (repeatable), which turns a missing candidate benchmark into
+a failure (used to keep the e15 batch-throughput benchmark in the gate).
 """
 
 from __future__ import annotations
@@ -29,7 +31,13 @@ def load_benchmarks(path: Path) -> dict:
 
 
 def compare(baseline: dict, candidate: dict, metric: str,
-            threshold: float) -> int:
+            threshold: float, required=()) -> int:
+    missing = [name for name in required if name not in candidate]
+    if missing:
+        for name in missing:
+            print(f"error: required benchmark {name!r} missing from the "
+                  f"candidate run", file=sys.stderr)
+        return 1
     regressions = 0
     shared = sorted(set(baseline) & set(candidate))
     if not shared:
@@ -70,6 +78,10 @@ def main(argv=None) -> int:
     parser.add_argument("--metric", default="mean",
                         choices=("mean", "median", "min", "max"),
                         help="which statistic to compare (default: mean)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail when NAME is absent from the candidate "
+                             "run (repeatable)")
     args = parser.parse_args(argv)
     try:
         baseline = load_benchmarks(args.baseline)
@@ -77,7 +89,8 @@ def main(argv=None) -> int:
     except (OSError, KeyError, ValueError) as error:
         print(f"error: cannot read benchmark data: {error}", file=sys.stderr)
         return 2
-    return compare(baseline, candidate, args.metric, args.threshold)
+    return compare(baseline, candidate, args.metric, args.threshold,
+                   required=args.require)
 
 
 if __name__ == "__main__":

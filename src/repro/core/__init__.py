@@ -20,7 +20,9 @@ from repro.core.config import (
     LocationMode,
     PartitionPolicy,
     PlacementMode,
+    Priority,
     ReplicationMode,
+    RetryPolicy,
     UDRConfig,
 )
 from repro.core.udr import UDRNetworkFunction
@@ -28,9 +30,12 @@ from repro.core.deployment import Deployment, DeploymentBuilder
 from repro.core.lifecycle import ClusterController
 from repro.core.location_cache import LocationCacheGroup, PoALocationCache
 from repro.core.pipeline import (
+    BatchAdmissionStage,
+    BatchItem,
     OperationContext,
     OperationFailure,
     OperationPipeline,
+    RetryStage,
 )
 from repro.core.capacity import CapacityModel, CapacityReport
 from repro.core.frash import (
@@ -45,6 +50,8 @@ from repro.core.availability import AvailabilityModel
 
 __all__ = [
     "AvailabilityModel",
+    "BatchAdmissionStage",
+    "BatchItem",
     "CapacityModel",
     "CapacityReport",
     "Characteristic",
@@ -63,7 +70,10 @@ __all__ = [
     "PacelcClassification",
     "PartitionPolicy",
     "PlacementMode",
+    "Priority",
     "ReplicationMode",
+    "RetryPolicy",
+    "RetryStage",
     "TradeOffLink",
     "TradeOffPosition",
     "UDRConfig",

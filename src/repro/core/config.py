@@ -63,6 +63,84 @@ class ClientType(enum.Enum):
     PROVISIONING = "provisioning"
 
 
+class Priority(enum.Enum):
+    """Priority classes of batched admission (highest first).
+
+    Signalling procedures (application front-ends serving live network
+    traffic) outrank provisioning changes, which outrank bulk provisioning
+    runs.  The batch admission stage dequeues the classes with a weighted
+    round-robin (``UDRConfig.priority_weights``) so lower classes still make
+    progress under load, but FIFO order is kept *within* each class.
+    """
+
+    SIGNALLING = "signalling"
+    PROVISIONING = "provisioning"
+    BULK = "bulk"
+
+    @classmethod
+    def for_client(cls, client_type: ClientType) -> "Priority":
+        """The default class of a request when the caller sets none."""
+        if client_type is ClientType.APPLICATION_FE:
+            return cls.SIGNALLING
+        return cls.PROVISIONING
+
+
+#: Default weighted-round-robin quanta of the batch admission dequeue.
+DEFAULT_PRIORITY_WEIGHTS: Dict[str, int] = {
+    Priority.SIGNALLING.value: 4,
+    Priority.PROVISIONING.value: 2,
+    Priority.BULK.value: 1,
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with backoff ticks on transient result codes.
+
+    Applied by the batch pipeline's :class:`~repro.core.pipeline.RetryStage`:
+    a failed attempt whose code is in ``retry_codes`` waits
+    ``backoff_tick * backoff_multiplier**(attempt-1)`` virtual seconds and is
+    re-driven.  With ``relocate_on_retry`` (the default) the retry re-runs
+    data location from scratch, so a retry after a fail-over -- which
+    invalidated the PoA caches -- resolves the fresh location instead of the
+    one the failed attempt used.
+
+    ``retry_codes`` holds :class:`~repro.ldap.operations.ResultCode` *names*
+    (strings), keeping the configuration layer free of LDAP imports.
+    """
+
+    max_retries: int = 2
+    backoff_tick: float = 5 * units.MILLISECOND
+    backoff_multiplier: float = 2.0
+    retry_codes: Tuple[str, ...] = ("BUSY", "UNAVAILABLE")
+    relocate_on_retry: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_tick < 0:
+            raise ValueError("backoff tick cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be at least 1")
+        # Deferred import to keep the configuration layer free of LDAP
+        # imports at module load; a typo here would otherwise silently
+        # disable retries.
+        from repro.ldap.operations import ResultCode
+        known = {code.name for code in ResultCode}
+        for name in self.retry_codes:
+            if name not in known:
+                raise ValueError(f"unknown result code {name!r} in "
+                                 f"retry_codes")
+
+    def retries(self, code) -> bool:
+        """Whether ``code`` (a ResultCode) is transient under this policy."""
+        return code.name in self.retry_codes
+
+    def backoff(self, attempt: int) -> float:
+        """The wait before retry number ``attempt`` (1-based)."""
+        return self.backoff_tick * self.backoff_multiplier ** (attempt - 1)
+
+
 @dataclass
 class UDRConfig:
     """Everything needed to build a UDR NF deployment.
@@ -104,6 +182,21 @@ class UDRConfig:
     location_cache_enabled: bool = True
     location_cache_capacity: int = 0
 
+    # -- batched admission -----------------------------------------------------------
+    #: Most requests one admission wave of ``execute_batch`` carries through
+    #: the PoA/LDAP/locate stages together.
+    batch_max_size: int = 32
+    #: Ticks (of ``BATCH_LINGER_TICK`` each) an under-filled admission wave
+    #: lingers for late arrivals before being driven; 0 disables lingering.
+    batch_linger_ticks: int = 0
+    #: Weighted-round-robin quanta of the priority dequeue, keyed by
+    #: :class:`Priority` value.  Missing classes default to weight 1.
+    priority_weights: Dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_PRIORITY_WEIGHTS))
+    #: Retry policy of the batch pipeline's RetryStage; ``None`` (the
+    #: default) fails fast exactly like the single-request path.
+    retry_policy: Optional[RetryPolicy] = None
+
     # -- observability ------------------------------------------------------------------
     #: Completed requests buffered before the pipeline's metric batch is
     #: flushed to the registry; 1 (the default) flushes per request.
@@ -137,6 +230,17 @@ class UDRConfig:
             raise ValueError("checkpoint period must be positive")
         if self.location_cache_capacity < 0:
             raise ValueError("location cache capacity cannot be negative")
+        if self.batch_max_size < 1:
+            raise ValueError("batch max size must be at least 1")
+        if self.batch_linger_ticks < 0:
+            raise ValueError("batch linger ticks cannot be negative")
+        valid_classes = {priority.value for priority in Priority}
+        for name, weight in self.priority_weights.items():
+            if name not in valid_classes:
+                raise ValueError(f"unknown priority class {name!r}")
+            if weight < 1:
+                raise ValueError(
+                    f"priority weight of {name!r} must be at least 1")
         if self.metrics_batch_size < 1:
             raise ValueError("metrics batch size must be at least 1")
 
@@ -160,6 +264,10 @@ class UDRConfig:
         if client_type is ClientType.APPLICATION_FE:
             return self.fe_reads_from_slave
         return self.ps_reads_from_slave
+
+    def weight_of(self, priority: Priority) -> int:
+        """The weighted-round-robin quantum of one priority class."""
+        return self.priority_weights.get(priority.value, 1)
 
     def multi_master_enabled(self) -> bool:
         return self.partition_policy is PartitionPolicy.PREFER_AVAILABILITY

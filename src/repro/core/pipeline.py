@@ -18,18 +18,38 @@ owning one of the hops the paper describes:
 Stages share a per-request :class:`OperationContext` and signal failures by
 raising :class:`OperationFailure`, which the pipeline maps to an LDAP result
 code -- never an exception to the caller, exactly as a directory server
-would answer.  New scenarios (batched provisioning, priority classes, retry
-policies) plug in as additional stages instead of more branches.
+would answer.
+
+On top of the single-request walk, :meth:`OperationPipeline.execute_batch`
+carries N requests through the front of the pipeline together:
+
+* :class:`BatchAdmissionStage` -- weighted priority dequeue
+  (signalling > provisioning > bulk, FIFO within each class), admission
+  waves of at most ``UDRConfig.batch_max_size`` requests, and one shared
+  client-to-PoA transfer per client site;
+* the LDAP server is consulted once per wave (one service-time charge, one
+  translation per request) and :meth:`LocateStage.run_group` resolves each
+  distinct identity exactly once -- one location-cache lookup or locator
+  probe per identity group;
+* the per-request tail (:class:`ReadPath`/:class:`WritePath`) fans back out
+  with per-request :class:`OperationContext`\\ s, wrapped by
+  :class:`RetryStage` -- bounded retries with backoff ticks on transient
+  result codes (``UDRConfig.retry_policy``), re-running data location on
+  retry so a fail-over that invalidated the caches is picked up;
+* one shared PoA-to-client transfer answers the wave
+  (:class:`RespondStage`), and the metric batch is flushed exactly once at
+  batch end.
 
 Metric recording is batched: stages record into a
 :class:`~repro.metrics.collector.MetricsBatch` that is flushed every
 ``UDRConfig.metrics_batch_size`` completed requests (default 1, i.e. at the
-end of each request).
+end of each request); ``execute_batch`` defers everything to one flush.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.balancer import PointOfAccess, closest_point_of_access
 from repro.directory.errors import LocatorSyncInProgress, UnknownIdentity
@@ -41,37 +61,52 @@ from repro.net.errors import NetworkError
 from repro.net.topology import Site
 from repro.replication.errors import MasterUnreachable, NotEnoughReplicas
 from repro.replication.replica_set import ReplicaSet
+from repro.sim import units
 from repro.storage.errors import RecordNotFound, WriteConflict
 from repro.core.config import (
     ClientType,
     LocationMode,
+    Priority,
     ReplicationMode,
     UDRConfig,
 )
 from repro.core.deployment import Deployment, IDENTITY_RECORD_ATTRIBUTE
 from repro.core.location_cache import LocationCacheGroup, PoALocationCache
 
+#: Virtual duration of one ``UDRConfig.batch_linger_ticks`` tick: how long an
+#: under-filled admission wave waits for late arrivals before being driven.
+BATCH_LINGER_TICK = 1 * units.MILLISECOND
+
 
 class OperationFailure(Exception):
     """Control-flow exception mapping operational failures to result codes."""
 
-    def __init__(self, code: ResultCode, reason: str, respond: bool = True):
+    def __init__(self, code: ResultCode, reason: str, respond: bool = True,
+                 retryable: bool = True):
         super().__init__(reason)
         self.code = code
         self.reason = reason
         #: Whether the PoA still sends an answer back to the client (false
         #: when the client could not even reach a PoA).
         self.respond = respond
+        #: Whether a retry policy may re-drive the request.  False for
+        #: failures raised *after* the intra-SE commit (synchronous
+        #: replication shortfall): the write is not idempotent any more, so
+        #: a retry would observe its own first attempt and answer a wrong
+        #: permanent code.
+        self.retryable = retryable
 
 
 class OperationContext:
     """Everything one in-flight request's stages share."""
 
     __slots__ = ("request", "client_type", "client_site", "start", "poa",
-                 "plan", "located_element", "entries", "served_from")
+                 "plan", "located_element", "entries", "served_from",
+                 "priority", "attempts", "location_resolved")
 
     def __init__(self, request: LdapRequest, client_type: ClientType,
-                 client_site: Site, start: float):
+                 client_site: Site, start: float,
+                 priority: Optional[Priority] = None):
         self.request = request
         self.client_type = client_type
         self.client_site = client_site
@@ -81,6 +116,12 @@ class OperationContext:
         self.located_element: Optional[str] = None
         self.entries: List[dict] = []
         self.served_from = ""
+        self.priority = priority or Priority.for_client(client_type)
+        #: Retries the RetryStage spent on this request (0 = first try).
+        self.attempts = 0
+        #: Whether data location ran (``located_element is None`` is a valid
+        #: outcome for CREATE, so presence cannot stand in for "resolved").
+        self.location_resolved = False
 
 
 class PipelineStage:
@@ -93,23 +134,52 @@ class PipelineStage:
         self.deployment = pipeline.deployment
         self.network = pipeline.deployment.network
 
+    def element_round_trip(self, poa: PointOfAccess, element, reason: str,
+                           ledger: Optional["_TransferLedger"] = None):
+        """Generator: the PoA-to-storage-element round trip of a data path.
+
+        Skipped for co-located copies; under a batch, the wave's ledger
+        lets requests targeting copies at the same site share one bulk
+        round trip.  Failed transfers are never recorded in the ledger, so
+        every request observes the failure exactly as it would alone.
+        """
+        if poa.site == element.site:
+            return
+        if ledger is not None and ledger.covers(poa.site, element.site):
+            return
+        try:
+            yield from self.network.round_trip(poa.site, element.site)
+        except NetworkError:
+            raise OperationFailure(ResultCode.UNAVAILABLE, reason) from None
+        if ledger is not None:
+            ledger.record(poa.site, element.site)
+
 
 class AdmissionStage(PipelineStage):
     """Reach the closest serving Point of Access."""
 
     def run(self, ctx: OperationContext):
-        poa = closest_point_of_access(self.network, ctx.client_site,
+        ctx.poa = yield from self.reach_poa(ctx.client_site)
+
+    def reach_poa(self, client_site: Site) -> "PointOfAccess":
+        """Generator: choose the serving PoA and pay the client-side hop.
+
+        Shared by the single-request walk and the batched admission (which
+        pays this once per site group); raises
+        :class:`OperationFailure` (``respond=False``) when no PoA serves.
+        """
+        poa = closest_point_of_access(self.network, client_site,
                                       self.deployment.points_of_access)
         if poa is None:
             raise OperationFailure(ResultCode.UNAVAILABLE, "no reachable PoA",
                                    respond=False)
-        ctx.poa = poa
         try:
-            yield from self.network.transfer(ctx.client_site, poa.site)
+            yield from self.network.transfer(client_site, poa.site)
         except NetworkError:
             raise OperationFailure(ResultCode.UNAVAILABLE,
                                    "client to PoA failed",
                                    respond=False) from None
+        return poa
 
 
 class LdapPlanStage(PipelineStage):
@@ -117,11 +187,34 @@ class LdapPlanStage(PipelineStage):
 
     def run(self, ctx: OperationContext):
         server = ctx.poa.select_server()
+        failure = self.translate(ctx, server)
+        yield self.sim.timeout(server.service_time())
+        if failure is not None:
+            raise failure
+
+    @staticmethod
+    def translate(ctx: OperationContext, server) -> Optional[OperationFailure]:
+        """Translate one request into its plan; returns the translation
+        failure (if any) so batch waves can collect per-request errors
+        while charging the server's service time once."""
         plan = server.plan(ctx.request)
         ctx.plan = plan
-        yield self.sim.timeout(server.service_time())
         if not plan.ok:
-            raise OperationFailure(plan.error, plan.diagnostic)
+            return OperationFailure(plan.error, plan.diagnostic)
+        return None
+
+    def run_group(self, poa: PointOfAccess, slots: List["_BatchSlot"]):
+        """Generator: one server and one service-time charge for a site
+        group; translation is still per request (each may fail
+        independently, recorded on its slot)."""
+        server = poa.select_server()
+        yield self.sim.timeout(server.service_time())
+        for slot in slots:
+            failure = self.translate(slot.ctx, server)
+            if failure is None:
+                slot.runnable = True
+            else:
+                slot.failure = failure
 
 
 class LocateStage(PipelineStage):
@@ -144,6 +237,52 @@ class LocateStage(PipelineStage):
                 raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
                                        "unknown identity") from None
             ctx.located_element = None
+        ctx.location_resolved = True
+
+    def run_group(self, slots: List["_BatchSlot"],
+                  defer_unknown: bool = True) -> None:
+        """Resolve a wave of contexts, one probe per distinct identity.
+
+        Requests addressing the same ``(identity type, value)`` share a
+        single location-cache lookup (or locator probe on a miss); failures
+        are recorded per slot so one bad identity never fails its
+        group-mates.
+
+        ``defer_unknown`` controls identities unknown at wave start: when
+        the wave contains placement-changing writes (CREATE/DELETE), an
+        unknown identity may be created by an earlier request of the same
+        batch, so resolution is deferred to each request's own turn in
+        admission order (the RetryStage re-runs locate when unresolved).
+        In a wave without such writes the unknown verdict is final and is
+        applied immediately, keeping the one-probe-per-identity contract.
+        """
+        by_identity: Dict[Tuple[str, str], List[_BatchSlot]] = {}
+        for slot in slots:
+            plan = slot.ctx.plan
+            by_identity.setdefault(
+                (plan.identity_type, plan.identity_value), []).append(slot)
+        for group in by_identity.values():
+            try:
+                location = self._resolve(group[0].ctx)
+            except LocatorSyncInProgress:
+                failure = OperationFailure(ResultCode.BUSY, "locator syncing")
+                for slot in group:
+                    slot.failure = failure
+                continue
+            except UnknownIdentity:
+                if defer_unknown:
+                    continue
+                for slot in group:
+                    if slot.ctx.plan.kind is PlanKind.CREATE:
+                        slot.ctx.located_element = None
+                        slot.ctx.location_resolved = True
+                    else:
+                        slot.failure = OperationFailure(
+                            ResultCode.NO_SUCH_OBJECT, "unknown identity")
+                continue
+            for slot in group:
+                slot.ctx.located_element = location
+                slot.ctx.location_resolved = True
 
     def _resolve(self, ctx: OperationContext) -> str:
         poa, plan = ctx.poa, ctx.plan
@@ -161,10 +300,32 @@ class LocateStage(PipelineStage):
         return location
 
 
+class _TransferLedger:
+    """PoA-to-element round trips already paid within one admission wave.
+
+    Requests of one wave that target copies at the same site ride a single
+    bulk transfer: the first payer charges the round trip, the rest skip it.
+    Failed transfers are *not* recorded, so every request against an
+    unreachable site observes the failure exactly as it would alone.
+    """
+
+    __slots__ = ("_paid",)
+
+    def __init__(self):
+        self._paid: set = set()
+
+    def covers(self, source: Site, destination: Site) -> bool:
+        return (source, destination) in self._paid
+
+    def record(self, source: Site, destination: Site) -> None:
+        self._paid.add((source, destination))
+
+
 class ReadPath(PipelineStage):
     """Serve a read from the best reachable copy the client may use."""
 
-    def run(self, ctx: OperationContext):
+    def run(self, ctx: OperationContext,
+            ledger: Optional[_TransferLedger] = None):
         plan, poa, client_type = ctx.plan, ctx.poa, ctx.client_type
         replica_set = self.deployment.replica_set_of_element(
             ctx.located_element)
@@ -176,12 +337,8 @@ class ReadPath(PipelineStage):
                                    "no reachable copy for read")
         element = self.deployment.elements[copy_element]
         copy = replica_set.copy_on(copy_element)
-        if poa.site != element.site:
-            try:
-                yield from self.network.round_trip(poa.site, element.site)
-            except NetworkError:
-                raise OperationFailure(ResultCode.UNAVAILABLE,
-                                       "copy unreachable") from None
+        yield from self.element_round_trip(poa, element, "copy unreachable",
+                                           ledger=ledger)
         yield self.sim.timeout(
             element.service_times.transaction_time(reads=1, writes=0))
         transaction = copy.transactions.begin()
@@ -259,7 +416,8 @@ class ReadPath(PipelineStage):
 class WritePath(PipelineStage):
     """Run a write plan against the partition's write copy."""
 
-    def run(self, ctx: OperationContext):
+    def run(self, ctx: OperationContext,
+            ledger: Optional[_TransferLedger] = None):
         plan, poa, located_element = ctx.plan, ctx.poa, ctx.located_element
         if plan.kind is PlanKind.CREATE and located_element is None:
             located_element = self.deployment.place_subscriber(
@@ -283,12 +441,9 @@ class WritePath(PipelineStage):
                 f"master unreachable ({error.reason})") from None
         element = self.deployment.elements[target_name]
         copy = replica_set.copy_on(target_name)
-        if poa.site != element.site:
-            try:
-                yield from self.network.round_trip(poa.site, element.site)
-            except NetworkError:
-                raise OperationFailure(ResultCode.UNAVAILABLE,
-                                       "write copy unreachable") from None
+        yield from self.element_round_trip(poa, element,
+                                           "write copy unreachable",
+                                           ledger=ledger)
         reads = 1 if plan.kind is PlanKind.UPDATE else 0
         yield self.sim.timeout(element.service_times.transaction_time(
             reads=reads, writes=1,
@@ -393,9 +548,12 @@ class ReplicateStage(PipelineStage):
                 yield from self.deployment.quorum_replicators[partition_index] \
                     .replicate_commit(record)
         except NotEnoughReplicas:
+            # The local commit already happened: not retryable (see
+            # OperationFailure.retryable).
             raise OperationFailure(
                 ResultCode.UNAVAILABLE,
-                "not enough replicas for the configured durability") from None
+                "not enough replicas for the configured durability",
+                retryable=False) from None
 
 
 class RespondStage(PipelineStage):
@@ -409,6 +567,154 @@ class RespondStage(PipelineStage):
             # outcome is still decided by what happened at the UDR, but the
             # loss itself must stay observable in experiment reports.
             self.pipeline.batch.increment("response_lost")
+
+    def run_group(self, poa_site: Site, client_site: Site, answers: int):
+        """One shared transfer carries a wave's ``answers`` back to a site;
+        a loss still counts ``response_lost`` once per answer, matching the
+        per-request accounting of the sequential path."""
+        try:
+            yield from self.network.transfer(poa_site, client_site)
+        except NetworkError:
+            self.pipeline.batch.increment("response_lost", answers)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One request of a batch: what a client hands to ``execute_batch``.
+
+    ``priority`` defaults to the client type's natural class
+    (FE -> signalling, PS -> provisioning); bulk provisioning runs pass
+    :attr:`Priority.BULK` explicitly.
+    """
+
+    request: LdapRequest
+    client_type: ClientType
+    client_site: Site
+    priority: Optional[Priority] = None
+
+    def priority_class(self) -> Priority:
+        return self.priority or Priority.for_client(self.client_type)
+
+
+class _BatchSlot:
+    """Mutable per-request state threaded through one batch run."""
+
+    __slots__ = ("item", "index", "ctx", "failure", "runnable")
+
+    def __init__(self, item: BatchItem, index: int):
+        self.item = item
+        self.index = index
+        self.ctx: Optional[OperationContext] = None
+        self.failure: Optional[OperationFailure] = None
+        #: Whether the slot reached the data path (admitted and translated).
+        self.runnable = False
+
+
+class BatchAdmissionStage(PipelineStage):
+    """Admission of a whole batch: priority dequeue plus shared PoA hops.
+
+    The dequeue is a weighted round-robin over the priority classes in
+    descending order (``UDRConfig.priority_weights`` quanta per turn), FIFO
+    within each class, so signalling traffic overtakes provisioning and bulk
+    without starving them.  The ordered queue is then cut into admission
+    waves of at most ``batch_max_size`` requests; within a wave the requests
+    of one client site share a single client-to-PoA transfer.
+    """
+
+    def order(self, slots: Sequence[_BatchSlot]) -> List[_BatchSlot]:
+        """The weighted-priority admission order (stable within a class)."""
+        queues: Dict[Priority, List[_BatchSlot]] = {p: [] for p in Priority}
+        for slot in slots:
+            queues[slot.item.priority_class()].append(slot)
+        ordered: List[_BatchSlot] = []
+        cursors = {priority: 0 for priority in Priority}
+        remaining = len(slots)
+        while remaining:
+            for priority in Priority:
+                queue, cursor = queues[priority], cursors[priority]
+                take = min(self.config.weight_of(priority),
+                           len(queue) - cursor)
+                if take <= 0:
+                    continue
+                ordered.extend(queue[cursor:cursor + take])
+                cursors[priority] = cursor + take
+                remaining -= take
+        return ordered
+
+    def waves(self, ordered: Sequence[_BatchSlot]) -> List[List[_BatchSlot]]:
+        """Cut the admission order into waves of at most ``batch_max_size``."""
+        size = self.config.batch_max_size
+        return [list(ordered[start:start + size])
+                for start in range(0, len(ordered), size)]
+
+    def run(self, client_site: Site, slots: List[_BatchSlot]):
+        """Generator: reach the PoA once for a wave's site group.
+
+        Returns the serving :class:`PointOfAccess`; raises
+        :class:`OperationFailure` (``respond=False``) for the whole group
+        when no PoA is reachable -- exactly the sequential admission
+        failure (shared via :meth:`AdmissionStage.reach_poa`), paid once
+        instead of once per request.
+        """
+        poa = yield from self.pipeline.admission.reach_poa(client_site)
+        for slot in slots:
+            slot.ctx.poa = poa
+        return poa
+
+
+class RetryStage(PipelineStage):
+    """Policy-driven retries around the per-request data path.
+
+    Drives locate (when not already resolved by the shared group probe) and
+    the read/write path for one context.  On an :class:`OperationFailure`
+    whose code the configured :class:`~repro.core.config.RetryPolicy` calls
+    transient, it waits the policy's backoff and tries again -- re-running
+    data location from scratch (``relocate_on_retry``), so a fail-over that
+    invalidated the PoA caches between attempts is honoured instead of
+    retrying against the stale location.  Without a policy it is a plain
+    pass-through, preserving sequential-path behaviour bit for bit.
+    """
+
+    def run(self, ctx: OperationContext,
+            pending_failure: Optional[OperationFailure] = None,
+            ledger: Optional["_TransferLedger"] = None):
+        policy = self.config.retry_policy
+        batch = self.pipeline.batch
+        failure = pending_failure
+        attempt = 0
+        while True:
+            if failure is None:
+                try:
+                    if not ctx.location_resolved:
+                        self.pipeline.locate.run(ctx)
+                    if ctx.plan.kind is PlanKind.READ:
+                        yield from self.pipeline.read_path.run(ctx,
+                                                               ledger=ledger)
+                    else:
+                        yield from self.pipeline.write_path.run(ctx,
+                                                                ledger=ledger)
+                    if attempt:
+                        batch.increment("batch.retry_succeeded")
+                    return
+                except OperationFailure as error:
+                    failure = error
+            if policy is None or not failure.retryable or \
+                    not policy.retries(failure.code):
+                raise failure
+            if attempt >= policy.max_retries:
+                batch.increment("batch.retry_exhausted")
+                raise failure
+            attempt += 1
+            ctx.attempts = attempt
+            batch.increment("batch.retries")
+            yield self.sim.timeout(policy.backoff(attempt))
+            if policy.relocate_on_retry:
+                ctx.located_element = None
+                ctx.location_resolved = False
+            ctx.entries = []
+            # A retry is a fresh message; it pays its own network hops.
+            ledger = None
+            failure = None
 
 
 class OperationPipeline:
@@ -430,6 +736,8 @@ class OperationPipeline:
         self.write_path = WritePath(self)
         self.replicate = ReplicateStage(self)
         self.respond = RespondStage(self)
+        self.batch_admission = BatchAdmissionStage(self)
+        self.retry_stage = RetryStage(self)
 
     # -- cache plumbing ------------------------------------------------------------
 
@@ -455,7 +763,9 @@ class OperationPipeline:
 
         Returns an :class:`~repro.ldap.operations.LdapResponse`; never raises
         for operational failures -- they are encoded as result codes, exactly
-        as a directory server would answer.
+        as a directory server would answer.  ``UDRConfig.retry_policy`` does
+        *not* apply here: a single request fails fast, retries are a batch
+        admission feature (:meth:`execute_batch`).
         """
         ctx = OperationContext(request, client_type, client_site,
                                start=self.sim.now)
@@ -474,13 +784,164 @@ class OperationPipeline:
         yield from self.respond.run(ctx)
         return self._finish(ctx, ResultCode.SUCCESS)
 
+    # -- the batched operation path ------------------------------------------------
+
+    def execute_batch(self, items: Sequence[Union[BatchItem, LdapRequest]],
+                      client_type: Optional[ClientType] = None,
+                      client_site: Optional[Site] = None):
+        """Generator: carry N requests through the stages together.
+
+        ``items`` is a sequence of :class:`BatchItem`; bare
+        :class:`LdapRequest` objects are accepted too when ``client_type``
+        and ``client_site`` describe the whole batch.  Returns the list of
+        :class:`~repro.ldap.operations.LdapResponse` in submission order.
+
+        Equivalence: result codes and final store state are identical to N
+        sequential :meth:`execute` calls issued in the batch's *admission
+        order* -- which preserves submission order within each priority
+        class but interleaves the classes by weight.  For workloads whose
+        outcome does not depend on cross-class ordering (in particular,
+        when no identity is written by one class and addressed by another
+        in the same batch) this equals plain submission order; the property
+        is pinned by ``tests/test_batch_equivalence.py``.  The batch
+        amortises the shared hops and flushes the metric batch exactly once
+        at the end.
+        """
+        slots = [_BatchSlot(self._as_item(item, client_type, client_site),
+                            index)
+                 for index, item in enumerate(items)]
+        responses: List[Optional[LdapResponse]] = [None] * len(slots)
+        waves = self.batch_admission.waves(self.batch_admission.order(slots))
+        self.batch.increment("batch.batches")
+        for wave in waves:
+            yield from self._run_wave(wave, responses)
+        self.batch.flush()
+        return responses
+
+    @staticmethod
+    def _as_item(item, client_type, client_site) -> BatchItem:
+        if isinstance(item, BatchItem):
+            return item
+        if client_type is None or client_site is None:
+            raise TypeError("bare LdapRequest batch items need client_type "
+                            "and client_site")
+        return BatchItem(item, client_type, client_site)
+
+    def _run_wave(self, wave: List[_BatchSlot],
+                  responses: List[Optional[LdapResponse]]):
+        """Generator: drive one admission wave through the stages.
+
+        The shared front of the pipeline (PoA hop, LDAP service charge,
+        request translation, group location probes) runs once per client
+        site; the transactional tail then fans out over the *whole* wave in
+        global admission order -- not site group by site group -- so
+        dependent requests of one priority class behave exactly as
+        sequential execution regardless of which sites they arrive from.
+        One shared answer transfer per site group closes the wave.
+        """
+        config = self.config
+        wave_start = self.sim.now  # a lingering wave's wait counts as latency
+        if config.batch_linger_ticks and len(wave) < config.batch_max_size:
+            # An under-filled wave lingers for late arrivals.
+            yield self.sim.timeout(
+                config.batch_linger_ticks * BATCH_LINGER_TICK)
+        site_groups: Dict[Site, List[_BatchSlot]] = {}
+        for slot in wave:
+            site_groups.setdefault(slot.item.client_site, []).append(slot)
+        admitted = []
+        for client_site, group in site_groups.items():
+            poa = yield from self._admit_site_group(client_site, group,
+                                                    responses, wave_start)
+            if poa is None:
+                continue
+            yield from self.plan_stage.run_group(poa, group)
+            admitted.append((client_site, poa, group))
+        # Identities unknown at wave start stay unresolved only when an
+        # earlier request of this wave could register them (a CREATE; a
+        # DELETE can only remove, which placement_changed below handles).
+        defer_unknown = any(
+            slot.ctx.plan.kind is PlanKind.CREATE
+            for _site, _poa, group in admitted
+            for slot in group if slot.runnable)
+        for _site, _poa, group in admitted:
+            # One location probe per distinct identity in the site group.
+            self.locate.run_group(
+                [slot for slot in group if slot.runnable],
+                defer_unknown=defer_unknown)
+        # Fan back out: the transactional tail is per request, in global
+        # admission order, wrapped by the retry policy.  The wave's ledger
+        # lets requests targeting copies at the same site share one bulk
+        # round trip ("group by target partition").
+        ledger = _TransferLedger()
+        placement_changed = False
+        for slot in wave:
+            if not slot.runnable:
+                continue
+            if placement_changed and slot.ctx.location_resolved:
+                # An earlier CREATE/DELETE of this wave may have moved or
+                # removed data the shared probe resolved: re-locate at this
+                # request's own turn, as the sequential path would.
+                slot.ctx.located_element = None
+                slot.ctx.location_resolved = False
+            pending = slot.failure
+            slot.failure = None
+            try:
+                yield from self.retry_stage.run(slot.ctx,
+                                                pending_failure=pending,
+                                                ledger=ledger)
+            except OperationFailure as failure:
+                slot.failure = failure
+            if slot.failure is None and \
+                    slot.ctx.plan.kind in (PlanKind.CREATE, PlanKind.DELETE):
+                placement_changed = True
+        # One shared answer transfer back to each client site.  (Failures
+        # with respond=False cannot reach this point: they early-return in
+        # the admission handler.)
+        for client_site, poa, group in admitted:
+            yield from self.respond.run_group(poa.site, client_site,
+                                              len(group))
+            for slot in group:
+                if slot.failure is None:
+                    responses[slot.index] = self._finish(
+                        slot.ctx, ResultCode.SUCCESS, batched=True)
+                else:
+                    responses[slot.index] = self._finish(
+                        slot.ctx, slot.failure.code,
+                        reason=slot.failure.reason, batched=True)
+
+    def _admit_site_group(self, client_site: Site, group: List[_BatchSlot],
+                          responses: List[Optional[LdapResponse]],
+                          wave_start: float):
+        """Generator: contexts plus the shared PoA hop for one site group.
+
+        Returns the serving PoA, or ``None`` when admission failed -- the
+        group's responses are recorded here in that case.
+        """
+        for slot in group:
+            item = slot.item
+            slot.ctx = OperationContext(item.request, item.client_type,
+                                        client_site, start=wave_start,
+                                        priority=item.priority_class())
+        try:
+            poa = yield from self.batch_admission.run(client_site, group)
+        except OperationFailure as failure:
+            for slot in group:
+                slot.failure = failure
+                responses[slot.index] = self._finish(
+                    slot.ctx, failure.code, reason=failure.reason,
+                    batched=True)
+            return None
+        self.batch.increment("batch.admitted", len(group))
+        return poa
+
     def _finish(self, ctx: OperationContext, code: ResultCode,
-                reason: str = "") -> LdapResponse:
+                reason: str = "", batched: bool = False) -> LdapResponse:
         latency = self.sim.now - ctx.start
         response = LdapResponse(result_code=code, request=ctx.request,
                                 entries=list(ctx.entries),
                                 diagnostic_message=reason,
-                                latency=latency, served_from=ctx.served_from)
+                                latency=latency, served_from=ctx.served_from,
+                                attempts=ctx.attempts)
         client = ctx.client_type.value
         if code.is_success:
             self.batch.record_outcome(client, success=True)
@@ -488,7 +949,11 @@ class OperationPipeline:
         else:
             self.batch.record_outcome(client, success=False,
                                       reason=reason or code.name.lower())
-        self.batch.request_done()
+        if batched:
+            # Batched requests defer to the single flush at batch end.
+            self.batch.record_priority(ctx.priority.value, code.is_success)
+        else:
+            self.batch.request_done()
         return response
 
     def flush_metrics(self) -> None:

@@ -208,6 +208,23 @@ class UDRNetworkFunction:
         """
         return self.pipeline.execute(request, client_type, client_site)
 
+    def execute_batch(self, items, client_type: Optional[ClientType] = None,
+                      client_site: Optional[Site] = None):
+        """Generator: run N LDAP requests through the pipeline together.
+
+        ``items`` is a sequence of :class:`~repro.core.pipeline.BatchItem`
+        (or bare requests, with ``client_type``/``client_site`` describing
+        the whole batch).  Returns the responses in submission order;
+        result codes and final store state match N sequential
+        :meth:`execute` calls issued in the batch's admission order
+        (submission order within each priority class -- see
+        :meth:`OperationPipeline.execute_batch`), while the shared
+        admission/LDAP/locate/respond hops are paid once per admission wave
+        (``UDRConfig.batch_max_size``).
+        """
+        return self.pipeline.execute_batch(items, client_type=client_type,
+                                           client_site=client_site)
+
     def flush_metrics(self) -> None:
         """Apply any batched metric records to :attr:`metrics` now."""
         self.pipeline.flush_metrics()

@@ -23,6 +23,7 @@ E11       Availability model vs the five-nines budget
 E12       PACELC classification
 E13       Provisioning backlog and the 30-second batch glitch
 E14       Response-time budget vs the 10 ms target
+E15       Batched pipelining throughput vs admission-wave size
 ========  ==========================================================
 """
 

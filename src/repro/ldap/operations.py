@@ -109,6 +109,9 @@ class LdapResponse:
     diagnostic_message: str = ""
     latency: float = 0.0
     served_from: str = ""
+    #: Retries the batch pipeline's RetryStage spent on the request
+    #: (0 = answered on the first attempt; always 0 on the sequential path).
+    attempts: int = 0
 
     @property
     def ok(self) -> bool:

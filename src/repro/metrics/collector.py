@@ -29,6 +29,12 @@ class MetricsRegistry:
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """All counters whose name starts with ``prefix`` (e.g. per-priority
+        ``batch.priority.`` counters recorded by the batch pipeline)."""
+        return {name: value for name, value in self._counters.items()
+                if name.startswith(prefix)}
+
     # -- gauges -----------------------------------------------------------------
 
     def set_gauge(self, name: str, value: float) -> None:
@@ -105,6 +111,9 @@ class MetricsBatch:
             raise ValueError("flush threshold must be at least 1")
         self.registry = registry
         self.flush_threshold = flush_threshold
+        #: Times :meth:`flush` ran; batch-path tests assert one whole
+        #: ``execute_batch`` flushes exactly once.
+        self.flushes = 0
         self._counters: Dict[str, int] = {}
         self._outcomes: list = []
         self._latencies: list = []
@@ -127,6 +136,12 @@ class MetricsBatch:
                     versions_behind: int) -> None:
         self._reads.append((client, served_from_slave, stale, versions_behind))
 
+    def record_priority(self, priority: str, success: bool) -> None:
+        """Per-priority-class accounting of batched admission outcomes."""
+        self.increment(f"batch.priority.{priority}.completed")
+        if not success:
+            self.increment(f"batch.priority.{priority}.failed")
+
     # -- flushing -------------------------------------------------------------
 
     @property
@@ -142,6 +157,7 @@ class MetricsBatch:
             self.flush()
 
     def flush(self) -> None:
+        self.flushes += 1
         registry = self.registry
         for name, amount in self._counters.items():
             registry.increment(name, amount)

@@ -57,12 +57,20 @@ class BatchReport:
 
 
 class BatchRun:
-    """Submits a batch of provisioning operations through a PS instance."""
+    """Submits a batch of provisioning operations through a PS instance.
+
+    With ``pipelined=True`` the run hands slices of
+    ``udr.config.batch_max_size`` operations to
+    :meth:`~repro.provisioning.system.ProvisioningSystem.provision_pipelined`
+    (bulk priority), amortising the admission/LDAP/locate hops across each
+    slice; pacing and the consecutive-failure abort are applied per slice.
+    """
 
     def __init__(self, provisioning_system: ProvisioningSystem,
                  operations: List[ProvisioningOperation],
                  pacing: float = 0.0,
-                 abort_after_consecutive_failures: Optional[int] = None):
+                 abort_after_consecutive_failures: Optional[int] = None,
+                 pipelined: bool = False):
         if pacing < 0:
             raise ValueError("pacing cannot be negative")
         if abort_after_consecutive_failures is not None and \
@@ -72,6 +80,7 @@ class BatchRun:
         self.operations = list(operations)
         self.pacing = pacing
         self.abort_after_consecutive_failures = abort_after_consecutive_failures
+        self.pipelined = pipelined
 
     def run(self):
         """Generator: execute the batch; returns a :class:`BatchReport`."""
@@ -81,19 +90,24 @@ class BatchRun:
         failed_outcomes: List[ProvisioningOutcome] = []
         consecutive_failures = 0
         aborted = False
-        for operation in self.operations:
-            outcome = yield from self.provisioning_system.provision(operation)
-            if outcome.succeeded:
-                succeeded += 1
-                consecutive_failures = 0
-            else:
-                failed_outcomes.append(outcome)
-                consecutive_failures += 1
-                if self.abort_after_consecutive_failures is not None and \
-                        consecutive_failures >= \
-                        self.abort_after_consecutive_failures:
-                    aborted = True
-                    break
+        for outcomes in self._outcome_slices():
+            slice_outcomes = yield from outcomes
+            # The whole slice has already executed against the UDR, so every
+            # outcome is tallied even when the abort threshold trips midway;
+            # the abort only stops *further* slices from being issued.
+            for outcome in slice_outcomes:
+                if outcome.succeeded:
+                    succeeded += 1
+                    consecutive_failures = 0
+                else:
+                    failed_outcomes.append(outcome)
+                    consecutive_failures += 1
+                    if self.abort_after_consecutive_failures is not None and \
+                            consecutive_failures >= \
+                            self.abort_after_consecutive_failures:
+                        aborted = True
+            if aborted:
+                break
             if self.pacing:
                 yield sim.timeout(self.pacing)
         return BatchReport(
@@ -105,3 +119,21 @@ class BatchRun:
             abort_threshold=self.abort_after_consecutive_failures,
             aborted=aborted,
         )
+
+    def _outcome_slices(self):
+        """Generators yielding lists of outcomes: one per operation when
+        sequential, one per ``batch_max_size`` slice when pipelined."""
+        ps = self.provisioning_system
+        if not self.pipelined:
+            for operation in self.operations:
+                yield self._provision_one(ps, operation)
+            return
+        size = max(1, ps.udr.config.batch_max_size)
+        for begin in range(0, len(self.operations), size):
+            yield ps.provision_pipelined(self.operations[begin:begin + size])
+
+    @staticmethod
+    def _provision_one(ps: ProvisioningSystem,
+                       operation: ProvisioningOperation):
+        outcome = yield from ps.provision(operation)
+        return [outcome]

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.config import ClientType
+from repro.core.config import ClientType, Priority
+from repro.core.pipeline import BatchItem
 from repro.provisioning.backlog import BacklogModel
 from repro.provisioning.operations import ProvisioningOperation
 
@@ -101,6 +102,91 @@ class ProvisioningSystem:
             if request.is_write:
                 applied_any = True
         return True, None, applied_any, diagnostics
+
+    # -- pipelined operations ---------------------------------------------------------
+
+    def provision_pipelined(self, operations: List[ProvisioningOperation],
+                            priority: Priority = Priority.BULK):
+        """Generator: run a list of operations as pipelined batches.
+
+        Consecutive single-request operations are carried through the UDR's
+        batched admission together (``udr.execute_batch``), amortising the
+        PoA, LDAP and locate hops; a multi-request operation (a
+        transactional sequence such as a SIM swap) flushes the accumulated
+        batch first and then runs through the sequential :meth:`provision`
+        path, so operations always *execute* in input order.  The PS-level
+        retry budget (``max_retries`` / ``retry_delay``) applies to batched
+        operations too: failed ones are re-batched after the delay, exactly
+        as :meth:`provision` re-attempts.  Returns one
+        :class:`ProvisioningOutcome` per operation, in input order.
+        """
+        outcomes: List[Optional[ProvisioningOutcome]] = [None] * len(operations)
+        segment: List[tuple] = []
+        for index, operation in enumerate(operations):
+            requests = operation.requests()
+            if len(requests) == 1:
+                segment.append((index, requests[0]))
+                continue
+            yield from self._provision_segment(segment, operations, outcomes,
+                                               priority)
+            segment = []
+            outcomes[index] = yield from self.provision(operation)
+        yield from self._provision_segment(segment, operations, outcomes,
+                                           priority)
+        return outcomes
+
+    def _provision_segment(self, segment, operations, outcomes,
+                           priority: Priority):
+        """Generator: run one run of single-request operations as batches,
+        re-batching failures until the PS retry budget is spent."""
+        if not segment:
+            return
+        start = self.udr.sim.now
+        results = {}
+        attempts_of = {index: 0 for index, _request in segment}
+        latency_of = {}
+        diagnostics_of = {index: [] for index, _request in segment}
+        pending = list(segment)
+        attempts = 0
+        while True:
+            attempts += 1
+            items = [BatchItem(request, self.client_type, self.site,
+                               priority=priority)
+                     for _index, request in pending]
+            responses = yield from self.udr.execute_batch(items)
+            for (index, request), response in zip(pending, responses):
+                results[index] = (request, response)
+                attempts_of[index] = attempts
+                # An operation's latency runs until the batch that carried
+                # its (final) attempt completed -- later *retry rounds* are
+                # excluded, the waves inside one batch are not separable.
+                latency_of[index] = self.udr.sim.now - start
+                if not response.ok:
+                    diagnostics_of[index].append(
+                        f"{request.operation_name}: "
+                        f"{response.result_code.name} "
+                        f"({response.diagnostic_message})")
+            failed = [(index, request) for index, request in pending
+                      if not results[index][1].ok]
+            if not failed or attempts > self.max_retries:
+                break
+            pending = failed
+            yield self.udr.sim.timeout(self.retry_delay)
+        for index, _request in segment:
+            _, response = results[index]
+            operation = operations[index]
+            self.operations_attempted += 1
+            outcome = ProvisioningOutcome(
+                operation=operation.name,
+                subscriber_key=operation.subscriber.key,
+                succeeded=response.ok,
+                attempts=attempts_of[index],
+                latency=latency_of[index],
+                diagnostics=diagnostics_of[index])
+            if not response.ok:
+                outcome.failed_request_index = 0
+            self._account(outcome)
+            outcomes[index] = outcome
 
     def _account(self, outcome: ProvisioningOutcome) -> None:
         if outcome.succeeded:

@@ -10,7 +10,9 @@ from repro.core import (
     FrashGraph,
     LocationMode,
     PartitionPolicy,
+    Priority,
     ReplicationMode,
+    RetryPolicy,
     UDRConfig,
     classify,
 )
@@ -60,6 +62,45 @@ class TestUDRConfig:
             UDRConfig(checkpoint_period=0)
         with pytest.raises(ValueError):
             UDRConfig(storage_elements_per_site=0)
+
+    def test_batch_knob_validation(self):
+        with pytest.raises(ValueError):
+            UDRConfig(batch_max_size=0)
+        with pytest.raises(ValueError):
+            UDRConfig(batch_linger_ticks=-1)
+        with pytest.raises(ValueError):
+            UDRConfig(priority_weights={"no-such-class": 1})
+        with pytest.raises(ValueError):
+            UDRConfig(priority_weights={"signalling": 0})
+
+    def test_priority_defaults_and_weights(self):
+        config = UDRConfig()
+        assert Priority.for_client(ClientType.APPLICATION_FE) is \
+            Priority.SIGNALLING
+        assert Priority.for_client(ClientType.PROVISIONING) is \
+            Priority.PROVISIONING
+        assert config.weight_of(Priority.SIGNALLING) > \
+            config.weight_of(Priority.PROVISIONING) > \
+            config.weight_of(Priority.BULK)
+        sparse = UDRConfig(priority_weights={"signalling": 8})
+        assert sparse.weight_of(Priority.BULK) == 1, \
+            "classes missing from the mapping default to weight 1"
+
+    def test_retry_policy_validation_and_backoff(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_codes=("BUSY", "UNAVALIABLE"))  # typo caught
+        policy = RetryPolicy(max_retries=3, backoff_tick=0.01,
+                             backoff_multiplier=2.0)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(3) == pytest.approx(0.04)
+        from repro.ldap import ResultCode
+        assert policy.retries(ResultCode.BUSY)
+        assert policy.retries(ResultCode.UNAVAILABLE)
+        assert not policy.retries(ResultCode.NO_SUCH_OBJECT)
 
 
 class TestCapacityModel:

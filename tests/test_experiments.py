@@ -23,6 +23,7 @@ from repro.experiments import (
     e12_pacelc,
     e13_backlog,
     e14_latency,
+    e15_batch_throughput,
 )
 from repro.experiments.runner import ExperimentResult
 
@@ -136,3 +137,10 @@ class TestSimulationExperiments:
         assert result.notes["processing_within_target"]
         assert result.notes["remote_master_mean_ms"] > \
             result.notes["local_mean_ms"]
+
+    def test_e15_batch_throughput_speedup(self):
+        result = e15_batch_throughput.run(batch_sizes=(1, 16), operations=64,
+                                          seed=5)
+        assert result.notes["speedup_at_largest_batch"] >= 1.3
+        assert result.notes["codes_identical_across_batch_sizes"]
+        assert result.notes["all_succeeded"]

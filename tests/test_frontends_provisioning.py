@@ -262,6 +262,102 @@ class TestBatchProvisioning:
         assert report.aborted
         assert report.failed == 3
 
+    def test_pipelined_batch_matches_sequential_outcomes(self, fresh_udr):
+        """The pipelined run reports the same per-operation outcomes as the
+        sequential one, in input order, while batching the admission."""
+        udr, profiles = fresh_udr
+        generator = SubscriberGenerator(udr.config.regions, seed=558)
+        operations = [CreateSubscription(profile)
+                      for profile in generator.generate(6)]
+        operations += [ChangeServices(profile, changes={"svcBarPremium": True})
+                       for profile in profiles[:4]]
+        operations.append(SwapSim(profiles[10]))  # multi-request fallback
+        ps = ProvisioningSystem("ps-pipe", udr, udr.topology.sites[0])
+        outcomes = run(udr, ps.provision_pipelined(operations))
+        assert len(outcomes) == len(operations)
+        assert [outcome.operation for outcome in outcomes] == \
+            [operation.name for operation in operations]
+        assert all(outcome.succeeded for outcome in outcomes)
+        assert ps.operations_attempted == len(operations)
+        assert udr.metrics.counter("batch.admitted") == len(operations) - 1, \
+            "every single-request operation went through batched admission"
+        assert udr.metrics.counters_with_prefix("batch.priority.bulk")
+
+    def test_pipelined_preserves_execution_order_across_fallbacks(
+            self, fresh_udr):
+        """A multi-request operation must not be reordered after later
+        single-request ones: SwapSim(X) then TerminateSubscription(X) only
+        works if the swap really executes first."""
+        udr, profiles = fresh_udr
+        subject = profiles[5]
+        operations = [SwapSim(subject), TerminateSubscription(subject)]
+        ps = ProvisioningSystem("ps-order", udr, udr.topology.sites[0])
+        outcomes = run(udr, ps.provision_pipelined(operations))
+        assert all(outcome.succeeded for outcome in outcomes)
+        assert ps.manual_interventions == 0
+
+    def test_pipelined_honours_ps_retry_budget(self, fresh_udr):
+        """The PS-level max_retries re-batches failed operations, like the
+        sequential provision() loop re-attempts them."""
+        udr, profiles = fresh_udr
+        subject = profiles[0]
+        element = udr.deployment.authoritative_lookup(
+            "imsi", subject.identities.imsi)
+        master = udr.deployment.replica_set_of_element(
+            element).master_element_name
+        udr.crash_element(master)
+
+        def fail_over_later():
+            yield udr.sim.timeout(0.5)  # within the PS retry delay
+            udr.fail_over(master)
+
+        udr.sim.process(fail_over_later())
+        ps = ProvisioningSystem("ps-retry", udr, udr.topology.sites[0],
+                                max_retries=2, retry_delay=2.0)
+        bystander = profiles[1]
+        outcomes = run(udr, ps.provision_pipelined([
+            ChangeServices(subject, changes={"svcBarPremium": True}),
+            ChangeServices(bystander, changes={"svcBarPremium": True}),
+        ]))
+        assert all(outcome.succeeded for outcome in outcomes)
+        assert outcomes[0].attempts == 2
+        assert outcomes[1].attempts == 1
+        assert outcomes[1].latency < outcomes[0].latency, \
+            "an operation done in the first wave does not inherit the " \
+            "retried operation's delay"
+        assert ps.manual_interventions == 0
+
+    def test_pipelined_abort_tallies_the_executed_slice(self, fresh_udr):
+        """The abort threshold stops further slices, but a slice that
+        already executed against the UDR is fully reflected in the report."""
+        udr, _ = fresh_udr
+        unknown = SubscriberGenerator(udr.config.regions,
+                                      seed=560).generate(2)
+        fresh = SubscriberGenerator(udr.config.regions, seed=561).generate(3)
+        operations = [ChangeServices(profile, changes={"svcBarPremium": True})
+                      for profile in unknown]  # fail: never provisioned
+        operations += [CreateSubscription(profile) for profile in fresh]
+        ps = ProvisioningSystem("ps-abort", udr, udr.topology.sites[0])
+        report = run(udr, BatchRun(
+            ps, operations, pipelined=True,
+            abort_after_consecutive_failures=2).run())
+        assert report.aborted
+        assert report.failed == 2
+        assert report.succeeded == 3, \
+            "the creates committed in the same slice stay tallied"
+        assert ps.operations_succeeded == 3
+
+    def test_pipelined_batch_run_reports_like_sequential(self, fresh_udr):
+        udr, _ = fresh_udr
+        generator = SubscriberGenerator(udr.config.regions, seed=559)
+        operations = [CreateSubscription(profile)
+                      for profile in generator.generate(12)]
+        ps = ProvisioningSystem("ps-pipe", udr, udr.topology.sites[0])
+        report = run(udr, BatchRun(ps, operations, pipelined=True).run())
+        assert report.success_ratio == 1.0
+        assert not report.batch_failed
+        assert report.total_operations == len(operations)
+
     def test_invalid_batch_parameters(self, fresh_udr):
         udr, _ = fresh_udr
         ps = ProvisioningSystem("ps-1", udr, udr.topology.sites[0])

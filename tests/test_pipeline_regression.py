@@ -1,10 +1,12 @@
 """Regression guard: the staged pipeline answers a canned request matrix
-with exactly the result codes the monolithic ``execute()`` produced, and
-the location-cache fast path never changes a result code."""
+with exactly the result codes the monolithic ``execute()`` produced, the
+location-cache fast path never changes a result code, and the batch path
+(mixed-priority batches, retry exhaustion, fail-over mid-batch) answers its
+own canned matrix."""
 
 import pytest
 
-from repro.core import ClientType, UDRConfig
+from repro.core import BatchItem, ClientType, Priority, RetryPolicy, UDRConfig
 from repro.ldap import (
     AddRequest,
     DeleteRequest,
@@ -115,3 +117,207 @@ class TestResultCodeRegression:
         batched_udr, batched_profiles = build_udr(config=UDRConfig(
             metrics_batch_size=64, seed=7))
         assert run_request_matrix(batched_udr, batched_profiles) == EXPECTED
+
+
+# -- the batch path's own canned matrix ----------------------------------------------
+
+
+def run_batch_request_matrix(udr, profiles):
+    """Drive canned mixed-priority batches; return the result-code names.
+
+    The first batch mixes all three priority classes (and so exercises the
+    weighted dequeue's reordering); the second depends on the first batch's
+    state; the third reproduces the prefer-consistency partition failure
+    through the batch path.
+    """
+    known, other, modified = profiles[0], profiles[1], profiles[2]
+    generator = SubscriberGenerator(udr.config.regions, seed=987)
+    newcomer = generator.generate_one()
+    fe, ps = ClientType.APPLICATION_FE, ClientType.PROVISIONING
+    home = fe_site_for(udr, known)
+    remote = next(site for site in udr.topology.sites
+                  if site.region.name != known.home_region)
+
+    def dn(profile):
+        return SubscriberSchema.subscriber_dn(profile.identities.imsi)
+
+    first = [
+        ("read known imsi", BatchItem(SearchRequest(dn=dn(known)), fe, home)),
+        ("read unknown imsi", BatchItem(SearchRequest(
+            dn=SubscriberSchema.subscriber_dn("999999999999999")), fe, home)),
+        ("bulk create newcomer", BatchItem(
+            AddRequest(dn=dn(newcomer), attributes=newcomer.to_record()),
+            ps, home, priority=Priority.BULK)),
+        ("duplicate create", BatchItem(
+            AddRequest(dn=dn(known), attributes=known.to_record()), ps, home)),
+        ("modify known", BatchItem(
+            ModifyRequest(dn=dn(modified), changes={"servingMsc": "msc-1"}),
+            ps, home)),
+        ("modify unknown", BatchItem(
+            ModifyRequest(dn=SubscriberSchema.subscriber_dn("999999999999999"),
+                          changes={"servingMsc": "x"}), ps, home)),
+        ("bulk delete other", BatchItem(DeleteRequest(dn=dn(other)), ps, home,
+                                        priority=Priority.BULK)),
+        ("unsupported scope search", BatchItem(SearchRequest(
+            dn=SubscriberSchema.BASE_DN, filter_text="(objectClass=*)"),
+            fe, home)),
+    ]
+    second = [
+        ("read newcomer", BatchItem(SearchRequest(dn=dn(newcomer)),
+                                    fe, home)),
+        ("read deleted", BatchItem(SearchRequest(dn=dn(other)), fe, home)),
+        ("repeat read (cache hit path)", BatchItem(
+            SearchRequest(dn=dn(known)), fe, home)),
+    ]
+    codes = []
+    for batch in (first, second):
+        responses = run_to_completion(
+            udr, udr.execute_batch([item for _label, item in batch]))
+        codes.extend((label, response.result_code.name)
+                     for (label, _item), response in zip(batch, responses))
+
+    region = udr.topology.region(known.home_region)
+    partition = NetworkPartition.splitting_regions(udr.topology, region)
+    udr.network.apply_partition(partition)
+    cut_off = [BatchItem(ModifyRequest(dn=dn(known),
+                                       changes={"svcBarPremium": True}),
+                         ps, remote)]
+    responses = run_to_completion(udr, udr.execute_batch(cut_off))
+    codes.append(("write from cut-off side", responses[0].result_code.name))
+    udr.network.heal_partition(partition)
+    responses = run_to_completion(udr, udr.execute_batch(cut_off))
+    codes.append(("write after heal", responses[0].result_code.name))
+    return codes
+
+
+BATCH_EXPECTED = [
+    ("read known imsi", "SUCCESS"),
+    ("read unknown imsi", "NO_SUCH_OBJECT"),
+    ("bulk create newcomer", "SUCCESS"),
+    ("duplicate create", "ENTRY_ALREADY_EXISTS"),
+    ("modify known", "SUCCESS"),
+    ("modify unknown", "NO_SUCH_OBJECT"),
+    ("bulk delete other", "SUCCESS"),
+    ("unsupported scope search", "UNWILLING_TO_PERFORM"),
+    ("read newcomer", "SUCCESS"),
+    ("read deleted", "NO_SUCH_OBJECT"),
+    ("repeat read (cache hit path)", "SUCCESS"),
+    ("write from cut-off side", "UNAVAILABLE"),
+    ("write after heal", "SUCCESS"),
+]
+
+
+def crash_master_of(udr, profile):
+    """Crash the master element holding ``profile``; returns its name."""
+    element = udr.deployment.authoritative_lookup(
+        "imsi", profile.identities.imsi)
+    master = udr.deployment.replica_set_of_element(element).master_element_name
+    udr.crash_element(master)
+    return master
+
+
+class TestBatchResultCodeRegression:
+    def test_mixed_priority_batch_codes(self):
+        udr, profiles = build_udr(config=UDRConfig(seed=7))
+        assert run_batch_request_matrix(udr, profiles) == BATCH_EXPECTED
+
+    def test_mixed_priority_batch_codes_with_retry_policy(self):
+        """Retries only act on transient codes: the canned matrix's business
+        failures (unknown identity, duplicate create...) are untouched, and
+        the partition row still exhausts to UNAVAILABLE."""
+        udr, profiles = build_udr(config=UDRConfig(
+            seed=7, retry_policy=RetryPolicy(max_retries=1,
+                                             backoff_tick=0.01)))
+        assert run_batch_request_matrix(udr, profiles) == BATCH_EXPECTED
+
+    def test_retry_exhaustion_yields_unavailable(self):
+        policy = RetryPolicy(max_retries=2, backoff_tick=0.01)
+        udr, profiles = build_udr(config=UDRConfig(seed=7,
+                                                   retry_policy=policy))
+        profile = profiles[0]
+        crash_master_of(udr, profile)
+        # A provisioning client may not read from a slave, and nobody
+        # promotes a new master: every retry fails the same way.
+        item = BatchItem(
+            SearchRequest(dn=SubscriberSchema.subscriber_dn(
+                profile.identities.imsi)),
+            ClientType.PROVISIONING, fe_site_for(udr, profile))
+        responses = run_to_completion(udr, udr.execute_batch([item]))
+        assert responses[0].result_code is ResultCode.UNAVAILABLE
+        assert udr.metrics.counter("batch.retries") == policy.max_retries
+        assert udr.metrics.counter("batch.retry_exhausted") == 1
+        assert udr.metrics.counter("batch.retry_succeeded") == 0
+
+    def test_post_commit_replication_failure_is_not_retried(self):
+        """A synchronous-replication shortfall surfaces *after* the intra-SE
+        commit: retrying would re-drive a non-idempotent write against its
+        own first attempt (a DELETE would come back NO_SUCH_OBJECT).  The
+        batch path must answer the sequential code, UNAVAILABLE, unretried."""
+        from repro.core import ReplicationMode
+        config_kwargs = dict(
+            seed=7, replication_mode=ReplicationMode.QUORUM)
+        seq_udr, seq_profiles = build_udr(config=UDRConfig(**config_kwargs))
+        bat_udr, _ = build_udr(config=UDRConfig(
+            retry_policy=RetryPolicy(max_retries=2, backoff_tick=0.01),
+            **config_kwargs))
+        profile = seq_profiles[0]
+
+        def delete_item(udr):
+            element = udr.deployment.authoritative_lookup(
+                "imsi", profile.identities.imsi)
+            replica_set = udr.deployment.replica_set_of_element(element)
+            slave = replica_set.slave_names()[0]
+            udr.crash_element(slave)  # quorum of 2 is now impossible
+            return BatchItem(
+                DeleteRequest(dn=SubscriberSchema.subscriber_dn(
+                    profile.identities.imsi)),
+                ClientType.PROVISIONING, fe_site_for(udr, profile))
+
+        sequential = run_to_completion(
+            seq_udr, seq_udr.execute(delete_item(seq_udr).request,
+                                     ClientType.PROVISIONING,
+                                     fe_site_for(seq_udr, profile)))
+        batched = run_to_completion(
+            bat_udr, bat_udr.execute_batch([delete_item(bat_udr)]))
+        assert sequential.result_code is ResultCode.UNAVAILABLE
+        assert batched[0].result_code is ResultCode.UNAVAILABLE
+        assert bat_udr.metrics.counter("batch.retries") == 0
+
+    def test_fail_over_mid_batch_relocates_via_invalidated_cache(self):
+        """A fail-over between attempts must be picked up by the retry: the
+        first attempt uses the (stale) cached location and fails against the
+        crashed master; the fail-over invalidates the cache; the retry
+        re-locates through the locator and succeeds on the new master."""
+        udr, profiles = build_udr(config=UDRConfig(
+            seed=7, retry_policy=RetryPolicy(max_retries=1,
+                                             backoff_tick=4.0)))
+        profile = profiles[0]
+        site = fe_site_for(udr, profile)
+        request = SearchRequest(dn=SubscriberSchema.subscriber_dn(
+            profile.identities.imsi))
+        # Warm the serving PoA's cache, then crash the master un-failed-over.
+        run_to_completion(udr, udr.execute(
+            request, ClientType.APPLICATION_FE, site))
+        master = crash_master_of(udr, profile)
+        poa = next(p for p in udr.points_of_access if p.site == site)
+        cache = udr.location_caches.cache(poa.name)
+        assert cache.get("imsi", profile.identities.imsi) is not None
+        lookups_before = poa.locator.stats.lookups
+        invalidations_before = cache.stats.invalidations
+
+        def fail_over_later():
+            yield udr.sim.timeout(1.0)  # within the 4 s retry backoff
+            udr.fail_over(master)
+
+        udr.sim.process(fail_over_later())
+        item = BatchItem(request, ClientType.PROVISIONING, site)
+        responses = run_to_completion(udr, udr.execute_batch([item]))
+        assert responses[0].result_code is ResultCode.SUCCESS
+        assert responses[0].attempts == 1, \
+            "the response reports the retry the batch pipeline spent"
+        assert udr.metrics.counter("batch.retries") == 1
+        assert udr.metrics.counter("batch.retry_succeeded") == 1
+        assert cache.stats.invalidations > invalidations_before, \
+            "the fail-over dropped the stale cached location"
+        assert poa.locator.stats.lookups == lookups_before + 1, \
+            "the retry re-resolved through the locator, not the cache"
