@@ -1,0 +1,18 @@
+"""Bench E16: arrival-driven dispatch, linger budget vs arrival rate."""
+
+from repro.experiments import e16_dispatcher_latency
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e16_dispatcher_latency(benchmark):
+    result = run_experiment(benchmark, e16_dispatcher_latency.run)
+    # The acceptance bar of the dispatcher PR: saturated dispatcher
+    # throughput within 10% of explicit execute_batch at the same wave
+    # size, with result codes identical to sequential execution across the
+    # whole sweep.
+    assert result.notes["within_10pct_of_explicit"]
+    assert result.notes["dispatcher_vs_explicit_ratio"] >= 0.9
+    assert result.notes["codes_match_sequential"]
+    assert result.notes["linger_helps_at_saturation"]
+    benchmark.extra_info.update(result.notes)

@@ -17,6 +17,7 @@ This package ties every substrate together:
 
 from repro.core.config import (
     ClientType,
+    DispatchMode,
     LocationMode,
     PartitionPolicy,
     PlacementMode,
@@ -27,6 +28,7 @@ from repro.core.config import (
 )
 from repro.core.udr import UDRNetworkFunction
 from repro.core.deployment import Deployment, DeploymentBuilder
+from repro.core.dispatcher import BatchDispatcher, DispatchTicket
 from repro.core.lifecycle import ClusterController
 from repro.core.location_cache import LocationCacheGroup, PoALocationCache
 from repro.core.pipeline import (
@@ -51,6 +53,7 @@ from repro.core.availability import AvailabilityModel
 __all__ = [
     "AvailabilityModel",
     "BatchAdmissionStage",
+    "BatchDispatcher",
     "BatchItem",
     "CapacityModel",
     "CapacityReport",
@@ -60,6 +63,8 @@ __all__ = [
     "Deployment",
     "DeploymentBuilder",
     "DesignDecision",
+    "DispatchMode",
+    "DispatchTicket",
     "FrashGraph",
     "LocationCacheGroup",
     "LocationMode",

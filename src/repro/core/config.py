@@ -63,6 +63,23 @@ class ClientType(enum.Enum):
     PROVISIONING = "provisioning"
 
 
+class DispatchMode(enum.Enum):
+    """How individual client requests reach the operation pipeline.
+
+    ``DIRECT`` (the default) is call-and-wait: every ``execute()`` walks the
+    pipeline on its own, and batching only happens when a caller hands the
+    pipeline an explicit batch.  ``DISPATCHER`` routes individual requests
+    through the :class:`~repro.core.dispatcher.BatchDispatcher`: front-ends
+    enqueue and the dispatcher forms admission waves by *actually waiting*
+    up to ``batch_linger_ticks`` for late arrivals (or until
+    ``batch_max_size`` requests have gathered), which is the continuous-load
+    regime the paper's telecom workloads assume.
+    """
+
+    DIRECT = "direct"
+    DISPATCHER = "dispatcher"
+
+
 class Priority(enum.Enum):
     """Priority classes of batched admission (highest first).
 
@@ -196,6 +213,17 @@ class UDRConfig:
     #: Retry policy of the batch pipeline's RetryStage; ``None`` (the
     #: default) fails fast exactly like the single-request path.
     retry_policy: Optional[RetryPolicy] = None
+
+    # -- arrival-driven dispatch -------------------------------------------------------
+    #: How individual requests reach the pipeline: ``DIRECT`` call-and-wait
+    #: (default) or ``DISPATCHER`` (front-ends enqueue into the
+    #: :class:`~repro.core.dispatcher.BatchDispatcher`, which forms waves by
+    #: really spending ``batch_linger_ticks`` waiting for late arrivals).
+    dispatch_mode: DispatchMode = DispatchMode.DIRECT
+    #: Commit every wave's writes against one partition as a single
+    #: multi-record intra-SE transaction (one begin/commit charge per
+    #: partition per wave) instead of one transaction per write.
+    coalesce_writes: bool = False
 
     # -- observability ------------------------------------------------------------------
     #: Completed requests buffered before the pipeline's metric batch is

@@ -1,0 +1,227 @@
+"""Arrival-driven batch dispatcher: waves formed by actually waiting.
+
+PR 2's ``execute_batch`` amortises the PoA/LDAP/locate hops across a wave,
+but only when a caller hands the pipeline an explicit batch.  Real UDR
+traffic arrives one request at a time from many front-ends; the
+:class:`BatchDispatcher` is the queue those front-ends enqueue into
+(:meth:`submit`), and it forms admission waves from the continuous arrival
+stream:
+
+* a wave dispatches as soon as ``UDRConfig.batch_max_size`` requests have
+  gathered, **or**
+* when the oldest enqueued request has lingered
+  ``UDRConfig.batch_linger_ticks`` ticks (of
+  :data:`~repro.core.pipeline.BATCH_LINGER_TICK` each) -- whichever comes
+  first.
+
+The linger budget is *really spent* as simulated waiting time in the queue
+-- unlike the fixed surcharge an under-filled explicit batch pays -- so the
+throughput/latency trade-off of lingering is an emergent property of the
+arrival process (experiment ``e16_dispatcher_latency`` sweeps it).
+
+Wave membership follows the same weighted priority dequeue as batched
+admission (signalling > provisioning > bulk, FIFO within a class): when more
+requests are queued than fit one wave, signalling arrivals overtake bulk
+ones that arrived earlier, without starving them.  Each wave runs through
+:meth:`OperationPipeline.execute_wave` (no linger surcharge, one metric
+flush), and every request's :class:`DispatchTicket` event is triggered with
+its :class:`~repro.ldap.operations.LdapResponse`.
+
+Observability (recorded straight into the deployment's metrics registry):
+``dispatcher.enqueued`` / ``dispatcher.dispatched`` counters, wave counters
+(``dispatcher.waves``, split into ``.waves_full`` / ``.waves_lingered``),
+the ``dispatcher.queue_depth`` gauge (plus an all-time
+``dispatcher.queue_depth_max``), and a ``dispatcher.linger`` latency
+recorder -- the per-request linger histogram.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.topology import Site
+from repro.core.config import ClientType, DispatchMode, Priority, UDRConfig
+from repro.core.pipeline import BATCH_LINGER_TICK, BatchItem, OperationPipeline
+from repro.ldap.operations import LdapRequest
+from repro.metrics.collector import MetricsRegistry
+
+
+class DispatchTicket:
+    """One enqueued request: what :meth:`BatchDispatcher.submit` returns.
+
+    ``event`` triggers with the request's
+    :class:`~repro.ldap.operations.LdapResponse` when its wave completes;
+    a waiting client generator simply ``yield``\\ s it.  ``enqueued_at`` /
+    ``completed_at`` bracket the client-perceived latency, queue wait
+    included.
+    """
+
+    __slots__ = ("item", "enqueued_at", "event", "completed_at")
+
+    def __init__(self, item: BatchItem, enqueued_at: float, event):
+        self.item = item
+        self.enqueued_at = enqueued_at
+        self.event = event
+        self.completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.event.triggered
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Enqueue-to-response latency, once the ticket completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.enqueued_at
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return (f"<DispatchTicket {self.item.request.operation_name} "
+                f"{state} enqueued_at={self.enqueued_at:.6f}>")
+
+
+class BatchDispatcher:
+    """The arrival-driven admission queue of one UDR deployment."""
+
+    def __init__(self, sim, config: UDRConfig, pipeline: OperationPipeline,
+                 metrics: MetricsRegistry):
+        self.sim = sim
+        self.config = config
+        self.pipeline = pipeline
+        self.metrics = metrics
+        self.queue: List[DispatchTicket] = []
+        self.waves_dispatched = 0
+        self.requests_dispatched = 0
+        self._process = None
+        self._wake = None
+        #: Bumped by stop(); a running loop exits when its generation is
+        #: stale, so stop()+start() can never leave two loops dispatching.
+        self._generation = 0
+        #: The armed linger-deadline timeout and the ticket it guards;
+        #: reused across per-arrival wakeups while the oldest ticket is
+        #: unchanged, so a burst of arrivals inside one linger window does
+        #: not flood the event heap with dead timeouts.
+        self._deadline_timeout = None
+        self._deadline_ticket = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    def start(self) -> None:
+        """Start the dispatch loop process (idempotent)."""
+        if not self.started:
+            self._process = self.sim.process(self._run(self._generation),
+                                             name="batch-dispatcher")
+
+    def stop(self) -> None:
+        """Stop the dispatch loop.  A wave already executing finishes (its
+        clients get their responses); tickets still queued stay pending --
+        stopping mid-traffic is a teardown, not a drain."""
+        self._generation += 1
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        self._process = None
+        self._wake = None
+
+    # -- the client side ----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def linger_budget(self) -> float:
+        """The linger budget in virtual seconds."""
+        return self.config.batch_linger_ticks * BATCH_LINGER_TICK
+
+    def submit(self, request: LdapRequest, client_type: ClientType,
+               client_site: Site,
+               priority: Optional[Priority] = None) -> DispatchTicket:
+        """Enqueue one request; returns its :class:`DispatchTicket`.
+
+        Non-blocking and callable from outside any process; the caller
+        waits by yielding ``ticket.event``.  Starts the dispatch loop
+        lazily, so drivers need not care whether ``udr.start()`` ran with
+        ``dispatch_mode=DISPATCHER`` already set.
+        """
+        self.start()
+        item = BatchItem(request, client_type, client_site, priority=priority)
+        ticket = DispatchTicket(item, self.sim.now,
+                                self.sim.event("dispatch-ticket"))
+        self.queue.append(ticket)
+        self.metrics.increment("dispatcher.enqueued")
+        self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
+        self.metrics.set_gauge_max("dispatcher.queue_depth_max",
+                                   len(self.queue))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        return ticket
+
+    # -- the dispatch loop --------------------------------------------------------
+
+    def _run(self, generation: int):
+        """Generator: the dispatch loop.
+
+        Sleeps on an arrival event while idle; with work queued, dispatches
+        immediately when the wave is full or the oldest request's linger
+        deadline has passed, otherwise sleeps until that deadline or the
+        next arrival -- whichever wakes it first.  The queue stays sorted
+        by arrival time (append-only), so ``queue[0]`` is always the oldest
+        waiting request even though priority selection removes from the
+        middle.  The loop exits when stop() bumped the generation past the
+        one it was started with.
+        """
+        while generation == self._generation:
+            if not self.queue:
+                self._wake = self.sim.event("dispatcher-arrival")
+                yield self._wake
+                continue  # re-check the generation before dispatching
+            while self.queue and generation == self._generation:
+                oldest = self.queue[0]
+                deadline = oldest.enqueued_at + self.linger_budget()
+                if len(self.queue) >= self.config.batch_max_size or \
+                        self.sim.now >= deadline:
+                    yield from self._dispatch_wave()
+                    continue
+                if self._deadline_ticket is not oldest:
+                    self._deadline_ticket = oldest
+                    self._deadline_timeout = self.sim.timeout(
+                        deadline - self.sim.now)
+                self._wake = self.sim.event("dispatcher-arrival")
+                yield self.sim.any_of([self._deadline_timeout, self._wake])
+
+    def _dispatch_wave(self):
+        """Generator: form one wave by weighted priority and execute it."""
+        ordered = self.pipeline.batch_admission.order(self.queue)
+        wave = ordered[:self.config.batch_max_size]
+        selected = {id(ticket) for ticket in wave}
+        self.queue = [ticket for ticket in self.queue
+                      if id(ticket) not in selected]
+        self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
+        full = len(wave) >= self.config.batch_max_size
+        self.metrics.increment("dispatcher.waves")
+        self.metrics.increment("dispatcher.waves_full" if full
+                               else "dispatcher.waves_lingered")
+        self.metrics.increment("dispatcher.dispatched", len(wave))
+        linger = self.metrics.latency("dispatcher.linger")
+        for ticket in wave:
+            linger.record(self.sim.now - ticket.enqueued_at)
+        responses = yield from self.pipeline.execute_wave(
+            [ticket.item for ticket in wave])
+        self.waves_dispatched += 1
+        self.requests_dispatched += len(wave)
+        for ticket, response in zip(wave, responses):
+            ticket.completed_at = self.sim.now
+            ticket.event.succeed(response)
+
+    def __repr__(self) -> str:
+        return (f"<BatchDispatcher queue={len(self.queue)} "
+                f"waves={self.waves_dispatched} "
+                f"mode={self.config.dispatch_mode.value} "
+                f"linger_ticks={self.config.batch_linger_ticks}>")
+
+
+__all__ = ["BatchDispatcher", "DispatchTicket", "DispatchMode"]

@@ -40,6 +40,18 @@ carries N requests through the front of the pipeline together:
   (:class:`RespondStage`), and the metric batch is flushed exactly once at
   batch end.
 
+Two extensions ride on the wave machinery:
+
+* :meth:`OperationPipeline.execute_wave` drives one *pre-formed* wave --
+  the arrival-driven :class:`~repro.core.dispatcher.BatchDispatcher`'s unit
+  of work -- without the fixed linger surcharge an under-filled explicit
+  wave pays (the dispatcher really spent the budget waiting in its queue);
+* with ``UDRConfig.coalesce_writes`` the fan-out commits all of a wave's
+  writes against one partition as a single multi-record intra-SE
+  transaction (:class:`_CoalescedGroup`): one begin/commit charge per
+  partition per wave, per-record results fanned back out, and a failing
+  record rolled back to its savepoint without disturbing its group-mates.
+
 Metric recording is batched: stages record into a
 :class:`~repro.metrics.collector.MetricsBatch` that is flushed every
 ``UDRConfig.metrics_batch_size`` completed requests (default 1, i.e. at the
@@ -487,7 +499,30 @@ class WritePath(PipelineStage):
         existed before a DELETE (used to deregister its identities).  Raises
         :class:`OperationFailure` on business errors.
         """
-        transactions = copy.transactions
+        transaction = copy.transactions.begin()
+        try:
+            key, prior_value = self.apply_plan(transaction, plan, copy)
+        except WriteConflict:
+            # Transaction.write already aborted the transaction.
+            raise OperationFailure(ResultCode.BUSY,
+                                   "write conflict, retry") from None
+        except OperationFailure:
+            transaction.abort()
+            raise
+        record = transaction.commit(timestamp=self.sim.now)
+        return key, record, prior_value
+
+    def apply_plan(self, transaction, plan: OperationPlan, copy):
+        """Apply one write plan inside ``transaction`` (no begin/commit).
+
+        The per-record half of the write path, shared by the one-transaction-
+        per-write sequential path and the coalesced multi-record transaction
+        of a batch wave.  Business errors raise :class:`OperationFailure`
+        *without* touching the transaction (the caller owns its lifecycle);
+        a :class:`WriteConflict` from the no-wait lock grab propagates raw --
+        by then ``Transaction.write`` has aborted the whole transaction.
+        Returns ``(key, prior_value)``.
+        """
         key_imsi = plan.identity_value if plan.identity_type == "imsi" else None
         if plan.kind is PlanKind.CREATE:
             key = f"sub:{plan.attributes['imsi']}"
@@ -498,33 +533,24 @@ class WritePath(PipelineStage):
                     raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
                                            "record not found")
             key = f"sub:{key_imsi}"
-        transaction = transactions.begin()
         prior_value = None
-        try:
-            if plan.kind is PlanKind.CREATE:
-                if transaction.exists(key):
-                    transaction.abort()
-                    raise OperationFailure(ResultCode.ENTRY_ALREADY_EXISTS,
-                                           "entry already exists")
-                transaction.write(key, dict(plan.attributes))
-            elif plan.kind is PlanKind.UPDATE:
-                if not transaction.exists(key):
-                    transaction.abort()
-                    raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
-                                           "record not found")
-                transaction.modify(key, plan.changes)
-            else:  # DELETE
-                prior_value = transaction.read_or_default(key)
-                if prior_value is None:
-                    transaction.abort()
-                    raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
-                                           "record not found")
-                transaction.delete(key)
-        except WriteConflict:
-            raise OperationFailure(ResultCode.BUSY,
-                                   "write conflict, retry") from None
-        record = transaction.commit(timestamp=self.sim.now)
-        return key, record, prior_value
+        if plan.kind is PlanKind.CREATE:
+            if transaction.exists(key):
+                raise OperationFailure(ResultCode.ENTRY_ALREADY_EXISTS,
+                                       "entry already exists")
+            transaction.write(key, dict(plan.attributes))
+        elif plan.kind is PlanKind.UPDATE:
+            if not transaction.exists(key):
+                raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                       "record not found")
+            transaction.modify(key, plan.changes)
+        else:  # DELETE
+            prior_value = transaction.read_or_default(key)
+            if prior_value is None:
+                raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                       "record not found")
+            transaction.delete(key)
+        return key, prior_value
 
     def _imsi_by_attribute(self, copy, plan: OperationPlan) -> Optional[str]:
         attribute = IDENTITY_RECORD_ATTRIBUTE.get(plan.identity_type, "")
@@ -534,6 +560,36 @@ class WritePath(PipelineStage):
                     record.get(attribute) == plan.identity_value:
                 return record.get("imsi")
         return None
+
+
+class _CoalescedGroup:
+    """One wave's multi-record write transaction against one partition.
+
+    Writes of one admission wave that target the same partition are applied
+    inside a single shared intra-SE transaction: one PoA round trip paid at
+    group open, per-record engine time at each record's turn, and exactly one
+    commit charge (plus one synchronous-replication charge) when the group is
+    flushed at wave end.  A failing record rolls back to its savepoint, so
+    its result code is isolated while the surviving records still commit.
+    """
+
+    __slots__ = ("partition_index", "target_name", "element", "copy",
+                 "transaction", "slots", "undos")
+
+    def __init__(self, partition_index: int, target_name: str, element, copy,
+                 transaction):
+        self.partition_index = partition_index
+        self.target_name = target_name
+        self.element = element
+        self.copy = copy
+        self.transaction = transaction
+        #: Slots whose record was applied (still uncommitted) in this group.
+        self.slots: List["_BatchSlot"] = []
+        #: Undo callables for the eager identity bookkeeping of applied
+        #: CREATE/DELETE records, run (in reverse) when the whole group's
+        #: writes are discarded -- a conflict abort of the shared
+        #: transaction, or a synchronous-replication shortfall at flush.
+        self.undos: List = []
 
 
 class ReplicateStage(PipelineStage):
@@ -818,6 +874,23 @@ class OperationPipeline:
         self.batch.flush()
         return responses
 
+    def execute_wave(self, items: Sequence[BatchItem]):
+        """Generator: drive one pre-formed admission wave through the stages.
+
+        The arrival-driven :class:`~repro.core.dispatcher.BatchDispatcher`'s
+        unit of work: the wave was already sized (``<= batch_max_size``) and
+        already *really* lingered in the dispatch queue, so it is not cut
+        into sub-waves and never pays the explicit-batch linger surcharge.
+        Responses come back in ``items`` order; the metric batch flushes
+        exactly once.
+        """
+        slots = [_BatchSlot(item, index) for index, item in enumerate(items)]
+        responses: List[Optional[LdapResponse]] = [None] * len(slots)
+        yield from self._run_wave(self.batch_admission.order(slots),
+                                  responses, charge_linger=False)
+        self.batch.flush()
+        return responses
+
     @staticmethod
     def _as_item(item, client_type, client_site) -> BatchItem:
         if isinstance(item, BatchItem):
@@ -828,7 +901,8 @@ class OperationPipeline:
         return BatchItem(item, client_type, client_site)
 
     def _run_wave(self, wave: List[_BatchSlot],
-                  responses: List[Optional[LdapResponse]]):
+                  responses: List[Optional[LdapResponse]],
+                  charge_linger: bool = True):
         """Generator: drive one admission wave through the stages.
 
         The shared front of the pipeline (PoA hop, LDAP service charge,
@@ -838,11 +912,17 @@ class OperationPipeline:
         dependent requests of one priority class behave exactly as
         sequential execution regardless of which sites they arrive from.
         One shared answer transfer per site group closes the wave.
+
+        ``charge_linger`` applies the fixed linger surcharge that models an
+        under-filled *explicit* batch waiting for late arrivals; the
+        arrival-driven dispatcher passes ``False`` because its waves already
+        spent the linger budget for real in the queue.
         """
         config = self.config
         wave_start = self.sim.now  # a lingering wave's wait counts as latency
-        if config.batch_linger_ticks and len(wave) < config.batch_max_size:
-            # An under-filled wave lingers for late arrivals.
+        if charge_linger and config.batch_linger_ticks and \
+                len(wave) < config.batch_max_size:
+            # An under-filled explicit wave lingers for late arrivals.
             yield self.sim.timeout(
                 config.batch_linger_ticks * BATCH_LINGER_TICK)
         site_groups: Dict[Site, List[_BatchSlot]] = {}
@@ -873,6 +953,27 @@ class OperationPipeline:
         # lets requests targeting copies at the same site share one bulk
         # round trip ("group by target partition").
         ledger = _TransferLedger()
+        if config.coalesce_writes:
+            yield from self._fan_out_coalesced(wave, ledger)
+        else:
+            yield from self._fan_out(wave, ledger)
+        # One shared answer transfer back to each client site.  (Failures
+        # with respond=False cannot reach this point: they early-return in
+        # the admission handler.)
+        for client_site, poa, group in admitted:
+            yield from self.respond.run_group(poa.site, client_site,
+                                              len(group))
+            for slot in group:
+                if slot.failure is None:
+                    responses[slot.index] = self._finish(
+                        slot.ctx, ResultCode.SUCCESS, batched=True)
+                else:
+                    responses[slot.index] = self._finish(
+                        slot.ctx, slot.failure.code,
+                        reason=slot.failure.reason, batched=True)
+
+    def _fan_out(self, wave: List[_BatchSlot], ledger: _TransferLedger):
+        """Generator: the per-request transactional tail of one wave."""
         placement_changed = False
         for slot in wave:
             if not slot.runnable:
@@ -894,20 +995,228 @@ class OperationPipeline:
             if slot.failure is None and \
                     slot.ctx.plan.kind in (PlanKind.CREATE, PlanKind.DELETE):
                 placement_changed = True
-        # One shared answer transfer back to each client site.  (Failures
-        # with respond=False cannot reach this point: they early-return in
-        # the admission handler.)
-        for client_site, poa, group in admitted:
-            yield from self.respond.run_group(poa.site, client_site,
-                                              len(group))
-            for slot in group:
-                if slot.failure is None:
-                    responses[slot.index] = self._finish(
-                        slot.ctx, ResultCode.SUCCESS, batched=True)
-                else:
-                    responses[slot.index] = self._finish(
-                        slot.ctx, slot.failure.code,
-                        reason=slot.failure.reason, batched=True)
+
+    def _fan_out_coalesced(self, wave: List[_BatchSlot],
+                           ledger: _TransferLedger):
+        """Generator: the transactional tail with cross-wave write coalescing.
+
+        Writes against one partition share a single multi-record intra-SE
+        transaction (:class:`_CoalescedGroup`): one begin/commit charge per
+        partition per wave, with per-record results fanned back out and a
+        failing record rolled back to its savepoint without disturbing its
+        group-mates.  Records are still *applied* in global admission order,
+        so within-wave visibility (create-then-duplicate-create, delete-then-
+        delete) matches sequential execution; a read addressing a partition
+        with an open group flushes that group first, so it observes its
+        wave-mates' earlier writes exactly as the sequential path would.
+        Failures that a retry policy calls transient fall back to the
+        per-record write path via :class:`RetryStage`.
+        """
+        groups: Dict[int, _CoalescedGroup] = {}
+        placement_changed = False
+        for slot in wave:
+            if not slot.runnable:
+                continue
+            ctx = slot.ctx
+            if placement_changed and ctx.location_resolved:
+                ctx.located_element = None
+                ctx.location_resolved = False
+            pending = slot.failure
+            slot.failure = None
+            if pending is None and not ctx.location_resolved:
+                try:
+                    self.locate.run(ctx)
+                except OperationFailure as failure:
+                    pending = failure
+            if pending is None and ctx.plan.kind is not PlanKind.READ:
+                pending = yield from self._coalesced_write(slot, groups,
+                                                           ledger)
+                if pending is None:
+                    if ctx.plan.kind in (PlanKind.CREATE, PlanKind.DELETE):
+                        placement_changed = True
+                    continue
+            elif pending is None:
+                # A read must observe its wave-mates' earlier writes: commit
+                # the open group on its partition before serving it.
+                partition = self.deployment.primary_partition_of_element.get(
+                    ctx.located_element)
+                group = groups.pop(partition, None)
+                if group is not None:
+                    yield from self._flush_group(group)
+            try:
+                yield from self.retry_stage.run(ctx, pending_failure=pending,
+                                                ledger=ledger)
+            except OperationFailure as failure:
+                slot.failure = failure
+            if slot.failure is None and \
+                    ctx.plan.kind in (PlanKind.CREATE, PlanKind.DELETE):
+                placement_changed = True
+        for group in groups.values():
+            yield from self._flush_group(group)
+
+    def _coalesced_write(self, slot: _BatchSlot,
+                         groups: Dict[int, _CoalescedGroup],
+                         ledger: _TransferLedger):
+        """Generator: apply one write inside its partition's shared
+        transaction.
+
+        Returns ``None`` on success or the :class:`OperationFailure` the
+        caller should hand to the retry stage (group open failures and
+        conflict aborts are transient; business errors are final either
+        way).  Mirrors :meth:`WritePath.run` for placement, element choice
+        and identity bookkeeping, but defers the commit (and its charge) to
+        :meth:`_flush_group`.
+        """
+        ctx = slot.ctx
+        plan = ctx.plan
+        if plan.kind is PlanKind.CREATE and ctx.located_element is None:
+            ctx.located_element = self.deployment.place_subscriber(
+                _PlacementView(plan.attributes),
+                plan.attributes.get("imsi", ""))
+        partition_index = self.deployment.primary_partition_of_element[
+            ctx.located_element]
+        group = groups.get(partition_index)
+        if group is None:
+            try:
+                group = yield from self._open_group(ctx, partition_index,
+                                                    ledger)
+            except OperationFailure as failure:
+                return failure
+            groups[partition_index] = group
+        reads = 1 if plan.kind is PlanKind.UPDATE else 0
+        yield self.sim.timeout(
+            group.element.service_times.operation_time(reads=reads, writes=1))
+        savepoint = group.transaction.savepoint()
+        try:
+            _key, prior_value = self.write_path.apply_plan(
+                group.transaction, plan, group.copy)
+        except WriteConflict:
+            # The no-wait lock grab lost against a transaction *outside* the
+            # wave and aborted the shared transaction: every record applied
+            # so far is discarded through no fault of its own.  Undo their
+            # eager identity bookkeeping and re-drive each through the
+            # per-record write path (their first attempt never committed, so
+            # this is completion, not a retry); only the record that hit the
+            # conflict answers BUSY, retryable under the policy -- exactly
+            # the sequential outcome.
+            del groups[partition_index]
+            self.batch.increment("batch.coalesced.aborts")
+            for undo in reversed(group.undos):
+                undo()
+            for member in group.slots:
+                member.ctx.located_element = None
+                member.ctx.location_resolved = False
+                member.ctx.entries = []
+                try:
+                    # A re-drive is a fresh message: no wave ledger.
+                    yield from self.retry_stage.run(member.ctx)
+                except OperationFailure as member_failure:
+                    member.failure = member_failure
+            return OperationFailure(ResultCode.BUSY, "write conflict, retry")
+        except OperationFailure as failure:
+            group.transaction.rollback_to(savepoint)
+            self.batch.increment("batch.coalesced.rollbacks")
+            return failure
+        group.slots.append(slot)
+        self.batch.increment("batch.coalesced.records")
+        poa = ctx.poa
+        if plan.kind is PlanKind.CREATE:
+            # Register eagerly (sequential registers after its per-write
+            # commit): later requests of this wave must locate the newcomer.
+            identities = {itype: plan.attributes.get(attr)
+                          for itype, attr in IDENTITY_RECORD_ATTRIBUTE.items()
+                          if plan.attributes.get(attr)}
+            self.deployment.register_identities(
+                identities, ctx.located_element,
+                all_locators=self.config.location_mode is
+                LocationMode.PROVISIONED_MAPS,
+                serving_locator=poa.locator)
+            self.warm_cache(poa, identities, ctx.located_element)
+            group.undos.append(
+                lambda ids=identities: self._undo_create(ids))
+        elif plan.kind is PlanKind.DELETE and isinstance(prior_value, dict):
+            deleted_identities = {
+                itype: prior_value.get(attr)
+                for itype, attr in IDENTITY_RECORD_ATTRIBUTE.items()
+                if prior_value.get(attr)}
+            self.deployment.deregister_identities(deleted_identities)
+            self.caches.invalidate_identities(deleted_identities)
+            group.undos.append(
+                lambda ids=deleted_identities, element=ctx.located_element:
+                self._undo_delete(ids, element))
+        ctx.entries = []
+        ctx.served_from = group.target_name
+        return None
+
+    def _undo_create(self, identities: Dict[str, str]) -> None:
+        """Reverse a CREATE's eager registration after its write was
+        discarded (group abort) or left unlocatable (replication
+        shortfall, matching the sequential path that registers only after
+        a successful replicate)."""
+        self.deployment.deregister_identities(identities)
+        self.caches.invalidate_identities(identities)
+
+    def _undo_delete(self, identities: Dict[str, str],
+                     element_name: str) -> None:
+        """Re-register a DELETE's identities when the group's outcome
+        voided its eager deregistration: after a conflict abort the record
+        still exists and must stay locatable; after a replication
+        shortfall the sequential path would have raised *before* its
+        deregistration ran, so the registrations must survive there too."""
+        self.deployment.register_identities(identities, element_name,
+                                            all_locators=True)
+
+    def _open_group(self, ctx: OperationContext, partition_index: int,
+                    ledger: _TransferLedger):
+        """Generator: begin a partition's shared write transaction.
+
+        Pays the PoA-to-element round trip once for the whole group (the
+        opener's PoA; the wave ledger covers same-site repeats) and chooses
+        the write element exactly as :class:`WritePath` would.
+        """
+        deployment = self.deployment
+        replica_set = deployment.replica_set_of_element(ctx.located_element)
+        coordinator = deployment.coordinators[partition_index]
+        reachable = [name for name in replica_set.member_names
+                     if replica_set.element(name).available
+                     and deployment.network.reachable(
+                         ctx.poa.site, replica_set.element(name).site)]
+        try:
+            target_name = coordinator.choose_write_element(
+                reachable, timestamp=self.sim.now)
+        except MasterUnreachable as error:
+            raise OperationFailure(
+                ResultCode.UNAVAILABLE,
+                f"master unreachable ({error.reason})") from None
+        element = deployment.elements[target_name]
+        copy = replica_set.copy_on(target_name)
+        yield from self.write_path.element_round_trip(
+            ctx.poa, element, "write copy unreachable", ledger=ledger)
+        return _CoalescedGroup(partition_index, target_name, element, copy,
+                               copy.transactions.begin())
+
+    def _flush_group(self, group: _CoalescedGroup):
+        """Generator: commit one coalesced group -- one commit charge (and
+        one synchronous-replication drive) for all its records.  A
+        synchronous-replication shortfall marks every member with the same
+        non-retryable code each would have earned sequentially, and
+        reverses the eager identity bookkeeping: the sequential path
+        raises *before* registering a CREATE (or deregistering a DELETE),
+        so lookups must not diverge between the two modes."""
+        yield self.sim.timeout(group.element.service_times.commit_charge(
+            self.config.synchronous_commit))
+        record = group.transaction.commit(timestamp=self.sim.now)
+        self.batch.increment("batch.coalesced.groups")
+        if record is not None and \
+                self.config.replication_mode is not ReplicationMode.ASYNCHRONOUS:
+            try:
+                yield from self.replicate.run(group.partition_index, record)
+            except OperationFailure as failure:
+                for undo in reversed(group.undos):
+                    undo()
+                for member in group.slots:
+                    if member.failure is None:
+                        member.failure = failure
 
     def _admit_site_group(self, client_site: Site, group: List[_BatchSlot],
                           responses: List[Optional[LdapResponse]],

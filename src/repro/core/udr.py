@@ -37,12 +37,13 @@ from repro.replication.restoration import RestorationReport
 from repro.sim.engine import Simulation
 from repro.storage.storage_element import StorageElement
 from repro.subscriber.profile import SubscriberProfile
-from repro.core.config import ClientType, UDRConfig
+from repro.core.config import ClientType, DispatchMode, Priority, UDRConfig
 from repro.core.deployment import (
     IDENTITY_RECORD_ATTRIBUTE,
     Deployment,
     DeploymentBuilder,
 )
+from repro.core.dispatcher import BatchDispatcher, DispatchTicket
 from repro.core.lifecycle import ClusterController
 from repro.core.location_cache import LocationCacheGroup
 from repro.core.pipeline import (
@@ -73,6 +74,8 @@ class UDRNetworkFunction:
                                           self.metrics, self.location_caches)
         self.controller = ClusterController(self.sim, config, self.deployment,
                                             self.builder, self.location_caches)
+        self.dispatcher = BatchDispatcher(self.sim, config, self.pipeline,
+                                          self.metrics)
 
         # The attribute surface predating the layer split: live views of the
         # deployment handle's collections.
@@ -96,10 +99,14 @@ class UDRNetworkFunction:
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
-        """Start background processes: replication channels and checkpoints."""
+        """Start background processes: replication channels, checkpoints and
+        (under ``dispatch_mode=DISPATCHER``) the batch dispatch loop."""
         self.controller.start()
+        if self.config.dispatch_mode is DispatchMode.DISPATCHER:
+            self.dispatcher.start()
 
     def stop(self) -> None:
+        self.dispatcher.stop()
         self.controller.stop()
         self.pipeline.flush_metrics()
 
@@ -207,6 +214,40 @@ class UDRNetworkFunction:
         as a directory server would answer.
         """
         return self.pipeline.execute(request, client_type, client_site)
+
+    def submit(self, request: LdapRequest, client_type: ClientType,
+               client_site: Site,
+               priority: Optional[Priority] = None) -> DispatchTicket:
+        """Enqueue one request into the arrival-driven batch dispatcher.
+
+        Non-blocking: returns the request's
+        :class:`~repro.core.dispatcher.DispatchTicket`; the caller waits by
+        yielding ``ticket.event``, which triggers with the
+        :class:`~repro.ldap.operations.LdapResponse` when the request's
+        admission wave completes.  Waves form from the live arrival stream:
+        dispatch happens when ``batch_max_size`` requests have gathered or
+        the oldest has lingered ``batch_linger_ticks``, whichever first.
+        """
+        return self.dispatcher.submit(request, client_type, client_site,
+                                      priority=priority)
+
+    def call(self, request: LdapRequest, client_type: ClientType,
+             client_site: Site, priority: Optional[Priority] = None):
+        """Generator: run one request the way ``config.dispatch_mode`` says.
+
+        ``DIRECT`` is plain call-and-wait (:meth:`execute`); ``DISPATCHER``
+        enqueues into the batch dispatcher and waits for the response, so
+        serial clients (front-ends, the provisioning system) transparently
+        contribute to -- and benefit from -- wave formation.
+        """
+        if self.config.dispatch_mode is DispatchMode.DISPATCHER:
+            ticket = self.dispatcher.submit(request, client_type, client_site,
+                                            priority=priority)
+            response = yield ticket.event
+            return response
+        response = yield from self.pipeline.execute(request, client_type,
+                                                    client_site)
+        return response
 
     def execute_batch(self, items, client_type: Optional[ClientType] = None,
                       client_site: Optional[Site] = None):

@@ -55,7 +55,9 @@ class ApplicationFrontEnd:
         outcome = ProcedureOutcome(procedure=procedure.name, succeeded=True,
                                    operations=len(requests))
         for index, request in enumerate(requests):
-            response = yield from self.udr.execute(
+            # call() routes by UDRConfig.dispatch_mode: direct call-and-wait,
+            # or enqueue into the arrival-driven batch dispatcher and wait.
+            response = yield from self.udr.call(
                 request, self.client_type, self.site)
             if not response.ok:
                 outcome.succeeded = False

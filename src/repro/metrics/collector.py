@@ -40,6 +40,13 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float) -> None:
         self._gauges[name] = value
 
+    def set_gauge_max(self, name: str, value: float) -> None:
+        """Keep the all-time maximum seen for ``name`` (high-water marks,
+        e.g. the dispatcher's ``dispatcher.queue_depth_max``)."""
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = value
+
     def gauge(self, name: str, default: float = 0.0) -> float:
         return self._gauges.get(name, default)
 

@@ -92,7 +92,9 @@ class ProvisioningSystem:
         applied_any = False
         diagnostics: List[str] = []
         for index, request in enumerate(requests):
-            response = yield from self.udr.execute(
+            # Dispatch-mode aware: under DISPATCHER this enqueues into the
+            # arrival-driven batch dispatcher instead of call-and-wait.
+            response = yield from self.udr.call(
                 request, self.client_type, self.site)
             if not response.ok:
                 diagnostics.append(

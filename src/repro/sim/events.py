@@ -261,8 +261,12 @@ class _Condition(Event):
         if not self._events:
             self.succeed([])
             return
+        # Count *before* registering: add_callback on an already-processed
+        # child runs the callback immediately, and with an incremental count
+        # the first processed child would drive _pending to zero and trigger
+        # an AllOf prematurely while later children are still pending.
+        self._pending = len(self._events)
         for child in self._events:
-            self._pending += 1
             child.add_callback(self._on_child)
 
     def _on_child(self, child: Event) -> None:

@@ -58,11 +58,24 @@ class ServiceTimeModel:
     def transaction_time(self, reads: int, writes: int,
                          synchronous_commit: bool = False) -> float:
         """Engine time for a transaction with the given operation counts."""
-        total = reads * self.read_time + writes * self.write_time
+        total = self.operation_time(reads, writes)
         if writes:
-            total += self.commit_time
-            if synchronous_commit:
-                total += self.sync_commit_penalty
+            total += self.commit_charge(synchronous_commit)
+        return total
+
+    def operation_time(self, reads: int, writes: int) -> float:
+        """Per-operation engine time, excluding the commit bookkeeping.
+
+        Coalesced multi-record transactions charge this per record and
+        :meth:`commit_charge` once for the whole group.
+        """
+        return reads * self.read_time + writes * self.write_time
+
+    def commit_charge(self, synchronous_commit: bool = False) -> float:
+        """The commit bookkeeping cost of one (possibly multi-record) txn."""
+        total = self.commit_time
+        if synchronous_commit:
+            total += self.sync_commit_penalty
         return total
 
     def scaled(self, factor: float) -> "ServiceTimeModel":

@@ -11,6 +11,7 @@ appended to the copy's write-ahead log.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.storage.engine import RecordStore
@@ -30,6 +31,22 @@ class TransactionState(enum.Enum):
     ACTIVE = "active"
     COMMITTED = "committed"
     ABORTED = "aborted"
+
+
+@dataclass
+class Savepoint:
+    """A marker inside an active transaction that writes can roll back to.
+
+    Used by multi-record transactions (coalesced batch writes): each record
+    takes a savepoint before applying, and a failing record rolls back to it
+    so only *its* writes are discarded while the surviving records commit
+    together.  Locks taken after the savepoint are kept until the
+    transaction completes -- rollback only undoes data, never lock
+    ownership.
+    """
+
+    transaction_id: int
+    writes: Dict[str, Any]
 
 
 class Transaction:
@@ -136,6 +153,33 @@ class Transaction:
     def delete(self, key: str) -> None:
         """Delete a record (writes a tombstone version)."""
         self.write(key, TOMBSTONE)
+
+    # -- savepoints ---------------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Mark the current write set; see :class:`Savepoint`."""
+        self._require_active()
+        return Savepoint(transaction_id=self.transaction_id,
+                         writes=dict(self._writes))
+
+    def rollback_to(self, savepoint: Savepoint) -> None:
+        """Discard every write made after ``savepoint`` was taken.
+
+        Dirty registrations of the rolled-back keys are cleared (re-registered
+        for keys the savepoint still holds); locks stay with the transaction.
+        """
+        self._require_active()
+        if savepoint.transaction_id != self.transaction_id:
+            raise TransactionStateError(
+                f"savepoint belongs to transaction "
+                f"{savepoint.transaction_id}, not {self.transaction_id}")
+        rolled_back = [key for key in self._writes
+                       if key not in savepoint.writes]
+        self._manager.store.clear_dirty(self.transaction_id, rolled_back)
+        self._writes = dict(savepoint.writes)
+        for key, value in self._writes.items():
+            self._manager.store.register_dirty(self.transaction_id, key,
+                                               value)
 
     # -- completion ---------------------------------------------------------------
 

@@ -10,7 +10,14 @@ import random
 
 import pytest
 
-from repro.core import BatchItem, ClientType, Priority, RetryPolicy, UDRConfig
+from repro.core import (
+    BatchItem,
+    ClientType,
+    DispatchMode,
+    Priority,
+    RetryPolicy,
+    UDRConfig,
+)
 from repro.ldap import (
     AddRequest,
     DeleteRequest,
@@ -94,6 +101,31 @@ def run_sequential(udr, items):
 def run_batched(udr, items):
     responses = run_to_completion(udr, udr.execute_batch(items))
     return [response.result_code.name for response in responses]
+
+
+def run_dispatched(udr, items, spacing=0.002):
+    """Feed ``items`` as a timed arrival trace into the dispatcher.
+
+    Arrivals are ``spacing`` seconds apart (inside the default linger
+    budget, so waves really merge), and codes come back in submission
+    order via each ticket's event.
+    """
+    tickets = []
+
+    def arrivals():
+        for item in items:
+            yield udr.sim.timeout(spacing)
+            tickets.append(udr.submit(item.request, item.client_type,
+                                      item.client_site,
+                                      priority=item.priority))
+
+    run_to_completion(udr, arrivals())
+
+    def wait_all():
+        yield udr.sim.all_of([ticket.event for ticket in tickets])
+
+    run_to_completion(udr, wait_all())
+    return [ticket.event.value.result_code.name for ticket in tickets]
 
 
 def store_state(udr):
@@ -314,6 +346,112 @@ class TestBatchSequentialEquivalence:
         assert responses[0].request is items[0].request
         assert responses[1].result_code.name == "SUCCESS"
         assert responses[1].request is items[1].request
+
+
+class TestCoalescedEquivalence:
+    """The batch property with cross-wave write coalescing switched on:
+    multi-record transactions only amortise cost, never change codes or
+    state."""
+
+    @pytest.mark.parametrize("workload_seed", [11, 23, 47])
+    def test_random_workload_codes_and_state(self, workload_seed):
+        (seq_udr, seq_profiles), (bat_udr, _bat) = equivalence_pair(
+            {"coalesce_writes": True})
+        items = seeded_workload(seq_udr, seq_profiles, workload_seed)
+        sequential_codes = run_sequential(seq_udr, items)
+        batched_codes = run_batched(bat_udr, items)
+        assert batched_codes == sequential_codes
+        assert store_state(bat_udr) == store_state(seq_udr)
+        assert identity_locations(bat_udr, items) == \
+            identity_locations(seq_udr, items)
+        assert bat_udr.metrics.counter("batch.coalesced.groups") > 0
+        assert bat_udr.metrics.counter("batch.coalesced.records") >= \
+            bat_udr.metrics.counter("batch.coalesced.groups")
+
+    def test_dependent_same_class_chain_with_coalescing(self):
+        """Create-then-read, duplicate create (savepoint rollback), delete
+        and read-after-delete must match sequential execution even when the
+        writes share one transaction."""
+        (seq_udr, seq_profiles), (bat_udr, _bat) = equivalence_pair(
+            {"coalesce_writes": True})
+        newcomer = SubscriberGenerator(seq_udr.config.regions,
+                                       seed=4242).generate_one()
+        victim = seq_profiles[0]
+
+        def items_for(udr):
+            site = udr.topology.sites[0]
+            newcomer_dn = SubscriberSchema.subscriber_dn(
+                newcomer.identities.imsi)
+            victim_dn = SubscriberSchema.subscriber_dn(
+                victim.identities.imsi)
+            return [
+                BatchItem(AddRequest(dn=newcomer_dn,
+                                     attributes=newcomer.to_record()),
+                          ClientType.PROVISIONING, site),
+                BatchItem(SearchRequest(dn=newcomer_dn),
+                          ClientType.PROVISIONING, site),
+                BatchItem(AddRequest(dn=newcomer_dn,
+                                     attributes=newcomer.to_record()),
+                          ClientType.PROVISIONING, site),
+                BatchItem(DeleteRequest(dn=victim_dn),
+                          ClientType.PROVISIONING, site),
+                BatchItem(SearchRequest(dn=victim_dn),
+                          ClientType.PROVISIONING, site),
+            ]
+
+        sequential_codes = run_sequential(seq_udr, items_for(seq_udr))
+        batched_codes = run_batched(bat_udr, items_for(bat_udr))
+        assert batched_codes == sequential_codes == \
+            ["SUCCESS", "SUCCESS", "ENTRY_ALREADY_EXISTS", "SUCCESS",
+             "NO_SUCH_OBJECT"]
+        assert store_state(bat_udr) == store_state(seq_udr)
+        assert bat_udr.metrics.counter("batch.coalesced.rollbacks") == 1
+
+
+class TestDispatcherEquivalence:
+    """The acceptance property of the dispatcher PR: for a seeded arrival
+    trace, dispatcher execution yields identical result codes and final
+    store/replica state as sequential execution -- with coalescing both
+    off and on."""
+
+    @pytest.mark.parametrize("coalesce", [False, True])
+    @pytest.mark.parametrize("workload_seed", [11, 23])
+    def test_seeded_arrival_trace(self, workload_seed, coalesce):
+        sequential = build_udr(config=UDRConfig(seed=7),
+                               subscribers=SUBSCRIBERS, seed=7)
+        dispatched = build_udr(
+            config=UDRConfig(seed=7,
+                             dispatch_mode=DispatchMode.DISPATCHER,
+                             batch_linger_ticks=5,
+                             coalesce_writes=coalesce),
+            subscribers=SUBSCRIBERS, seed=7)
+        seq_udr, seq_profiles = sequential
+        dis_udr, _profiles = dispatched
+        items = seeded_workload(seq_udr, seq_profiles, workload_seed)
+        sequential_codes = run_sequential(seq_udr, items)
+        dispatched_codes = run_dispatched(dis_udr, items)
+        assert dispatched_codes == sequential_codes
+        assert store_state(dis_udr) == store_state(seq_udr)
+        assert identity_locations(dis_udr, items) == \
+            identity_locations(seq_udr, items)
+        # The trace really exercised wave formation: fewer waves than
+        # requests means arrivals were merged by the linger budget.
+        waves = dis_udr.metrics.counter("dispatcher.waves")
+        assert 0 < waves < len(items)
+
+    def test_dispatcher_throughput_counts_every_request(self):
+        (_seq, _), (dis_udr, dis_profiles) = (
+            (None, None),
+            build_udr(config=UDRConfig(
+                seed=7, dispatch_mode=DispatchMode.DISPATCHER,
+                batch_linger_ticks=5), subscribers=SUBSCRIBERS, seed=7))
+        items = seeded_workload(dis_udr, dis_profiles, seed=31,
+                                operations=20)
+        codes = run_dispatched(dis_udr, items)
+        assert len(codes) == len(items)
+        assert dis_udr.metrics.counter("dispatcher.enqueued") == len(items)
+        assert dis_udr.metrics.counter("dispatcher.dispatched") == \
+            len(items)
 
 
 class TestBatchMetricsContract:

@@ -1,0 +1,561 @@
+"""The arrival-driven batch dispatcher and cross-wave write coalescing.
+
+Linger-edge behaviour (a wave dispatched exactly at the linger deadline, a
+single straggler that never fills a wave), wave formation under load,
+priority overtaking in the dispatch queue, the dispatcher metrics, and the
+coalesced multi-record transaction path: one begin/commit per partition per
+wave, savepoint rollback isolating a failing record, and the savepoint
+primitive itself.
+"""
+
+import pytest
+
+from repro.core import (
+    BatchItem,
+    ClientType,
+    DispatchMode,
+    Priority,
+    UDRConfig,
+)
+from repro.core.pipeline import BATCH_LINGER_TICK
+from repro.ldap import (
+    AddRequest,
+    ModifyRequest,
+    SearchRequest,
+    SubscriberSchema,
+)
+from repro.subscriber import SubscriberGenerator
+
+from tests.conftest import build_udr, fe_site_for, run_to_completion
+
+LINGER_TICKS = 5
+LINGER_BUDGET = LINGER_TICKS * BATCH_LINGER_TICK
+
+
+def dispatcher_udr(subscribers=48, seed=7, **config_kwargs):
+    kwargs = dict(dispatch_mode=DispatchMode.DISPATCHER,
+                  batch_linger_ticks=LINGER_TICKS)
+    kwargs.update(config_kwargs)
+    return build_udr(config=UDRConfig(seed=seed, **kwargs),
+                     subscribers=subscribers, seed=seed)
+
+
+def read_for(udr, profile):
+    return SearchRequest(dn=SubscriberSchema.subscriber_dn(
+        profile.identities.imsi))
+
+
+def wait_all(udr, tickets):
+    def waiter():
+        yield udr.sim.all_of([ticket.event for ticket in tickets])
+    run_to_completion(udr, waiter())
+
+
+class TestWaveFormation:
+    def test_straggler_dispatched_exactly_at_linger_deadline(self):
+        """A single request that never fills a wave is still dispatched --
+        exactly when the oldest (here: only) request's linger budget runs
+        out, not a tick earlier or later."""
+        udr, profiles = dispatcher_udr()
+        site = fe_site_for(udr, profiles[0])
+        ticket = udr.submit(read_for(udr, profiles[0]),
+                            ClientType.APPLICATION_FE, site)
+        wait_all(udr, [ticket])
+        assert ticket.event.value.result_code.name == "SUCCESS"
+        # The wave left the queue exactly at the deadline: the recorded
+        # linger equals the full budget.
+        linger = udr.metrics.latency("dispatcher.linger")
+        assert linger.count == 1
+        assert linger.summary()["max_ms"] == pytest.approx(
+            LINGER_BUDGET * 1000.0)
+        assert udr.metrics.counter("dispatcher.waves") == 1
+        assert udr.metrics.counter("dispatcher.waves_lingered") == 1
+        assert udr.metrics.counter("dispatcher.waves_full") == 0
+        # The client-perceived latency includes the real wait.
+        assert ticket.latency >= LINGER_BUDGET
+
+    def test_full_wave_dispatches_without_lingering(self):
+        """Filling a wave dispatches immediately: no request waits the
+        budget out."""
+        udr, profiles = dispatcher_udr(batch_max_size=4)
+        site = udr.topology.sites[0]
+        tickets = [udr.submit(read_for(udr, profile),
+                              ClientType.APPLICATION_FE, site)
+                   for profile in profiles[:4]]
+        wait_all(udr, tickets)
+        assert udr.metrics.counter("dispatcher.waves_full") == 1
+        assert udr.metrics.counter("dispatcher.waves_lingered") == 0
+        linger = udr.metrics.latency("dispatcher.linger")
+        assert linger.summary()["max_ms"] == pytest.approx(0.0)
+
+    def test_late_arrival_joins_lingering_wave(self):
+        """A request arriving inside another's linger window rides the same
+        wave: one wave, and the late joiner lingers less than the budget."""
+        udr, profiles = dispatcher_udr()
+        site = udr.topology.sites[0]
+        tickets = []
+
+        def arrivals():
+            tickets.append(udr.submit(read_for(udr, profiles[0]),
+                                      ClientType.APPLICATION_FE, site))
+            yield udr.sim.timeout(LINGER_BUDGET / 2)
+            tickets.append(udr.submit(read_for(udr, profiles[1]),
+                                      ClientType.APPLICATION_FE, site))
+
+        run_to_completion(udr, arrivals())
+        wait_all(udr, tickets)
+        assert udr.metrics.counter("dispatcher.waves") == 1
+        assert udr.metrics.counter("dispatcher.dispatched") == 2
+        # Oldest request lingered the full budget, the joiner only half.
+        lingered = [tickets[0].enqueued_at + LINGER_BUDGET,
+                    tickets[1].enqueued_at + LINGER_BUDGET / 2]
+        assert tickets[0].completed_at >= lingered[0]
+        assert udr.metrics.latency("dispatcher.linger").summary()[
+            "max_ms"] == pytest.approx(LINGER_BUDGET * 1000.0)
+
+    def test_arrival_after_dispatch_starts_a_new_wave(self):
+        """A request arriving after the previous wave left the queue forms
+        its own wave with its own linger deadline."""
+        udr, profiles = dispatcher_udr()
+        site = udr.topology.sites[0]
+        tickets = []
+
+        def arrivals():
+            tickets.append(udr.submit(read_for(udr, profiles[0]),
+                                      ClientType.APPLICATION_FE, site))
+            yield udr.sim.timeout(LINGER_BUDGET * 3)
+            tickets.append(udr.submit(read_for(udr, profiles[1]),
+                                      ClientType.APPLICATION_FE, site))
+
+        run_to_completion(udr, arrivals())
+        wait_all(udr, tickets)
+        assert udr.metrics.counter("dispatcher.waves") == 2
+        assert udr.metrics.counter("dispatcher.waves_lingered") == 2
+
+    def test_zero_linger_budget_dispatches_each_arrival(self):
+        """``batch_linger_ticks=0`` never waits: each arrival that finds an
+        idle dispatcher is a wave of one."""
+        udr, profiles = dispatcher_udr(batch_linger_ticks=0)
+        site = udr.topology.sites[0]
+        tickets = []
+
+        def arrivals():
+            for profile in profiles[:3]:
+                tickets.append(udr.submit(read_for(udr, profile),
+                                          ClientType.APPLICATION_FE, site))
+                done = udr.sim.event("spacer")
+                tickets[-1].event.add_callback(lambda _e: done.succeed())
+                yield done
+
+        run_to_completion(udr, arrivals())
+        wait_all(udr, tickets)
+        assert udr.metrics.counter("dispatcher.waves") == 3
+
+    def test_priority_overtakes_in_dispatch_queue(self):
+        """When more is queued than one wave holds, signalling arrivals
+        overtake earlier bulk ones -- the weighted dequeue applies to the
+        live queue, not just inside a pre-built batch."""
+        udr, profiles = dispatcher_udr(batch_max_size=2,
+                                       batch_linger_ticks=1000)
+        site = udr.topology.sites[0]
+        bulk = [udr.submit(read_for(udr, profile), ClientType.PROVISIONING,
+                           site, priority=Priority.BULK)
+                for profile in profiles[:3]]
+        signalling = udr.submit(read_for(udr, profiles[3]),
+                                ClientType.APPLICATION_FE, site)
+        wait_all(udr, bulk + [signalling])
+        # Wave 1 (cut when the queue held 3 bulk + 1 signalling after the
+        # max-size trigger) carries the signalling request plus the oldest
+        # bulk one; the other two bulk requests ride later waves.
+        assert signalling.completed_at <= min(t.completed_at
+                                              for t in bulk[1:])
+        assert udr.metrics.counter("dispatcher.waves") >= 2
+
+    def test_queue_depth_gauges_recorded(self):
+        udr, profiles = dispatcher_udr(batch_max_size=2,
+                                       batch_linger_ticks=1000)
+        site = udr.topology.sites[0]
+        tickets = [udr.submit(read_for(udr, profile),
+                              ClientType.APPLICATION_FE, site)
+                   for profile in profiles[:3]]
+        assert udr.metrics.gauge("dispatcher.queue_depth_max") == 3
+        wait_all(udr, tickets)
+        assert udr.metrics.counter("dispatcher.enqueued") == 3
+        assert udr.metrics.counter("dispatcher.dispatched") == 3
+        assert udr.metrics.gauge("dispatcher.queue_depth") == 0
+
+    def test_stop_leaves_unfinished_tickets_pending(self):
+        udr, profiles = dispatcher_udr()
+        site = udr.topology.sites[0]
+        ticket = udr.submit(read_for(udr, profiles[0]),
+                            ClientType.APPLICATION_FE, site)
+        udr.stop()
+        udr.sim.run_for(1.0)
+        assert not ticket.done
+        assert not udr.dispatcher.started
+
+
+class TestDispatchModeRouting:
+    def test_call_routes_direct_by_default(self):
+        udr, profiles = build_udr()
+        site = fe_site_for(udr, profiles[0])
+        response = run_to_completion(udr, udr.call(
+            read_for(udr, profiles[0]), ClientType.APPLICATION_FE, site))
+        assert response.result_code.name == "SUCCESS"
+        assert udr.metrics.counter("dispatcher.enqueued") == 0
+
+    def test_call_routes_through_dispatcher_when_configured(self):
+        udr, profiles = dispatcher_udr()
+        site = fe_site_for(udr, profiles[0])
+        response = run_to_completion(udr, udr.call(
+            read_for(udr, profiles[0]), ClientType.APPLICATION_FE, site))
+        assert response.result_code.name == "SUCCESS"
+        assert udr.metrics.counter("dispatcher.enqueued") == 1
+        assert response.latency >= 0.0
+
+    def test_front_end_traffic_forms_waves(self):
+        """Concurrent front-end procedures enqueue individual requests and
+        the dispatcher batches across them -- the continuous-load regime."""
+        from repro.frontends.hlr_fe import HlrFrontEnd
+        udr, profiles = dispatcher_udr()
+        by_region = {}
+        for profile in profiles:
+            by_region.setdefault(profile.current_region
+                                 or profile.home_region, []).append(profile)
+        for region, group in by_region.items():
+            site = next(site for site in udr.topology.sites
+                        if site.region.name == region)
+            front_end = HlrFrontEnd(f"fe-{region}", udr, site)
+            udr.sim.process(front_end.traffic_driver(
+                group, rate_per_second=40.0, duration=2.0))
+        udr.sim.run(until=udr.sim.now + 30.0)
+        waves = udr.metrics.counter("dispatcher.waves")
+        dispatched = udr.metrics.counter("dispatcher.dispatched")
+        assert dispatched > 0
+        assert waves < dispatched, \
+            "lingering must have merged concurrent FE requests into waves"
+
+
+class TestCoalescedWrites:
+    def coalescing_udr(self, **kwargs):
+        return build_udr(config=UDRConfig(seed=7, coalesce_writes=True,
+                                          **kwargs), subscribers=48)
+
+    @staticmethod
+    def partition_mates(udr, profiles, count):
+        """Profiles whose records live on the same storage element."""
+        by_element = {}
+        for profile in profiles:
+            element = udr.deployment.authoritative_lookup(
+                "imsi", profile.identities.imsi)
+            by_element.setdefault(element, []).append(profile)
+        group = max(by_element.values(), key=len)
+        assert len(group) >= count
+        return group[:count]
+
+    def test_same_partition_writes_commit_as_one_transaction(self):
+        udr, profiles = self.coalescing_udr()
+        mates = self.partition_mates(udr, profiles, 3)
+        element = udr.deployment.authoritative_lookup(
+            "imsi", mates[0].identities.imsi)
+        copy = udr.deployment.replica_set_of_element(element).master_copy
+        commits_before = copy.transactions.commits
+        site = udr.topology.sites[0]
+        items = [BatchItem(ModifyRequest(
+            dn=SubscriberSchema.subscriber_dn(mate.identities.imsi),
+            changes={"servingMsc": f"msc-{index}"}),
+            ClientType.PROVISIONING, site)
+            for index, mate in enumerate(mates)]
+        responses = run_to_completion(udr, udr.execute_batch(items))
+        assert all(r.result_code.name == "SUCCESS" for r in responses)
+        assert copy.transactions.commits == commits_before + 1, \
+            "three writes against one partition must be one transaction"
+        assert udr.metrics.counter("batch.coalesced.groups") == 1
+        assert udr.metrics.counter("batch.coalesced.records") == 3
+        for index, mate in enumerate(mates):
+            record = copy.store.get(f"sub:{mate.identities.imsi}")
+            assert record["servingMsc"] == f"msc-{index}"
+
+    def test_rollback_isolates_failing_record(self):
+        """A record failing its business check rolls back to its savepoint;
+        the group-mates before and after it still commit."""
+        udr, profiles = self.coalescing_udr()
+        mates = self.partition_mates(udr, profiles, 2)
+        existing = mates[0]
+        site = udr.topology.sites[0]
+        items = [
+            BatchItem(ModifyRequest(
+                dn=SubscriberSchema.subscriber_dn(mates[0].identities.imsi),
+                changes={"servingMsc": "before"}),
+                ClientType.PROVISIONING, site),
+            # Duplicate create: fails ENTRY_ALREADY_EXISTS inside the shared
+            # transaction.
+            BatchItem(AddRequest(
+                dn=SubscriberSchema.subscriber_dn(existing.identities.imsi),
+                attributes=existing.to_record()),
+                ClientType.PROVISIONING, site),
+            BatchItem(ModifyRequest(
+                dn=SubscriberSchema.subscriber_dn(mates[1].identities.imsi),
+                changes={"servingMsc": "after"}),
+                ClientType.PROVISIONING, site),
+        ]
+        responses = run_to_completion(udr, udr.execute_batch(items))
+        assert [r.result_code.name for r in responses] == \
+            ["SUCCESS", "ENTRY_ALREADY_EXISTS", "SUCCESS"]
+        assert udr.metrics.counter("batch.coalesced.rollbacks") == 1
+        element = udr.deployment.authoritative_lookup(
+            "imsi", mates[0].identities.imsi)
+        copy = udr.deployment.replica_set_of_element(element).master_copy
+        assert copy.store.get(
+            f"sub:{mates[0].identities.imsi}")["servingMsc"] == "before"
+        assert copy.store.get(
+            f"sub:{mates[1].identities.imsi}")["servingMsc"] == "after"
+        # The duplicate create must not have clobbered the existing record
+        # with a fresh profile copy.
+        assert copy.store.get(
+            f"sub:{existing.identities.imsi}")["servingMsc"] == "before"
+
+    def test_read_after_write_in_wave_sees_the_write(self):
+        """A read later in the wave flushes the open group on its
+        partition, so it observes its wave-mates' writes exactly as the
+        sequential path would."""
+        udr, profiles = self.coalescing_udr(
+            ps_reads_from_slave=False)
+        profile = profiles[0]
+        dn = SubscriberSchema.subscriber_dn(profile.identities.imsi)
+        site = udr.topology.sites[0]
+        items = [
+            BatchItem(ModifyRequest(dn=dn,
+                                    changes={"servingMsc": "fresh"}),
+                      ClientType.PROVISIONING, site),
+            BatchItem(SearchRequest(dn=dn), ClientType.PROVISIONING, site),
+        ]
+        responses = run_to_completion(udr, udr.execute_batch(items))
+        assert [r.result_code.name for r in responses] == \
+            ["SUCCESS", "SUCCESS"]
+        assert responses[1].entries[0]["servingMsc"] == "fresh"
+
+    def test_coalescing_off_keeps_per_write_transactions(self):
+        udr, profiles = build_udr(config=UDRConfig(seed=7), subscribers=48)
+        mates = self.partition_mates(udr, profiles, 2)
+        element = udr.deployment.authoritative_lookup(
+            "imsi", mates[0].identities.imsi)
+        copy = udr.deployment.replica_set_of_element(element).master_copy
+        commits_before = copy.transactions.commits
+        site = udr.topology.sites[0]
+        items = [BatchItem(ModifyRequest(
+            dn=SubscriberSchema.subscriber_dn(mate.identities.imsi),
+            changes={"servingMsc": "x"}), ClientType.PROVISIONING, site)
+            for mate in mates]
+        run_to_completion(udr, udr.execute_batch(items))
+        assert copy.transactions.commits == commits_before + 2
+        assert udr.metrics.counter("batch.coalesced.groups") == 0
+
+    @staticmethod
+    def inject_conflict(udr, on_call: int):
+        """Make the ``on_call``-th apply_plan call hit a WriteConflict,
+        faithful to Transaction.write's no-wait locking (the conflict
+        aborts the whole transaction before raising)."""
+        from repro.storage.errors import WriteConflict
+        write_path = udr.pipeline.write_path
+        original_apply = write_path.apply_plan
+        calls = []
+
+        def conflicted_apply(transaction, plan, copy):
+            calls.append(plan.identity_value)
+            if len(calls) == on_call:
+                transaction.abort(reason="injected conflict")
+                raise WriteConflict(plan.identity_value, holder=-1,
+                                    requester=transaction.transaction_id)
+            return original_apply(transaction, plan, copy)
+
+        write_path.apply_plan = conflicted_apply
+
+    @pytest.mark.parametrize("conflict_on_call", [1, 2])
+    def test_conflict_abort_falls_back_to_per_record_retry(
+            self, conflict_on_call):
+        """A WriteConflict from outside the wave aborts the shared
+        transaction.  Already-applied group-mates lost their (uncommitted)
+        writes through no fault of their own, so they are re-driven through
+        the per-record path and still succeed; only the conflicting record
+        answers BUSY, which the retry policy then re-drives too."""
+        from repro.core import RetryPolicy
+        udr, profiles = build_udr(
+            config=UDRConfig(seed=7, coalesce_writes=True,
+                             retry_policy=RetryPolicy(max_retries=2)),
+            subscribers=48)
+        mates = self.partition_mates(udr, profiles, 2)
+        site = udr.topology.sites[0]
+        self.inject_conflict(udr, on_call=conflict_on_call)
+        items = [BatchItem(ModifyRequest(
+            dn=SubscriberSchema.subscriber_dn(mate.identities.imsi),
+            changes={"servingMsc": "retried"}),
+            ClientType.PROVISIONING, site) for mate in mates]
+        responses = run_to_completion(udr, udr.execute_batch(items))
+        assert [r.result_code.name for r in responses] == \
+            ["SUCCESS", "SUCCESS"]
+        assert udr.metrics.counter("batch.coalesced.aborts") == 1
+        for mate in mates:
+            element = udr.deployment.authoritative_lookup(
+                "imsi", mate.identities.imsi)
+            copy = udr.deployment.replica_set_of_element(
+                element).master_copy
+            record = copy.store.get(f"sub:{mate.identities.imsi}")
+            assert record["servingMsc"] == "retried"
+
+    def test_conflict_abort_without_policy_only_fails_the_conflicter(self):
+        """Without a retry policy the conflicting record keeps its BUSY
+        verdict, but its innocent group-mates are still completed -- the
+        outcome sequential execution would have produced."""
+        udr, profiles = build_udr(
+            config=UDRConfig(seed=7, coalesce_writes=True), subscribers=48)
+        mates = self.partition_mates(udr, profiles, 2)
+        site = udr.topology.sites[0]
+        self.inject_conflict(udr, on_call=2)
+        items = [BatchItem(ModifyRequest(
+            dn=SubscriberSchema.subscriber_dn(mate.identities.imsi),
+            changes={"servingMsc": "kept"}),
+            ClientType.PROVISIONING, site) for mate in mates]
+        responses = run_to_completion(udr, udr.execute_batch(items))
+        assert [r.result_code.name for r in responses] == \
+            ["SUCCESS", "BUSY"]
+        element = udr.deployment.authoritative_lookup(
+            "imsi", mates[0].identities.imsi)
+        copy = udr.deployment.replica_set_of_element(element).master_copy
+        assert copy.store.get(
+            f"sub:{mates[0].identities.imsi}")["servingMsc"] == "kept"
+
+    def test_conflict_abort_restores_deleted_identities(self):
+        """A DELETE whose eager deregistration was voided by a group abort
+        must be locatable again for its re-drive -- and end up deleted,
+        exactly as sequential execution would leave it."""
+        from repro.ldap import DeleteRequest
+        udr, profiles = build_udr(
+            config=UDRConfig(seed=7, coalesce_writes=True), subscribers=48)
+        mates = self.partition_mates(udr, profiles, 2)
+        site = udr.topology.sites[0]
+        self.inject_conflict(udr, on_call=2)
+        items = [
+            BatchItem(DeleteRequest(dn=SubscriberSchema.subscriber_dn(
+                mates[0].identities.imsi)), ClientType.PROVISIONING, site),
+            BatchItem(ModifyRequest(
+                dn=SubscriberSchema.subscriber_dn(mates[1].identities.imsi),
+                changes={"servingMsc": "x"}), ClientType.PROVISIONING,
+                site),
+        ]
+        responses = run_to_completion(udr, udr.execute_batch(items))
+        assert [r.result_code.name for r in responses] == \
+            ["SUCCESS", "BUSY"]
+        # The delete was re-driven after the abort: gone from the store
+        # and from every locator.
+        assert udr.deployment.authoritative_lookup(
+            "imsi", mates[0].identities.imsi) is None
+
+    def test_replication_shortfall_unregisters_like_sequential(self):
+        """Under quorum replication with the replica down, a coalesced
+        CREATE earns the same non-retryable UNAVAILABLE as the sequential
+        path -- and, like it, leaves the newcomer unregistered (sequential
+        raises before register_identities runs)."""
+        from repro.core import ReplicationMode
+
+        def build(coalesce):
+            return build_udr(config=UDRConfig(
+                seed=7, coalesce_writes=coalesce,
+                replication_mode=ReplicationMode.QUORUM, write_quorum=2),
+                subscribers=48)
+
+        from repro.directory.errors import UnknownIdentity
+
+        def registered_anywhere(udr, imsi):
+            for locator in udr.locators.values():
+                try:
+                    locator.locate("imsi", imsi)
+                    return True
+                except UnknownIdentity:
+                    continue
+            return False
+
+        outcomes = {}
+        for coalesce in (False, True):
+            udr, profiles = build(coalesce)
+            newcomer = SubscriberGenerator(udr.config.regions,
+                                           seed=515).generate_one()
+            # Find where the newcomer would be placed (home-region
+            # placement is deterministic), then crash that partition's
+            # replica so the write quorum of 2 cannot be reached.
+            placed = udr.deployment.place_subscriber(
+                newcomer, newcomer.identities.imsi)
+            replica_set = udr.deployment.replica_set_of_element(placed)
+            for slave in replica_set.slave_names():
+                udr.elements[slave].crash(timestamp=udr.sim.now)
+            site = udr.topology.sites[0]
+            items = [BatchItem(AddRequest(
+                dn=SubscriberSchema.subscriber_dn(newcomer.identities.imsi),
+                attributes=newcomer.to_record()),
+                ClientType.PROVISIONING, site)]
+            responses = run_to_completion(udr, udr.execute_batch(items))
+            outcomes[coalesce] = (
+                responses[0].result_code.name,
+                registered_anywhere(udr, newcomer.identities.imsi))
+        assert outcomes[True] == outcomes[False]
+        assert outcomes[True][0] == "UNAVAILABLE"
+        assert outcomes[True][1] is False, \
+            "a create that failed its durability bar must stay unregistered"
+
+    def test_dispatcher_with_coalescing_end_to_end(self):
+        udr, profiles = dispatcher_udr(coalesce_writes=True)
+        mates = self.partition_mates(udr, profiles, 2)
+        site = udr.topology.sites[0]
+        tickets = [udr.submit(ModifyRequest(
+            dn=SubscriberSchema.subscriber_dn(mate.identities.imsi),
+            changes={"servingMsc": "wave"}), ClientType.PROVISIONING, site)
+            for mate in mates]
+        wait_all(udr, tickets)
+        assert all(t.event.value.result_code.name == "SUCCESS"
+                   for t in tickets)
+        assert udr.metrics.counter("batch.coalesced.groups") >= 1
+
+
+class TestSavepoints:
+    def test_rollback_to_savepoint_discards_later_writes(self):
+        from repro.storage.engine import RecordStore
+        from repro.storage.transactions import TransactionManager
+        from repro.storage.wal import WriteAheadLog
+        store = RecordStore(name="sp")
+        manager = TransactionManager(store, WriteAheadLog(name="sp"))
+        transaction = manager.begin()
+        transaction.write("kept", {"value": 1})
+        savepoint = transaction.savepoint()
+        transaction.write("dropped", {"value": 2})
+        transaction.rollback_to(savepoint)
+        transaction.commit()
+        assert store.get("kept") == {"value": 1}
+        assert store.get("dropped") is None
+
+    def test_rollback_restores_overwritten_value(self):
+        from repro.storage.engine import RecordStore
+        from repro.storage.transactions import TransactionManager
+        from repro.storage.wal import WriteAheadLog
+        store = RecordStore(name="sp2")
+        manager = TransactionManager(store, WriteAheadLog(name="sp2"))
+        transaction = manager.begin()
+        transaction.write("key", {"value": "old"})
+        savepoint = transaction.savepoint()
+        transaction.write("key", {"value": "new"})
+        transaction.rollback_to(savepoint)
+        transaction.commit()
+        assert store.get("key") == {"value": "old"}
+
+    def test_foreign_savepoint_rejected(self):
+        from repro.storage.engine import RecordStore
+        from repro.storage.errors import TransactionStateError
+        from repro.storage.transactions import TransactionManager
+        from repro.storage.wal import WriteAheadLog
+        store = RecordStore(name="sp3")
+        manager = TransactionManager(store, WriteAheadLog(name="sp3"))
+        first = manager.begin()
+        savepoint = first.savepoint()
+        first.commit()
+        second = manager.begin()
+        with pytest.raises(TransactionStateError):
+            second.rollback_to(savepoint)

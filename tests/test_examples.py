@@ -39,3 +39,9 @@ class TestExamples:
         output = run_example("durability_tuning.py")
         assert "asynchronous" in output
         assert "quorum" in output
+
+    def test_dispatcher_tuning(self):
+        output = run_example("dispatcher_tuning.py")
+        assert "light load" in output
+        assert "near saturation" in output
+        assert "coalesced txns" in output

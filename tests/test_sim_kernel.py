@@ -251,6 +251,23 @@ class TestConditions:
         condition = sim.all_of([])
         assert condition.triggered
 
+    def test_all_of_with_processed_children_waits_for_pending_ones(self):
+        """Regression: AllOf over a mix of already-processed and pending
+        events must wait for the pending ones.  The incremental pending
+        count used to hit zero after the first processed child, triggering
+        the condition while later children were still outstanding."""
+        sim = Simulation()
+        done_early = sim.event("early")
+        done_early.succeed("early")
+        sim.run()  # process the early event fully
+        late = sim.timeout(5.0, value="late")
+        condition = sim.all_of([done_early, late])
+        assert not condition.triggered
+        results = []
+        condition.add_callback(lambda e: results.append((sim.now, e.value)))
+        sim.run()
+        assert results == [(5.0, ["early", "late"])]
+
     def test_all_of_fails_when_child_fails(self):
         sim = Simulation()
 
