@@ -1,0 +1,25 @@
+"""Bench E17: event-driven replication multiplexing and adaptive lingering."""
+
+from repro.experiments import e17_replication_mux
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e17_replication_mux(benchmark):
+    result = run_experiment(benchmark, e17_replication_mux.run)
+    # The acceptance bar of the replication-mux PR: >=5x fewer simulator
+    # wakeups and network transfers at equal-or-better replica freshness,
+    # with the same records applied -- this is also the wakeup-count
+    # regression gate that keeps per-channel polling from silently coming
+    # back.
+    assert result.notes["wakeup_reduction"] >= 5.0
+    assert result.notes["transfer_reduction"] >= 5.0
+    assert result.notes["records_applied_equal"]
+    assert result.notes["freshness_preserved"]
+    # Adaptive lingering must match the best static budget at every e16
+    # sweep rate without retuning.
+    assert result.notes["adaptive_within_5pct"]
+    # E04/E05 semantics are unchanged with the mux enabled.
+    assert result.notes["e04_semantics_unchanged"]
+    assert result.notes["e05_semantics_unchanged"]
+    benchmark.extra_info.update(result.notes)

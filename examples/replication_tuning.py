@@ -1,0 +1,119 @@
+"""Replication tuning: the ship-linger budget's traffic/lag trade-off.
+
+Run with::
+
+    python examples/replication_tuning.py
+
+Asynchronous replication decouples transaction latency from propagation, so
+its knob -- how long committed records may wait before shipping to the
+slaves -- trades *background* cost against *replica lag*.  The site-pair
+:class:`~repro.replication.mux.ReplicationMux` (the default since the
+event-driven replication PR) makes that trade-off explicit:
+
+* it wakes **on commit** instead of polling every ``(partition, slave)``
+  channel on a fixed cadence, so an idle deployment schedules zero
+  replication events;
+* every commit of one ship-linger window, across *all* partitions whose
+  master and slave share a ``(site, site)`` link, rides **one** network
+  transfer with a single framing charge;
+* the linger budget (``UDRConfig.replication_interval``) bounds how stale
+  a slave copy may be -- exactly the lag that becomes stale reads (E04)
+  and lost transactions on a master crash (E05).
+
+This example drives the same seeded commit stream through per-channel
+polling and through the mux, then sweeps the ship-linger budget to show
+shipments and freshness moving in opposite directions.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import UDRConfig, UDRNetworkFunction
+from repro.metrics import format_table
+
+COMMITS = 600
+RATE = 400.0
+
+
+def measure(replication_mux: bool, interval: float):
+    """Drive a Poisson commit stream; return cost and freshness figures."""
+    config = UDRConfig(seed=33, storage_elements_per_site=4,
+                       replication_factor=3, replication_mux=replication_mux,
+                       replication_interval=interval,
+                       name=f"repl-{'mux' if replication_mux else 'poll'}"
+                            f"-{interval:g}")
+    udr = UDRNetworkFunction(config)
+    udr.start()
+    partitions = sorted(udr.replica_sets)
+    lag_samples = []
+
+    def committer():
+        rng = udr.sim.rng("tuning.commits")
+        for index in range(COMMITS):
+            yield udr.sim.timeout(rng.expovariate(RATE))
+            replica_set = udr.replica_sets[partitions[index % len(partitions)]]
+            tx = replica_set.master_copy.transactions.begin()
+            tx.write(f"rec:{index}", {"v": index})
+            tx.commit(timestamp=udr.sim.now)
+
+    def sampler():
+        while True:
+            yield udr.sim.timeout(0.01)
+            lag_samples.append(sum(channel.lag().records
+                                   for channel in udr.channels))
+
+    process = udr.sim.process(committer())
+    udr.sim.process(sampler())
+    udr.sim.run_until_triggered(process, limit=3600.0)
+    udr.sim.run_for(10 * interval)
+    wakeups = (udr.replication_mux.wakeups if replication_mux
+               else sum(channel.wakeups for channel in udr.channels))
+    transfers = udr.network.stats.total_messages()
+    mean_lag = sum(lag_samples) / len(lag_samples) if lag_samples else 0.0
+    udr.stop()
+    return wakeups, transfers, mean_lag
+
+
+def main():
+    print("Asynchronous replication: per-channel polling vs the site-pair "
+          "mux\n")
+    rows = []
+    for mux, label in ((False, "per-channel polling"),
+                       (True, "site-pair mux")):
+        wakeups, transfers, mean_lag = measure(mux, interval=0.05)
+        rows.append([label, wakeups, transfers, f"{mean_lag:.1f}"])
+    print("same seeded commit stream, 24 channels over 6 site links, "
+          "50 ms budget:")
+    print(format_table(
+        ["shipping mode", "wakeups", "transfers", "mean lag (records)"],
+        rows))
+    print()
+    rows = []
+    for interval in (0.01, 0.05, 0.2):
+        wakeups, transfers, mean_lag = measure(True, interval)
+        rows.append([f"{interval * 1000:.0f} ms", wakeups, transfers,
+                     f"{mean_lag:.1f}"])
+    print("ship-linger sweep (mux): budget vs replica lag:")
+    print(format_table(
+        ["ship-linger budget", "wakeups", "transfers",
+         "mean lag (records)"], rows))
+    print()
+    print("Reading the tables: the mux ships the same records with a "
+          "fraction of the wakeups and transfers because every link's "
+          "streams share one shipment per window -- and because nothing "
+          "at all is scheduled while nothing commits.  The ship-linger "
+          "budget then moves cost and freshness in opposite directions: "
+          "a long budget ships fat and rarely (cheap, but every record "
+          "of the window is exposed to E04-style stale reads and "
+          "E05-style loss until it ships), while shrinking the budget "
+          "buys freshness only down to the backbone's own latency -- "
+          "below that, shipments just queue behind the link (the 10 ms "
+          "row pays 1.5x the transfers of the 50 ms row for no lag win). "
+          "The default keeps the paper's 50 ms cadence: same freshness "
+          "contract, none of the polling cost.")
+
+
+if __name__ == "__main__":
+    main()

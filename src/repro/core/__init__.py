@@ -16,6 +16,7 @@ This package ties every substrate together:
 """
 
 from repro.core.config import (
+    AdaptiveLingerPolicy,
     ClientType,
     DispatchMode,
     LocationMode,
@@ -28,7 +29,11 @@ from repro.core.config import (
 )
 from repro.core.udr import UDRNetworkFunction
 from repro.core.deployment import Deployment, DeploymentBuilder
-from repro.core.dispatcher import BatchDispatcher, DispatchTicket
+from repro.core.dispatcher import (
+    AdaptiveLingerController,
+    BatchDispatcher,
+    DispatchTicket,
+)
 from repro.core.lifecycle import ClusterController
 from repro.core.location_cache import LocationCacheGroup, PoALocationCache
 from repro.core.pipeline import (
@@ -51,6 +56,8 @@ from repro.core.pacelc import PacelcClassification, classify
 from repro.core.availability import AvailabilityModel
 
 __all__ = [
+    "AdaptiveLingerController",
+    "AdaptiveLingerPolicy",
     "AvailabilityModel",
     "BatchAdmissionStage",
     "BatchDispatcher",

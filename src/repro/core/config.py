@@ -158,6 +158,46 @@ class RetryPolicy:
         return self.backoff_tick * self.backoff_multiplier ** (attempt - 1)
 
 
+@dataclass(frozen=True)
+class AdaptiveLingerPolicy:
+    """Load-adaptive linger budgets for the arrival-driven dispatcher.
+
+    The dispatcher tracks an EWMA of observed inter-arrival times and picks
+    each wave's linger budget between ``min_ticks`` and ``max_ticks`` (of
+    :data:`~repro.core.pipeline.BATCH_LINGER_TICK` each):
+
+    * **saturated** traffic (a standing queue, inter-arrivals near zero)
+      needs no lingering -- waves fill on their own, the budget collapses to
+      the expected remaining fill time, i.e. immediately;
+    * **trickle** traffic that could not fill a meaningful fraction of a
+      wave even by waiting ``max_ticks`` stops paying the linger latency tax
+      and dispatches at ``min_ticks``;
+    * in between, the budget is the expected time for the wave to fill,
+      clamped to the configured bounds.
+
+    ``fill_threshold`` is the fraction of ``batch_max_size`` that lingering
+    ``max_ticks`` must be expected to gather before lingering is considered
+    worth its latency at all (the low-rate rows of the e16 sweep, where the
+    static optimum is no lingering, motivate the cut-off).  ``alpha`` is the
+    EWMA smoothing factor applied to each new inter-arrival observation.
+    """
+
+    min_ticks: int = 0
+    max_ticks: int = 50
+    alpha: float = 0.2
+    fill_threshold: float = 0.5
+
+    def __post_init__(self):
+        if self.min_ticks < 0:
+            raise ValueError("min_ticks cannot be negative")
+        if self.max_ticks < self.min_ticks:
+            raise ValueError("max_ticks cannot be below min_ticks")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < self.fill_threshold <= 1.0:
+            raise ValueError("fill_threshold must be in (0, 1]")
+
+
 @dataclass
 class UDRConfig:
     """Everything needed to build a UDR NF deployment.
@@ -183,6 +223,18 @@ class UDRConfig:
     partition_policy: PartitionPolicy = PartitionPolicy.PREFER_CONSISTENCY
     write_quorum: int = 2
     replication_interval: float = 50 * units.MILLISECOND
+    #: Drive asynchronous replication through the site-pair
+    #: :class:`~repro.replication.mux.ReplicationMux`: wake on commit
+    #: instead of polling every channel each interval, and ship all
+    #: channels of one ``(master site, slave site)`` link as a single
+    #: network transfer per round.  Shipping stays aligned to the
+    #: ``replication_interval`` grid, so replica freshness (and the
+    #: E04/E05 staleness/loss semantics) is unchanged.  ``False`` restores
+    #: one polling process per ``(partition, slave)`` channel.
+    replication_mux: bool = True
+    #: Framing charge (bytes) of one multiplexed shipment, paid once per
+    #: link per round on top of the per-record bytes.
+    replication_frame_bytes: int = 256
     fe_reads_from_slave: bool = True
     ps_reads_from_slave: bool = False
 
@@ -220,6 +272,10 @@ class UDRConfig:
     #: :class:`~repro.core.dispatcher.BatchDispatcher`, which forms waves by
     #: really spending ``batch_linger_ticks`` waiting for late arrivals).
     dispatch_mode: DispatchMode = DispatchMode.DIRECT
+    #: Pick each wave's linger budget from the observed arrival rate
+    #: instead of the fixed ``batch_linger_ticks`` (see
+    #: :class:`AdaptiveLingerPolicy`); ``None`` keeps the static budget.
+    adaptive_linger: Optional[AdaptiveLingerPolicy] = None
     #: Commit every wave's writes against one partition as a single
     #: multi-record intra-SE transaction (one begin/commit charge per
     #: partition per wave) instead of one transaction per write.
@@ -254,6 +310,8 @@ class UDRConfig:
                 "write quorum must be between 1 and the replication factor")
         if self.replication_interval <= 0:
             raise ValueError("replication interval must be positive")
+        if self.replication_frame_bytes < 0:
+            raise ValueError("replication frame bytes cannot be negative")
         if self.checkpoint_period <= 0:
             raise ValueError("checkpoint period must be positive")
         if self.location_cache_capacity < 0:

@@ -39,6 +39,7 @@ from repro.net.network import Network
 from repro.net.topology import NetworkTopology, Site
 from repro.replication.asynchronous import AsyncReplicationChannel
 from repro.replication.multimaster import MultiMasterCoordinator
+from repro.replication.mux import ReplicationMux
 from repro.replication.quorum import QuorumReplicator
 from repro.replication.replica_set import ReplicaSet
 from repro.replication.synchronous import DualInSequenceReplicator
@@ -87,8 +88,9 @@ class Deployment:
     __slots__ = (
         "config", "topology", "network", "availability_manager", "clusters",
         "elements", "element_order", "scheme", "replica_sets", "coordinators",
-        "channels", "dual_replicators", "quorum_replicators", "locators",
-        "points_of_access", "primary_partition_of_element", "placement_policy",
+        "channels", "replication_mux", "dual_replicators",
+        "quorum_replicators", "locators", "points_of_access",
+        "primary_partition_of_element", "placement_policy",
     )
 
     def __init__(self, *, config: UDRConfig, topology: NetworkTopology,
@@ -99,6 +101,7 @@ class Deployment:
                  replica_sets: Dict[int, ReplicaSet],
                  coordinators: Dict[int, MultiMasterCoordinator],
                  channels: List[AsyncReplicationChannel],
+                 replication_mux: ReplicationMux,
                  dual_replicators: Dict[int, DualInSequenceReplicator],
                  quorum_replicators: Dict[int, QuorumReplicator],
                  locators: Dict[str, Locator],
@@ -116,6 +119,7 @@ class Deployment:
         self.replica_sets = replica_sets
         self.coordinators = coordinators
         self.channels = channels
+        self.replication_mux = replication_mux
         self.dual_replicators = dual_replicators
         self.quorum_replicators = quorum_replicators
         self.locators = locators
@@ -197,6 +201,7 @@ class DeploymentBuilder:
         self.replica_sets: Dict[int, ReplicaSet] = {}
         self.coordinators: Dict[int, MultiMasterCoordinator] = {}
         self.channels: List[AsyncReplicationChannel] = []
+        self.replication_mux: Optional[ReplicationMux] = None
         self.dual_replicators: Dict[int, DualInSequenceReplicator] = {}
         self.quorum_replicators: Dict[int, QuorumReplicator] = {}
         self.locators: Dict[str, Locator] = {}
@@ -223,6 +228,7 @@ class DeploymentBuilder:
             elements=self.elements, element_order=self.element_order,
             scheme=self.scheme, replica_sets=self.replica_sets,
             coordinators=self.coordinators, channels=self.channels,
+            replication_mux=self.replication_mux,
             dual_replicators=self.dual_replicators,
             quorum_replicators=self.quorum_replicators, locators=self.locators,
             points_of_access=self.points_of_access,
@@ -286,11 +292,21 @@ class DeploymentBuilder:
                 replica_set, enabled=self.config.multi_master_enabled())
 
     def _build_replicators(self) -> None:
+        # The mux is built unconditionally (its start is gated by
+        # ``config.replication_mux`` in the lifecycle layer) so tooling can
+        # inspect one object either way; shipping stays aligned to the
+        # replication-interval grid the polling channels would tick on.
+        self.replication_mux = ReplicationMux(
+            self.sim, self.network,
+            ship_linger=self.config.replication_interval,
+            frame_bytes=self.config.replication_frame_bytes)
         for index, replica_set in self.replica_sets.items():
             for slave_name in replica_set.slave_names():
-                self.channels.append(AsyncReplicationChannel(
+                channel = AsyncReplicationChannel(
                     self.sim, self.network, replica_set, slave_name,
-                    interval=self.config.replication_interval))
+                    interval=self.config.replication_interval)
+                self.channels.append(channel)
+                self.replication_mux.attach(channel)
             self.dual_replicators[index] = DualInSequenceReplicator(
                 self.sim, self.network, replica_set)
             self.quorum_replicators[index] = QuorumReplicator(

@@ -27,46 +27,76 @@ ones that arrived earlier, without starving them.  Each wave runs through
 flush), and every request's :class:`DispatchTicket` event is triggered with
 its :class:`~repro.ldap.operations.LdapResponse`.
 
+Two load-path refinements ride on the queue:
+
+* **adaptive lingering** (``UDRConfig.adaptive_linger``): instead of the
+  fixed ``batch_linger_ticks`` budget, an :class:`AdaptiveLingerController`
+  tracks an EWMA of observed inter-arrival times and picks each wave's
+  budget between the policy's min/max -- saturated traffic dispatches
+  immediately, trickle traffic stops paying the linger latency tax, and the
+  regime in between waits just long enough to fill the wave (the e16 sweep
+  showed the static optimum shifts with arrival rate);
+* **shared-wave respond path**: tickets submitted with a ``source`` tag
+  (front-ends and the provisioning system pass their name) resume their
+  callers through *one* grouped response event per wave per source instead
+  of one simulator event per ticket; each caller reads its own
+  :attr:`DispatchTicket.response` after the shared event fires.
+
 Observability (recorded straight into the deployment's metrics registry):
 ``dispatcher.enqueued`` / ``dispatcher.dispatched`` counters, wave counters
 (``dispatcher.waves``, split into ``.waves_full`` / ``.waves_lingered``),
 the ``dispatcher.queue_depth`` gauge (plus an all-time
-``dispatcher.queue_depth_max``), and a ``dispatcher.linger`` latency
-recorder -- the per-request linger histogram.
+``dispatcher.queue_depth_max``), a ``dispatcher.linger`` latency recorder
+-- the per-request linger histogram -- plus, for the extensions, the
+``dispatcher.adaptive_budget`` histogram of chosen budgets and the
+``dispatcher.grouped_responses`` / ``dispatcher.grouped_tickets`` counters.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.net.topology import Site
-from repro.core.config import ClientType, DispatchMode, Priority, UDRConfig
+from repro.core.config import (
+    AdaptiveLingerPolicy,
+    ClientType,
+    DispatchMode,
+    Priority,
+    UDRConfig,
+)
 from repro.core.pipeline import BATCH_LINGER_TICK, BatchItem, OperationPipeline
-from repro.ldap.operations import LdapRequest
+from repro.ldap.operations import LdapRequest, LdapResponse
 from repro.metrics.collector import MetricsRegistry
 
 
 class DispatchTicket:
     """One enqueued request: what :meth:`BatchDispatcher.submit` returns.
 
-    ``event`` triggers with the request's
-    :class:`~repro.ldap.operations.LdapResponse` when its wave completes;
-    a waiting client generator simply ``yield``\\ s it.  ``enqueued_at`` /
-    ``completed_at`` bracket the client-perceived latency, queue wait
-    included.
+    For a plain ticket (no ``source``), ``event`` triggers with the
+    request's :class:`~repro.ldap.operations.LdapResponse` when its wave
+    completes; a waiting client generator simply ``yield``\\ s it.  Tickets
+    submitted with a ``source`` tag share *one* grouped response event per
+    wave per source instead (``event`` is ``None``): the caller yields
+    :meth:`BatchDispatcher.response_event` until :attr:`response` is set,
+    which is how ``udr.call`` waits.  ``enqueued_at`` / ``completed_at``
+    bracket the client-perceived latency, queue wait included.
     """
 
-    __slots__ = ("item", "enqueued_at", "event", "completed_at")
+    __slots__ = ("item", "enqueued_at", "event", "source", "response",
+                 "completed_at")
 
-    def __init__(self, item: BatchItem, enqueued_at: float, event):
+    def __init__(self, item: BatchItem, enqueued_at: float, event,
+                 source=None):
         self.item = item
         self.enqueued_at = enqueued_at
         self.event = event
+        self.source = source
+        self.response: Optional[LdapResponse] = None
         self.completed_at: Optional[float] = None
 
     @property
     def done(self) -> bool:
-        return self.event.triggered
+        return self.completed_at is not None
 
     @property
     def latency(self) -> Optional[float]:
@@ -81,6 +111,59 @@ class DispatchTicket:
                 f"{state} enqueued_at={self.enqueued_at:.6f}>")
 
 
+class AdaptiveLingerController:
+    """Pick each wave's linger budget from the observed arrival rate.
+
+    Tracks an exponentially weighted moving average of inter-arrival times
+    (updated by :meth:`observe_arrival` on every submit) and turns it into
+    a budget via :meth:`budget`: the expected time for the current wave to
+    fill, clamped to the policy's ``[min_ticks, max_ticks]`` window -- with
+    a trickle cut-off that stops lingering altogether when even the full
+    ``max_ticks`` window could not gather ``fill_threshold`` of a wave.
+    """
+
+    __slots__ = ("policy", "batch_max_size", "ewma", "_last_arrival")
+
+    def __init__(self, policy: AdaptiveLingerPolicy, batch_max_size: int):
+        self.policy = policy
+        self.batch_max_size = batch_max_size
+        #: Smoothed inter-arrival time in virtual seconds (``None`` until
+        #: two arrivals have been observed).
+        self.ewma: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+
+    def observe_arrival(self, now: float) -> None:
+        if self._last_arrival is not None:
+            sample = now - self._last_arrival
+            if self.ewma is None:
+                self.ewma = sample
+            else:
+                alpha = self.policy.alpha
+                self.ewma = alpha * sample + (1.0 - alpha) * self.ewma
+        self._last_arrival = now
+
+    def budget(self, queue_depth: int) -> float:
+        """The linger budget (virtual seconds) for the next wave."""
+        policy = self.policy
+        min_budget = policy.min_ticks * BATCH_LINGER_TICK
+        max_budget = policy.max_ticks * BATCH_LINGER_TICK
+        if self.ewma is None:
+            # No rate estimate yet: dispatch fast rather than guess.
+            return min_budget
+        if self.ewma <= 0.0:
+            # Simultaneous arrivals (a standing queue): waves fill on their
+            # own, lingering would only add latency.
+            return min_budget
+        gatherable = max_budget / self.ewma
+        if gatherable < policy.fill_threshold * self.batch_max_size:
+            # Trickle: even the maximum budget cannot fill a meaningful
+            # fraction of a wave -- don't pay the latency tax.
+            return min_budget
+        missing = max(0, self.batch_max_size - 1 - queue_depth)
+        expected_fill = missing * self.ewma
+        return min(max(expected_fill, min_budget), max_budget)
+
+
 class BatchDispatcher:
     """The arrival-driven admission queue of one UDR deployment."""
 
@@ -93,6 +176,9 @@ class BatchDispatcher:
         self.queue: List[DispatchTicket] = []
         self.waves_dispatched = 0
         self.requests_dispatched = 0
+        self.adaptive = (AdaptiveLingerController(config.adaptive_linger,
+                                                  config.batch_max_size)
+                         if config.adaptive_linger is not None else None)
         self._process = None
         self._wake = None
         #: Bumped by stop(); a running loop exits when its generation is
@@ -101,9 +187,14 @@ class BatchDispatcher:
         #: The armed linger-deadline timeout and the ticket it guards;
         #: reused across per-arrival wakeups while the oldest ticket is
         #: unchanged, so a burst of arrivals inside one linger window does
-        #: not flood the event heap with dead timeouts.
+        #: not flood the event heap with dead timeouts.  The deadline is
+        #: frozen when the ticket becomes oldest (``_deadline_at``), so an
+        #: adaptive budget drifting between arrivals cannot re-open it.
         self._deadline_timeout = None
         self._deadline_ticket = None
+        self._deadline_at = 0.0
+        #: Per-source shared response events (the shared-wave respond path).
+        self._source_events: Dict[object, object] = {}
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -134,23 +225,34 @@ class BatchDispatcher:
         return len(self.queue)
 
     def linger_budget(self) -> float:
-        """The linger budget in virtual seconds."""
+        """The linger budget in virtual seconds (adaptive when configured)."""
+        if self.adaptive is not None:
+            budget = self.adaptive.budget(len(self.queue))
+            self.metrics.histogram("dispatcher.adaptive_budget").record(budget)
+            return budget
         return self.config.batch_linger_ticks * BATCH_LINGER_TICK
 
     def submit(self, request: LdapRequest, client_type: ClientType,
-               client_site: Site,
-               priority: Optional[Priority] = None) -> DispatchTicket:
+               client_site: Site, priority: Optional[Priority] = None,
+               source=None) -> DispatchTicket:
         """Enqueue one request; returns its :class:`DispatchTicket`.
 
         Non-blocking and callable from outside any process; the caller
-        waits by yielding ``ticket.event``.  Starts the dispatch loop
-        lazily, so drivers need not care whether ``udr.start()`` ran with
-        ``dispatch_mode=DISPATCHER`` already set.
+        waits by yielding ``ticket.event`` -- or, when a ``source`` tag is
+        given (any hashable identifying the submitting front-end process),
+        by yielding :meth:`response_event` until ``ticket.response`` is
+        set: all of a source's tickets completing in one wave then resume
+        their callers through a single grouped event.  Starts the dispatch
+        loop lazily, so drivers need not care whether ``udr.start()`` ran
+        with ``dispatch_mode=DISPATCHER`` already set.
         """
         self.start()
+        if self.adaptive is not None:
+            self.adaptive.observe_arrival(self.sim.now)
         item = BatchItem(request, client_type, client_site, priority=priority)
-        ticket = DispatchTicket(item, self.sim.now,
-                                self.sim.event("dispatch-ticket"))
+        event = None if source is not None else \
+            self.sim.event("dispatch-ticket")
+        ticket = DispatchTicket(item, self.sim.now, event, source=source)
         self.queue.append(ticket)
         self.metrics.increment("dispatcher.enqueued")
         self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
@@ -159,6 +261,18 @@ class BatchDispatcher:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
         return ticket
+
+    def response_event(self, source):
+        """The shared event the next wave completing ``source`` tickets
+        triggers.  Callers loop ``while ticket.response is None: yield
+        dispatcher.response_event(source)`` -- a wave that completed other
+        tickets of the same source wakes them spuriously and they re-wait
+        on the fresh event."""
+        event = self._source_events.get(source)
+        if event is None or event.triggered:
+            event = self.sim.event(f"wave-response:{source}")
+            self._source_events[source] = event
+        return event
 
     # -- the dispatch loop --------------------------------------------------------
 
@@ -181,15 +295,21 @@ class BatchDispatcher:
                 continue  # re-check the generation before dispatching
             while self.queue and generation == self._generation:
                 oldest = self.queue[0]
-                deadline = oldest.enqueued_at + self.linger_budget()
+                if self._deadline_ticket is not oldest:
+                    # Freeze this wave's budget when its oldest ticket is
+                    # first seen (with adaptive lingering the budget moves
+                    # with the arrival rate between waves, not within one).
+                    self._deadline_ticket = oldest
+                    self._deadline_at = oldest.enqueued_at + \
+                        self.linger_budget()
+                    self._deadline_timeout = None
                 if len(self.queue) >= self.config.batch_max_size or \
-                        self.sim.now >= deadline:
+                        self.sim.now >= self._deadline_at:
                     yield from self._dispatch_wave()
                     continue
-                if self._deadline_ticket is not oldest:
-                    self._deadline_ticket = oldest
+                if self._deadline_timeout is None:
                     self._deadline_timeout = self.sim.timeout(
-                        deadline - self.sim.now)
+                        self._deadline_at - self.sim.now)
                 self._wake = self.sim.event("dispatcher-arrival")
                 yield self.sim.any_of([self._deadline_timeout, self._wake])
 
@@ -213,9 +333,23 @@ class BatchDispatcher:
             [ticket.item for ticket in wave])
         self.waves_dispatched += 1
         self.requests_dispatched += len(wave)
+        grouped: Dict[object, int] = {}
         for ticket, response in zip(wave, responses):
             ticket.completed_at = self.sim.now
-            ticket.event.succeed(response)
+            ticket.response = response
+            if ticket.source is None:
+                ticket.event.succeed(response)
+            else:
+                grouped[ticket.source] = grouped.get(ticket.source, 0) + 1
+        # Shared-wave respond path: all of a source's tickets in this wave
+        # resume their callers through one grouped event (one simulator
+        # event per source per wave instead of one per ticket).
+        for source, count in grouped.items():
+            event = self._source_events.pop(source, None)
+            if event is not None and not event.triggered:
+                event.succeed(count)
+            self.metrics.increment("dispatcher.grouped_responses")
+            self.metrics.increment("dispatcher.grouped_tickets", count)
 
     def __repr__(self) -> str:
         return (f"<BatchDispatcher queue={len(self.queue)} "
@@ -224,4 +358,5 @@ class BatchDispatcher:
                 f"linger_ticks={self.config.batch_linger_ticks}>")
 
 
-__all__ = ["BatchDispatcher", "DispatchTicket", "DispatchMode"]
+__all__ = ["AdaptiveLingerController", "BatchDispatcher", "DispatchTicket",
+           "DispatchMode"]

@@ -50,17 +50,28 @@ class ClusterController:
     # -- background processes ------------------------------------------------------
 
     def start(self) -> None:
-        """Start background processes: replication channels and checkpoints."""
+        """Start background processes: replication and checkpoints.
+
+        Under ``config.replication_mux`` (the default) asynchronous
+        replication runs through the event-driven site-pair multiplexer --
+        zero simulator wakeups while nothing commits; with it disabled,
+        every channel polls on its own interval, the paper's literal
+        per-``(partition, slave)`` description.
+        """
         if self.started:
             return
         self.started = True
-        for channel in self.deployment.channels:
-            channel.start()
+        if self.config.replication_mux:
+            self.deployment.replication_mux.start()
+        else:
+            for channel in self.deployment.channels:
+                channel.start()
         for element in self.deployment.elements.values():
             self.sim.process(self._checkpoint_loop(element),
                              name=f"checkpoint:{element.name}")
 
     def stop(self) -> None:
+        self.deployment.replication_mux.stop()
         for channel in self.deployment.channels:
             channel.stop()
         self.started = False
@@ -94,6 +105,9 @@ class ClusterController:
         def recover() -> None:
             element.recover(timestamp=self.sim.now)
             self.resynchronise_element(element)
+            # Backlog that accumulated while the element was down has no
+            # future commit to wake the mux; re-binding re-arms it.
+            self.deployment.replication_mux.rebind()
         return recover
 
     def resynchronise_element(self, element: StorageElement) -> None:
@@ -133,6 +147,9 @@ class ClusterController:
                 continue
         if promotions:
             self.caches.invalidate_element(element_name)
+            # A new master means a new commit log to wake on and a new
+            # (master site, slave site) link for the partition's shipments.
+            self.deployment.replication_mux.rebind()
         return promotions
 
     # -- restoration ---------------------------------------------------------------

@@ -68,6 +68,7 @@ class UDRNetworkFunction:
 
         self.builder = DeploymentBuilder(config, self.sim)
         self.deployment: Deployment = self.builder.build()
+        self.deployment.replication_mux.bind_metrics(self.metrics)
         self.location_caches = LocationCacheGroup(
             capacity=config.location_cache_capacity)
         self.pipeline = OperationPipeline(self.sim, config, self.deployment,
@@ -89,6 +90,7 @@ class UDRNetworkFunction:
         self.replica_sets = deployment.replica_sets
         self.coordinators = deployment.coordinators
         self.channels = deployment.channels
+        self.replication_mux = deployment.replication_mux
         self.dual_replicators = deployment.dual_replicators
         self.quorum_replicators = deployment.quorum_replicators
         self.locators = deployment.locators
@@ -216,8 +218,8 @@ class UDRNetworkFunction:
         return self.pipeline.execute(request, client_type, client_site)
 
     def submit(self, request: LdapRequest, client_type: ClientType,
-               client_site: Site,
-               priority: Optional[Priority] = None) -> DispatchTicket:
+               client_site: Site, priority: Optional[Priority] = None,
+               source=None) -> DispatchTicket:
         """Enqueue one request into the arrival-driven batch dispatcher.
 
         Non-blocking: returns the request's
@@ -227,24 +229,36 @@ class UDRNetworkFunction:
         admission wave completes.  Waves form from the live arrival stream:
         dispatch happens when ``batch_max_size`` requests have gathered or
         the oldest has lingered ``batch_linger_ticks``, whichever first.
+        With a ``source`` tag, the ticket joins the shared-wave respond
+        path instead: wave-mates of one source share a single grouped
+        response event and the caller reads ``ticket.response`` (see
+        :meth:`~repro.core.dispatcher.BatchDispatcher.submit`).
         """
         return self.dispatcher.submit(request, client_type, client_site,
-                                      priority=priority)
+                                      priority=priority, source=source)
 
     def call(self, request: LdapRequest, client_type: ClientType,
-             client_site: Site, priority: Optional[Priority] = None):
+             client_site: Site, priority: Optional[Priority] = None,
+             source=None):
         """Generator: run one request the way ``config.dispatch_mode`` says.
 
         ``DIRECT`` is plain call-and-wait (:meth:`execute`); ``DISPATCHER``
         enqueues into the batch dispatcher and waits for the response, so
         serial clients (front-ends, the provisioning system) transparently
-        contribute to -- and benefit from -- wave formation.
+        contribute to -- and benefit from -- wave formation.  Callers that
+        identify themselves with a ``source`` tag are resumed through one
+        grouped response event per wave (fewer simulator events when many
+        of a front-end's requests complete together).
         """
         if self.config.dispatch_mode is DispatchMode.DISPATCHER:
             ticket = self.dispatcher.submit(request, client_type, client_site,
-                                            priority=priority)
-            response = yield ticket.event
-            return response
+                                            priority=priority, source=source)
+            if source is None:
+                response = yield ticket.event
+                return response
+            while ticket.response is None:
+                yield self.dispatcher.response_event(source)
+            return ticket.response
         response = yield from self.pipeline.execute(request, client_type,
                                                     client_site)
         return response

@@ -56,9 +56,11 @@ class ApplicationFrontEnd:
                                    operations=len(requests))
         for index, request in enumerate(requests):
             # call() routes by UDRConfig.dispatch_mode: direct call-and-wait,
-            # or enqueue into the arrival-driven batch dispatcher and wait.
+            # or enqueue into the arrival-driven batch dispatcher and wait
+            # (the source tag lets all of this front-end's requests that
+            # complete in one wave share a single grouped response event).
             response = yield from self.udr.call(
-                request, self.client_type, self.site)
+                request, self.client_type, self.site, source=self.name)
             if not response.ok:
                 outcome.succeeded = False
                 outcome.failed_operation = index

@@ -57,6 +57,16 @@ class MetricsRegistry:
             self._latencies[name] = LatencyRecorder(name)
         return self._latencies[name]
 
+    def histogram(self, name: str) -> LatencyRecorder:
+        """A value-distribution recorder; alias of :meth:`latency`.
+
+        Used for non-latency distributions -- the replication mux's
+        shipment sizes and per-record ship linger, the dispatcher's
+        adaptive budgets -- which share the recorder's count/mean/percentile
+        summary machinery.
+        """
+        return self.latency(name)
+
     def outcomes(self, name: str) -> OperationOutcomes:
         if name not in self._outcomes:
             self._outcomes[name] = OperationOutcomes()

@@ -123,6 +123,7 @@ class Network:
         self.stats = NetworkStats()
         self._rng = sim.rng(f"{name}.latency")
         self._loss_rng = sim.rng(f"{name}.loss")
+        self._stream_rngs: Dict[str, tuple] = {}
         self._partitions: List[NetworkPartition] = []
         self._failed_sites: Set[Site] = set()
         self._latency_factors: Dict[LinkClass, float] = {
@@ -202,8 +203,32 @@ class Network:
 
     # -- message transfer -------------------------------------------------------
 
-    def transfer(self, source: Site, destination: Site, payload_bytes: int = 512):
+    def _stream_rngs_for(self, stream: Optional[str]):
+        """The (latency rng, loss rng) pair serving ``stream``.
+
+        Named streams keep different traffic classes' randomness separate:
+        background replication shipping draws from its own pair, so the
+        *number* of replication transfers (one per channel per round under
+        polling, one per site pair under the mux) can never perturb the
+        operation path's latency and loss samples -- a prerequisite for
+        comparing the two shipping modes under identical seeds.
+        """
+        if stream is None:
+            return self._rng, self._loss_rng
+        pair = self._stream_rngs.get(stream)
+        if pair is None:
+            pair = (self.sim.rng(f"{self.name}.{stream}.latency"),
+                    self.sim.rng(f"{self.name}.{stream}.loss"))
+            self._stream_rngs[stream] = pair
+        return pair
+
+    def transfer(self, source: Site, destination: Site, payload_bytes: int = 512,
+                 stream: Optional[str] = None):
         """Simulated one-way message delivery (a generator to ``yield from``).
+
+        ``stream`` names a dedicated randomness stream for this traffic
+        class (see :meth:`_stream_rngs_for`); the default shares the
+        network-wide pair.
 
         Raises
         ------
@@ -219,12 +244,14 @@ class Network:
         profile = self.profiles[link]
         self.stats.messages[link] += 1
         self.stats.bytes[link] += payload_bytes
+        latency_rng, loss_rng = self._stream_rngs_for(stream)
         if profile.loss_probability and \
-                self._loss_rng.random() < profile.loss_probability:
+                loss_rng.random() < profile.loss_probability:
             self.stats.losses += 1
             yield self.sim.timeout(profile.timeout)
             raise NetworkTimeoutError(source, destination, profile.timeout)
-        latency = profile.latency.sample(self._rng) * self._latency_factors[link]
+        latency = profile.latency.sample(latency_rng) * \
+            self._latency_factors[link]
         yield self.sim.timeout(latency)
 
     def round_trip(self, source: Site, destination: Site,

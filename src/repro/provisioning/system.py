@@ -93,9 +93,11 @@ class ProvisioningSystem:
         diagnostics: List[str] = []
         for index, request in enumerate(requests):
             # Dispatch-mode aware: under DISPATCHER this enqueues into the
-            # arrival-driven batch dispatcher instead of call-and-wait.
+            # arrival-driven batch dispatcher instead of call-and-wait; the
+            # source tag joins the PS's wave-mates on one grouped response
+            # event (the shared-wave respond path).
             response = yield from self.udr.call(
-                request, self.client_type, self.site)
+                request, self.client_type, self.site, source=self.name)
             if not response.ok:
                 diagnostics.append(
                     f"{request.operation_name}: {response.result_code.name} "

@@ -15,6 +15,9 @@ them:
 
 * :mod:`repro.replication.replica_set` -- master/slave bookkeeping, failover.
 * :mod:`repro.replication.asynchronous` -- the baseline async log shipping.
+* :mod:`repro.replication.mux` -- the site-pair multiplexer: wake-on-commit
+  shipping that coalesces every channel of one ``(master site, slave site)``
+  link into a single network transfer per round.
 * :mod:`repro.replication.synchronous` -- dual-in-sequence commit (section 5).
 * :mod:`repro.replication.quorum` -- Cassandra-style W-of-N commit.
 * :mod:`repro.replication.multimaster` -- accept-anywhere mode for partitions.
@@ -29,6 +32,7 @@ from repro.replication.errors import (
 )
 from repro.replication.replica_set import ReplicaSet
 from repro.replication.asynchronous import AsyncReplicationChannel, ReplicationLag
+from repro.replication.mux import ReplicationMux
 from repro.replication.synchronous import DualInSequenceReplicator
 from repro.replication.quorum import QuorumReplicator, QuorumWrite
 from repro.replication.multimaster import MultiMasterCoordinator
@@ -57,6 +61,7 @@ __all__ = [
     "QuorumReplicator",
     "QuorumWrite",
     "ReplicaSet",
+    "ReplicationMux",
     "ReplicationError",
     "ReplicationLag",
     "RestorationReport",

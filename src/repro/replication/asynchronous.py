@@ -5,23 +5,34 @@ copies is performed asynchronously, so execution of a transaction does not
 have to wait until the corresponding write(s) have been propagated to the
 slave replica(s)."
 
-The channel is a background simulation process per (partition, slave element)
-pair.  Every ``interval`` it ships the commit-log records the slave has not
-seen yet over the network (paying backbone latency), then applies them in
-commit order, preserving the master's serialisation order.  Partitions or
-element failures simply stall the channel; the growing gap is the replication
-lag that produces stale slave reads (experiment E04) and lost transactions on
-master crashes (experiment E05).
+The channel tracks one ``(partition, slave element)`` stream: which records
+of the current master's commit log the slave has not applied yet, and how to
+apply them in commit order, preserving the master's serialisation order.
+Partitions or element failures simply stall the stream; the growing gap is
+the replication lag that produces stale slave reads (experiment E04) and
+lost transactions on master crashes (experiment E05).
+
+Two drivers exist:
+
+* the channel's own background polling process (:meth:`start`), one wakeup
+  every ``interval`` per channel -- the paper's literal description, kept as
+  the baseline (``UDRConfig.replication_mux=False``);
+* the :class:`~repro.replication.mux.ReplicationMux`, which owns *all*
+  channels of a deployment, wakes on commit, and ships every channel of one
+  ``(master site, slave site)`` link in a single network transfer.  For that
+  the channel exposes its shipping state as process-less primitives:
+  :meth:`endpoints`, :meth:`pending_records` and :meth:`apply`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.errors import NetworkError
 from repro.replication.replica_set import ReplicaSet
-from repro.sim import units
+from repro.sim import Interrupt, units
+from repro.storage.wal import LogRecord
 
 
 @dataclass
@@ -61,6 +72,8 @@ class AsyncReplicationChannel:
         self.records_shipped = 0
         self.batches_shipped = 0
         self.stalled_rounds = 0
+        #: Polling-loop wakeups (the cadence cost the mux eliminates).
+        self.wakeups = 0
         self.last_ship_time: Optional[float] = None
         self._running = False
         self._process = None
@@ -68,7 +81,7 @@ class AsyncReplicationChannel:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self):
-        """Start the background shipping process."""
+        """Start the background polling process (legacy per-channel mode)."""
         if self._running:
             return self._process
         self._running = True
@@ -76,70 +89,167 @@ class AsyncReplicationChannel:
         return self._process
 
     def stop(self) -> None:
+        """Stop and *drain* the polling process.
+
+        The process is interrupted out of its pending interval timeout, so a
+        stopped channel neither ships one last round at the next tick nor
+        lingers in the event queue -- which matters once the mux creates and
+        destroys bindings on fail-over.
+        """
         self._running = False
+        process, self._process = self._process, None
+        if process is not None and process.is_alive:
+            process.interrupt("channel stopped")
 
     def _label(self) -> str:
         return (f"async-repl:{self.replica_set.partition.name}"
                 f"->{self.slave_element_name}")
 
-    # -- shipping -------------------------------------------------------------------
+    # -- shipping state (shared with the mux) --------------------------------------
+
+    def endpoints(self):
+        """``(master element, slave element)`` of the current binding.
+
+        ``None`` while the partition has no master, or when this channel's
+        slave *is* the master (after a fail-over promoted it) -- there is
+        nothing to ship either way.
+        """
+        master_name = self.replica_set.master_element_name
+        if master_name is None or master_name == self.slave_element_name:
+            return None
+        return (self.replica_set.element(master_name),
+                self.replica_set.element(self.slave_element_name))
+
+    def link_sites(self):
+        """The ``(master site, slave site)`` pair shipments travel over."""
+        ends = self.endpoints()
+        if ends is None:
+            return None
+        return (ends[0].site, ends[1].site)
+
+    def has_backlog(self) -> bool:
+        """Whether the master's log holds records past the shipped cursor.
+
+        O(1): compares the log's last LSN against the cursor, without
+        scanning (some of the backlog may turn out to be already applied
+        on the slave -- :meth:`pending_records` filters that).
+        """
+        master_name = self.replica_set.master_element_name
+        if master_name is None or master_name == self.slave_element_name:
+            return False
+        master_copy = self.replica_set.copy_on(master_name)
+        return master_copy.wal.last_lsn > self._shipped_lsn.get(master_name, 0)
+
+    def pending_records(self) -> Tuple[Optional[str], List[LogRecord]]:
+        """``(master name, records to ship)``, cheaply.
+
+        O(pending) via the shipped-LSN cursor and the slave's applied
+        sequence counter.  Records the slave already applied (e.g. after a
+        fail-over, when the new master's log starts with history the slave
+        replicated long ago) advance the cursor without being returned, so
+        no record is ever applied twice.  At most ``batch_limit`` records
+        are returned per call.
+        """
+        master_name = self.replica_set.master_element_name
+        if master_name is None or master_name == self.slave_element_name:
+            return None, []
+        master_copy = self.replica_set.copy_on(master_name)
+        shipped_lsn = self._shipped_lsn.get(master_name, 0)
+        if master_copy.wal.last_lsn == shipped_lsn:
+            # Idle: nothing committed since the last round (the common case).
+            return master_name, []
+        examined = master_copy.wal.since(shipped_lsn)[:self.batch_limit]
+        applied_seq = self.replica_set.copy_on(
+            self.slave_element_name).store.last_applied_seq
+        pending = [record for record in examined
+                   if record.commit_seq > applied_seq]
+        if not pending and examined:
+            # Everything examined is already on the slave: advance past it
+            # (only past what was actually examined -- a batch-limit
+            # truncation must not skip unexamined records).
+            self._shipped_lsn[master_name] = examined[-1].lsn
+            return master_name, []
+        return master_name, pending
+
+    def apply(self, master_name: str, records: List[LogRecord]) -> int:
+        """Apply shipped records to the slave copy, in commit order.
+
+        Idempotent: records the slave applied since they were gathered
+        (a re-binding or retry racing a shipment in flight) are skipped by
+        their commit sequence, so no version is ever installed twice.
+        """
+        if not records:
+            return 0
+        slave_copy = self.replica_set.copy_on(self.slave_element_name)
+        applied = 0
+        for record in records:
+            if record.commit_seq <= slave_copy.store.last_applied_seq:
+                continue
+            slave_copy.transactions.apply_log_record(record)
+            applied += 1
+        self._shipped_lsn[master_name] = max(
+            records[-1].lsn, self._shipped_lsn.get(master_name, 0))
+        if applied:
+            self.records_shipped += applied
+            self.batches_shipped += 1
+            self.last_ship_time = self.sim.now
+        return applied
+
+    # -- the polling driver --------------------------------------------------------
 
     def _run(self):
-        while self._running:
-            yield self.sim.timeout(self.interval)
-            yield from self.ship_once()
+        try:
+            while self._running:
+                yield self.sim.timeout(self.interval)
+                if not self._running:
+                    return
+                self.wakeups += 1
+                yield from self.ship_once()
+        except Interrupt:
+            return
 
     def ship_once(self):
         """Attempt one shipping round (generator; usable directly in tests)."""
-        master_name = self.replica_set.master_element_name
-        if master_name is None or master_name == self.slave_element_name:
+        ends = self.endpoints()
+        if ends is None:
             return 0
-        master_element, master_copy = self.replica_set.master
-        slave_element = self.replica_set.element(self.slave_element_name)
-        slave_copy = self.replica_set.copy_on(self.slave_element_name)
+        master_element, slave_element = ends
         if not master_element.available or not slave_element.available:
             self.stalled_rounds += 1
             return 0
-        shipped_lsn = self._shipped_lsn.get(master_name, 0)
-        if master_copy.wal.last_lsn == shipped_lsn:
-            # Idle tick: nothing committed since the last round, so skip the
-            # log scan entirely (the common case on the 50 ms cadence).
-            return 0
-        pending = master_copy.wal.since(shipped_lsn)[:self.batch_limit]
-        # Skip records the slave already has (e.g. after a failover the new
-        # master's log contains history the slave applied long ago).
-        pending = [record for record in pending
-                   if record.commit_seq > slave_copy.store.last_applied_seq]
+        master_name, pending = self.pending_records()
         if not pending:
-            self._shipped_lsn[master_name] = master_copy.wal.last_lsn
             return 0
         try:
             yield from self.network.transfer(
                 master_element.site, slave_element.site,
-                payload_bytes=self.bytes_per_record * len(pending))
+                payload_bytes=self.bytes_per_record * len(pending),
+                stream="replication")
         except NetworkError:
             self.stalled_rounds += 1
             return 0
-        for record in pending:
-            slave_copy.transactions.apply_log_record(record)
-        self._shipped_lsn[master_name] = pending[-1].lsn
-        self.records_shipped += len(pending)
-        self.batches_shipped += 1
-        self.last_ship_time = self.sim.now
-        return len(pending)
+        return self.apply(master_name, pending)
 
     # -- metrics -----------------------------------------------------------------------
 
     def lag(self) -> ReplicationLag:
-        """Current lag of the slave behind the master copy."""
+        """Current lag of the slave behind the master copy.
+
+        O(pending): the shipped-LSN cursor bounds the log scan and the
+        slave's applied sequence filters the fail-over overlap, so metrics
+        sampling no longer walks the whole log on large runs.
+        """
         master_name = self.replica_set.master_element_name
-        if master_name is None:
+        if master_name is None or master_name == self.slave_element_name:
             return ReplicationLag(records=0, seconds=0.0)
-        master_copy = self.replica_set.master_copy
-        slave_copy = self.replica_set.copy_on(self.slave_element_name)
+        master_copy = self.replica_set.copy_on(master_name)
         shipped_lsn = self._shipped_lsn.get(master_name, 0)
+        if master_copy.wal.last_lsn == shipped_lsn:
+            return ReplicationLag(records=0, seconds=0.0)
+        applied_seq = self.replica_set.copy_on(
+            self.slave_element_name).store.last_applied_seq
         pending = [record for record in master_copy.wal.since(shipped_lsn)
-                   if record.commit_seq > slave_copy.store.last_applied_seq]
+                   if record.commit_seq > applied_seq]
         if not pending:
             return ReplicationLag(records=0, seconds=0.0)
         oldest = pending[0].timestamp

@@ -1,0 +1,263 @@
+"""Site-pair replication multiplexer: wake on commit, ship one transfer per link.
+
+The paper's asynchronous channels are described -- and were reproduced -- as
+one background process per ``(partition, slave element)`` pair polling on a
+fixed cadence.  A deployment with P partitions and R-1 slaves each therefore
+schedules P*(R-1) simulator wakeups per interval and ships P*(R-1) separate
+network transfers, even though many of those streams travel the same
+``(master site, slave site)`` backbone link.  :class:`ReplicationMux`
+collapses that fan-in:
+
+* **wake on commit** -- the mux subscribes to every current master copy's
+  commit log (:meth:`repro.storage.wal.WriteAheadLog.subscribe`); an idle
+  deployment schedules *zero* replication events;
+* **ship-linger** -- a commit arms one shipping round for its link, delayed
+  to the next multiple of ``ship_linger`` (the configured replication
+  interval).  Aligning to the same grid the polling loops ticked on keeps
+  replica freshness -- and the E04/E05 staleness/loss semantics -- exactly
+  as before, while every commit of the window, across *all* partitions on
+  the link, rides the same round;
+* **one transfer per link per round** -- a round gathers each member
+  channel's :meth:`~repro.replication.asynchronous.AsyncReplicationChannel.
+  pending_records` and ships them as a single network transfer charged
+  ``frame_bytes`` once plus the per-record bytes, then applies per channel
+  in commit order, exactly as the standalone channels would;
+* **fail-over re-binding** -- a promotion moves a partition's master to a
+  different element (and usually site), which changes both the commit log
+  to subscribe to and the link its shipments travel.  The lifecycle layer
+  calls :meth:`rebind` after promotions and recoveries; link membership is
+  recomputed from live channel state at every round, so a round armed just
+  before a fail-over can never ship along a stale binding.
+
+Stalls (a crashed endpoint, a partitioned link) fall back to cadence:
+a round that found backlog it could not ship re-arms itself after
+``retry_interval``, so a healing partition drains exactly like the polling
+loops would -- without the idle cost while everything is healthy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.errors import NetworkError
+from repro.replication.asynchronous import AsyncReplicationChannel
+from repro.sim import units
+
+
+class ReplicationMux:
+    """Owns every async channel of a deployment; ships per site pair."""
+
+    def __init__(self, sim, network, *,
+                 ship_linger: float = 50 * units.MILLISECOND,
+                 frame_bytes: int = 256,
+                 retry_interval: Optional[float] = None,
+                 metrics=None):
+        if ship_linger <= 0:
+            raise ValueError("ship linger must be positive")
+        if frame_bytes < 0:
+            raise ValueError("frame bytes cannot be negative")
+        self.sim = sim
+        self.network = network
+        self.ship_linger = ship_linger
+        self.frame_bytes = frame_bytes
+        self.retry_interval = (retry_interval if retry_interval is not None
+                               else ship_linger)
+        self.metrics = metrics
+        self.channels: List[AsyncReplicationChannel] = []
+        self.wakeups = 0
+        self.shipments = 0
+        self.records_shipped = 0
+        self.stalled_rounds = 0
+        #: Links with a shipping round armed (pending in the event queue).
+        self._armed: Set[Tuple] = set()
+        #: ``(wal, listener)`` pairs currently subscribed.
+        self._subscriptions: List[Tuple] = []
+        self._running = False
+        #: Bumped by stop()/rebind(); an armed round whose generation is
+        #: stale does nothing when it fires.
+        self._generation = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._running
+
+    def bind_metrics(self, metrics) -> None:
+        """Record wakeup counters and shipment histograms into ``metrics``."""
+        self.metrics = metrics
+
+    def attach(self, channel: AsyncReplicationChannel) -> None:
+        """Take ownership of one channel (the channel's own process stays
+        stopped; the mux drives its primitives)."""
+        self.channels.append(channel)
+        if self._running:
+            self.rebind()
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._rebuild()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._generation += 1
+        self._unsubscribe_all()
+        self._armed.clear()
+
+    def rebind(self) -> None:
+        """Recompute master-log subscriptions and re-arm links with backlog.
+
+        Called by the lifecycle layer after fail-over promotions and
+        element recoveries: a new master means a new commit log to listen
+        on and a new site pair for the partition's shipments.
+        """
+        if not self._running:
+            return
+        self._generation += 1
+        self._armed.clear()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._unsubscribe_all()
+        by_wal: Dict[int, Tuple] = {}
+        for channel in self.channels:
+            master_name = channel.replica_set.master_element_name
+            if master_name is None or \
+                    master_name == channel.slave_element_name:
+                continue
+            wal = channel.replica_set.copy_on(master_name).wal
+            entry = by_wal.get(id(wal))
+            if entry is None:
+                entry = (wal, [])
+                by_wal[id(wal)] = entry
+            entry[1].append(channel)
+        for wal, channels in by_wal.values():
+            listener = self._make_listener(channels)
+            wal.subscribe(listener)
+            self._subscriptions.append((wal, listener))
+        # Arm a round for every link already holding backlog (start after
+        # traffic, fail-over hand-off, element recovery).
+        for channel in self.channels:
+            if channel.has_backlog():
+                self._arm(channel.link_sites(), self._grid_delay())
+
+    def _unsubscribe_all(self) -> None:
+        for wal, listener in self._subscriptions:
+            wal.unsubscribe(listener)
+        self._subscriptions = []
+
+    def _make_listener(self, channels: List[AsyncReplicationChannel]):
+        def on_commit(_record) -> None:
+            if not self._running:
+                return
+            for channel in channels:
+                self._arm(channel.link_sites(), self._grid_delay())
+        return on_commit
+
+    # -- rounds ------------------------------------------------------------------
+
+    def _grid_delay(self) -> float:
+        """Delay to the next multiple of the ship-linger interval.
+
+        The polling loops ticked at exactly these instants, so shipping on
+        the same grid preserves replica freshness record for record; the
+        saving is that grid points without pending commits cost nothing.
+        """
+        periods = math.floor(self.sim.now / self.ship_linger) + 1
+        return max(0.0, periods * self.ship_linger - self.sim.now)
+
+    def _arm(self, key, delay: float) -> None:
+        if key is None or key in self._armed or not self._running:
+            return
+        self._armed.add(key)
+        self.sim.process(self._round(key, self._generation, delay),
+                         name=f"repl-mux:{key[0].name}->{key[1].name}")
+
+    def _round(self, key, generation: int, delay: float):
+        # The link stays *armed* until the round completes, so commits that
+        # land while a round's transfer is in flight never spawn an
+        # overlapping round re-shipping the same in-flight records; the
+        # backlog check at the end picks them up instead.
+        yield self.sim.timeout(delay)
+        if generation != self._generation:
+            return
+        self.wakeups += 1
+        self._count("replication.mux.wakeups")
+        rearm = yield from self._ship_link(key)
+        if generation != self._generation:
+            return
+        self._armed.discard(key)
+        if rearm is not None:
+            self._arm(key, rearm)
+        elif any(channel.link_sites() == key and channel.has_backlog()
+                 for channel in self.channels):
+            # Commits that landed during the transfer, or a batch-limit
+            # truncation that left records behind.
+            self._arm(key, self._grid_delay())
+
+    def _ship_link(self, key):
+        """Generator: one shipping round over one ``(site, site)`` link.
+
+        Membership is recomputed here, from live channel state, so
+        fail-overs between arming and firing are honoured automatically.
+        Returns the re-arm delay when the round stalled, else ``None``.
+        """
+        source, destination = key
+        shipment = []
+        stalled = False
+        for channel in self.channels:
+            if channel.link_sites() != key:
+                continue
+            master_element, slave_element = channel.endpoints()
+            if not master_element.available or not slave_element.available:
+                if channel.has_backlog():
+                    channel.stalled_rounds += 1
+                    stalled = True
+                continue
+            master_name, records = channel.pending_records()
+            if records:
+                shipment.append((channel, master_name, records))
+        if shipment:
+            payload = self.frame_bytes + sum(
+                channel.bytes_per_record * len(records)
+                for channel, _master, records in shipment)
+            try:
+                yield from self.network.transfer(source, destination,
+                                                 payload_bytes=payload,
+                                                 stream="replication")
+            except NetworkError:
+                for channel, _master, _records in shipment:
+                    channel.stalled_rounds += 1
+                self.stalled_rounds += 1
+                self._count("replication.mux.stalled")
+                return self.retry_interval
+            total = 0
+            for channel, master_name, records in shipment:
+                channel.apply(master_name, records)
+                total += len(records)
+                if self.metrics is not None:
+                    linger = self.metrics.histogram("replication.mux.linger")
+                    for record in records:
+                        linger.record(max(0.0, self.sim.now - record.timestamp))
+            self.shipments += 1
+            self.records_shipped += total
+            self._count("replication.mux.shipments")
+            self._count("replication.mux.records", total)
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "replication.mux.shipment_size").record(total)
+        return self.retry_interval if stalled else None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name, amount)
+
+    def __repr__(self) -> str:
+        return (f"<ReplicationMux channels={len(self.channels)} "
+                f"wakeups={self.wakeups} shipments={self.shipments} "
+                f"running={self._running}>")

@@ -16,7 +16,7 @@ in the paper's architecture:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,10 @@ class WriteAheadLog:
     _records: List[LogRecord] = field(default_factory=list)
     _durable_lsn: int = 0
     _next_lsn: int = 1
+    #: Synchronous callbacks run after every append; this is the commit hook
+    #: the replication multiplexer wakes on (instead of polling the log).
+    _append_listeners: List[Callable[[LogRecord], None]] = field(
+        default_factory=list, repr=False, compare=False)
 
     # -- append ---------------------------------------------------------------
 
@@ -75,6 +79,7 @@ class WriteAheadLog:
         )
         self._next_lsn += 1
         self._records.append(record)
+        self._notify(record)
         return record
 
     def append_record(self, record: LogRecord) -> LogRecord:
@@ -89,7 +94,24 @@ class WriteAheadLog:
         )
         self._next_lsn += 1
         self._records.append(copy)
+        self._notify(copy)
         return copy
+
+    # -- commit listeners -------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        """Run ``listener(record)`` after every append (idempotent)."""
+        if listener not in self._append_listeners:
+            self._append_listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        """Stop notifying ``listener`` (no-op when not subscribed)."""
+        if listener in self._append_listeners:
+            self._append_listeners.remove(listener)
+
+    def _notify(self, record: LogRecord) -> None:
+        for listener in tuple(self._append_listeners):
+            listener(record)
 
     # -- reading ----------------------------------------------------------------
 
@@ -102,8 +124,26 @@ class WriteAheadLog:
         return self._records[-1].lsn if self._records else 0
 
     def since(self, lsn: int) -> List[LogRecord]:
-        """Records with LSN strictly greater than ``lsn`` (oldest first)."""
-        return [record for record in self._records if record.lsn > lsn]
+        """Records with LSN strictly greater than ``lsn`` (oldest first).
+
+        O(result) rather than O(log length): LSNs are dense and ascending
+        (append numbers sequentially, truncation drops a prefix, a crash
+        drops a suffix), so the cut-off is found by index arithmetic.  The
+        replication channels call this on every shipping round and every
+        ``lag()`` sample, which made the old full scan the dominant cost of
+        metrics sampling on large logs.
+        """
+        records = self._records
+        if not records or lsn >= records[-1].lsn:
+            return []
+        first_lsn = records[0].lsn
+        if lsn < first_lsn:
+            return list(records)
+        index = lsn - first_lsn + 1
+        if 0 < index <= len(records) and records[index - 1].lsn == lsn:
+            return records[index:]
+        # Defensive fallback for a non-dense log (not produced today).
+        return [record for record in records if record.lsn > lsn]
 
     def record_at(self, lsn: int) -> Optional[LogRecord]:
         for record in self._records:

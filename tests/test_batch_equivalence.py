@@ -454,6 +454,94 @@ class TestDispatcherEquivalence:
             len(items)
 
 
+class TestMuxEquivalence:
+    """The replication-mux PR's acceptance property: multiplexed shipping
+    only amortises cost -- replica contents, staleness behaviour and
+    fail-over resumption match the per-channel polling loops."""
+
+    @pytest.mark.parametrize("workload_seed", [11, 23])
+    def test_seeded_workload_state_matches_polling(self, workload_seed):
+        polling = build_udr(config=UDRConfig(seed=7, replication_mux=False),
+                            subscribers=SUBSCRIBERS, seed=7)
+        muxed = build_udr(config=UDRConfig(seed=7, replication_mux=True),
+                          subscribers=SUBSCRIBERS, seed=7)
+        poll_udr, poll_profiles = polling
+        mux_udr, _profiles = muxed
+        items = seeded_workload(poll_udr, poll_profiles, workload_seed)
+        polling_codes = run_sequential(poll_udr, items)
+        muxed_codes = run_sequential(mux_udr, items)
+        assert muxed_codes == polling_codes
+        assert store_state(mux_udr) == store_state(poll_udr)
+        assert mux_udr.replication_mux.wakeups > 0
+        assert all(channel.wakeups == 0 for channel in mux_udr.channels), \
+            "no channel may fall back to polling while the mux drives"
+
+    def test_failover_rebinds_and_resumes_from_correct_lsn(self):
+        """The master moves sites mid-stream: the mux re-binds to the new
+        master's log and the surviving slave stream resumes with no
+        duplicate and no skipped applies."""
+        udr, profiles = build_udr(
+            config=UDRConfig(seed=7, replication_factor=3),
+            subscribers=SUBSCRIBERS, seed=7)
+        profile = profiles[0]
+        dn = SubscriberSchema.subscriber_dn(profile.identities.imsi)
+        site = fe_site_for(udr, profile)
+        old_master = udr.deployment.authoritative_lookup(
+            "imsi", profile.identities.imsi)
+        replica_set = udr._replica_set_of_element(old_master)
+        for index in range(4):
+            run_to_completion(udr, udr.execute(
+                ModifyRequest(dn=dn, changes={"servingMsc": f"pre-{index}"}),
+                ClientType.APPLICATION_FE, site))
+        udr.sim.run_for(0.2)  # drain: every copy holds pre-3
+        udr.crash_element(old_master)
+        promotions = udr.fail_over(old_master)
+        assert replica_set.master_element_name != old_master
+        assert promotions
+        for index in range(4):
+            response = run_to_completion(udr, udr.execute(
+                ModifyRequest(dn=dn, changes={"servingMsc": f"post-{index}"}),
+                ClientType.APPLICATION_FE, site))
+            assert response.ok
+        udr.sim.run_for(0.5)
+        new_master = replica_set.master_element_name
+        surviving_slave = next(
+            name for name in replica_set.member_names
+            if name not in (old_master, new_master))
+        key = profile.key
+        master_versions = [
+            v.commit_seq
+            for v in replica_set.master_copy.store.versions(key)]
+        slave_versions = [
+            v.commit_seq
+            for v in replica_set.copy_on(surviving_slave).store.versions(key)]
+        assert slave_versions == master_versions, \
+            "no skipped and no duplicate applies across the fail-over"
+        assert len(set(slave_versions)) == len(slave_versions)
+        assert replica_set.copy_on(surviving_slave).store.get(key)[
+            "servingMsc"] == "post-3"
+
+    def test_idle_deployment_schedules_zero_replication_wakeups(self):
+        """The wakeup-count regression check: with the mux enabled (the
+        default) an idle deployment must not schedule replication events
+        at all -- per-channel polling would wake len(channels) times per
+        interval.  This is what keeps future PRs from silently
+        reintroducing the polling fan-out."""
+        udr, _profiles = build_udr(config=UDRConfig(seed=7),
+                                   subscribers=SUBSCRIBERS, seed=7)
+        assert udr.config.replication_mux, "the mux is the default"
+        udr.sim.run_for(1.0)  # quiesce the subscriber-load shipments
+        wakeups_before = udr.replication_mux.wakeups
+        events_before = udr.sim._sequence
+        udr.sim.run_for(10.0)
+        assert udr.replication_mux.wakeups == wakeups_before
+        polling_would_wake = len(udr.channels) * int(
+            10.0 / udr.config.replication_interval)
+        assert polling_would_wake >= 1200, "the comparison is meaningful"
+        assert udr.sim._sequence - events_before <= len(udr.channels), \
+            "an idle deployment schedules (almost) nothing"
+
+
 class TestBatchMetricsContract:
     def test_batched_counts_equal_sequential_counts(self):
         (seq_udr, seq_profiles), (bat_udr, _bat) = equivalence_pair()

@@ -86,6 +86,32 @@ class TestUDRConfig:
         assert sparse.weight_of(Priority.BULK) == 1, \
             "classes missing from the mapping default to weight 1"
 
+    def test_replication_mux_knobs(self):
+        config = UDRConfig()
+        assert config.replication_mux, \
+            "event-driven site-pair shipping is the default"
+        assert config.replication_frame_bytes >= 0
+        with pytest.raises(ValueError):
+            UDRConfig(replication_frame_bytes=-1)
+
+    def test_adaptive_linger_policy_validation(self):
+        from repro.core import AdaptiveLingerPolicy
+        assert UDRConfig().adaptive_linger is None, \
+            "static lingering stays the default"
+        policy = AdaptiveLingerPolicy(min_ticks=2, max_ticks=40, alpha=0.5)
+        config = UDRConfig(adaptive_linger=policy)
+        assert config.adaptive_linger.max_ticks == 40
+        with pytest.raises(ValueError):
+            AdaptiveLingerPolicy(min_ticks=-1)
+        with pytest.raises(ValueError):
+            AdaptiveLingerPolicy(min_ticks=10, max_ticks=5)
+        with pytest.raises(ValueError):
+            AdaptiveLingerPolicy(alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveLingerPolicy(alpha=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveLingerPolicy(fill_threshold=0.0)
+
     def test_retry_policy_validation_and_backoff(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_retries=-1)

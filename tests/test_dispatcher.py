@@ -11,6 +11,8 @@ primitive itself.
 import pytest
 
 from repro.core import (
+    AdaptiveLingerController,
+    AdaptiveLingerPolicy,
     BatchItem,
     ClientType,
     DispatchMode,
@@ -234,6 +236,170 @@ class TestDispatchModeRouting:
         assert dispatched > 0
         assert waves < dispatched, \
             "lingering must have merged concurrent FE requests into waves"
+
+
+class TestAdaptiveLinger:
+    def controller(self, **policy_kwargs):
+        policy = AdaptiveLingerPolicy(**policy_kwargs)
+        return AdaptiveLingerController(policy, batch_max_size=32)
+
+    def test_cold_start_and_standing_queue_dispatch_fast(self):
+        controller = self.controller(min_ticks=0, max_ticks=50)
+        assert controller.budget(0) == 0.0, "no estimate yet: don't guess"
+        for _ in range(5):
+            controller.observe_arrival(1.0)  # simultaneous arrivals
+        assert controller.ewma == 0.0
+        assert controller.budget(4) == 0.0, \
+            "a standing queue fills waves on its own"
+
+    def test_trickle_traffic_skips_the_latency_tax(self):
+        controller = self.controller(min_ticks=0, max_ticks=50)
+        now = 0.0
+        for _ in range(10):
+            now += 0.1  # 10/s: max budget gathers 0.5 requests
+            controller.observe_arrival(now)
+        assert controller.budget(0) == 0.0
+
+    def test_mid_load_lingers_the_expected_fill_time(self):
+        controller = self.controller(min_ticks=0, max_ticks=50)
+        now = 0.0
+        for _ in range(50):
+            now += 0.002  # 500/s: a wave fills within the budget
+            controller.observe_arrival(now)
+        assert abs(controller.ewma - 0.002) < 1e-4
+        # 10 queued, 21 missing: linger the expected fill time.
+        budget = controller.budget(10)
+        assert abs(budget - 21 * controller.ewma) < 1e-6
+        # An empty queue would need 62 ms: clamped to the 50-tick maximum.
+        assert controller.budget(0) == 50 * BATCH_LINGER_TICK
+        # A full queue needs no waiting at all.
+        assert controller.budget(31) == 0.0
+
+    def test_budget_clamped_to_policy_window(self):
+        controller = self.controller(min_ticks=2, max_ticks=10)
+        now = 0.0
+        for _ in range(50):
+            now += 0.0005  # 2000/s: expected fill 15.5 ms > max 10 ms
+            controller.observe_arrival(now)
+        assert controller.budget(0) == 10 * BATCH_LINGER_TICK
+        assert controller.budget(31) == 2 * BATCH_LINGER_TICK
+
+    def test_small_budget_window_on_fast_traffic_still_cuts_off(self):
+        """fill_threshold is relative to the wave: when even the maximum
+        window can only gather a third of a wave, the controller refuses
+        to linger regardless of how fast arrivals are."""
+        controller = self.controller(min_ticks=0, max_ticks=10)
+        now = 0.0
+        for _ in range(50):
+            now += 0.001  # 1000/s, but 10 ms gathers only 10 of 32
+            controller.observe_arrival(now)
+        assert controller.budget(0) == 0.0
+
+    def test_dispatcher_uses_adaptive_budget(self):
+        """Integration: a burst of simultaneous submissions collapses the
+        adaptive budget to zero, so the under-filled wave dispatches
+        immediately instead of waiting out a static linger."""
+        udr, profiles = dispatcher_udr(
+            adaptive_linger=AdaptiveLingerPolicy(min_ticks=0, max_ticks=50),
+            batch_linger_ticks=50)  # the static budget that would apply
+        site = fe_site_for(udr, profiles[0])
+        start = udr.sim.now
+        tickets = [udr.submit(read_for(udr, profile),
+                              ClientType.APPLICATION_FE, site)
+                   for profile in profiles[:8]]
+        wait_all(udr, tickets)
+        assert udr.metrics.counter("dispatcher.waves") == 1
+        linger = udr.metrics.latency("dispatcher.linger")
+        assert linger.maximum() < BATCH_LINGER_TICK, \
+            "no ticket waited a static linger budget out"
+        assert all(ticket.response.ok for ticket in tickets)
+        recorder = udr.metrics.histogram("dispatcher.adaptive_budget")
+        assert recorder.count >= 1
+
+
+class TestSharedWaveRespond:
+    def test_source_tickets_share_one_response_event(self):
+        """N concurrent callers of one front-end process resume from a
+        single grouped event per wave instead of N ticket events."""
+        udr, profiles = dispatcher_udr()
+        site = fe_site_for(udr, profiles[0])
+        responses = []
+
+        def caller(profile):
+            response = yield from udr.call(
+                read_for(udr, profile), ClientType.APPLICATION_FE, site,
+                source="fe-shared")
+            responses.append(response)
+
+        processes = [udr.sim.process(caller(profile))
+                     for profile in profiles[:6]]
+
+        def waiter():
+            yield udr.sim.all_of(processes)
+
+        run_to_completion(udr, waiter())
+        assert len(responses) == 6
+        assert all(response.ok for response in responses)
+        assert udr.metrics.counter("dispatcher.grouped_responses") == 1
+        assert udr.metrics.counter("dispatcher.grouped_tickets") == 6
+
+    def test_sources_resume_independently_across_waves(self):
+        """A wave completing one source's tickets wakes that source's
+        waiters only once; callers whose tickets ride a later wave re-wait
+        on the fresh event and still get their own responses."""
+        udr, profiles = dispatcher_udr(batch_max_size=2,
+                                       batch_linger_ticks=1)
+        site = fe_site_for(udr, profiles[0])
+        responses = {}
+
+        def caller(name, profile):
+            response = yield from udr.call(
+                read_for(udr, profile), ClientType.APPLICATION_FE, site,
+                source="fe-one")
+            responses[name] = response
+
+        def spaced_callers():
+            for index, profile in enumerate(profiles[:5]):
+                udr.sim.process(caller(f"c{index}", profile))
+                yield udr.sim.timeout(0.0005)
+
+        run_to_completion(udr, spaced_callers())
+        udr.sim.run_for(2.0)
+        assert len(responses) == 5
+        assert all(response.ok for response in responses.values())
+        waves = udr.metrics.counter("dispatcher.waves")
+        assert waves >= 2, "the five tickets spanned several waves"
+        assert udr.metrics.counter("dispatcher.grouped_tickets") == 5
+        assert udr.metrics.counter("dispatcher.grouped_responses") == waves
+
+    def test_mixed_wave_keeps_per_ticket_events_for_untagged(self):
+        udr, profiles = dispatcher_udr()
+        site = fe_site_for(udr, profiles[0])
+        plain = udr.submit(read_for(udr, profiles[0]),
+                           ClientType.APPLICATION_FE, site)
+        tagged = udr.submit(read_for(udr, profiles[1]),
+                            ClientType.APPLICATION_FE, site,
+                            source="fe-mixed")
+        assert tagged.event is None
+        wait_all(udr, [plain])
+        udr.sim.run_for(1.0)
+        assert plain.event.value.result_code.name == "SUCCESS"
+        assert tagged.done and tagged.response.ok
+        assert udr.metrics.counter("dispatcher.grouped_responses") == 1
+        assert udr.metrics.counter("dispatcher.grouped_tickets") == 1
+
+    def test_front_end_procedures_ride_the_grouped_path(self):
+        from repro.frontends.hlr_fe import HlrFrontEnd
+        udr, profiles = dispatcher_udr()
+        site = fe_site_for(udr, profiles[0])
+        front_end = HlrFrontEnd("fe-grouped", udr, site)
+        udr.sim.process(front_end.traffic_driver(
+            profiles[:12], rate_per_second=200.0, duration=0.5))
+        udr.sim.run(until=udr.sim.now + 20.0)
+        assert front_end.procedures_attempted > 0
+        assert udr.metrics.counter("dispatcher.grouped_tickets") > 0
+        assert udr.metrics.counter("dispatcher.grouped_responses") <= \
+            udr.metrics.counter("dispatcher.grouped_tickets")
 
 
 class TestCoalescedWrites:

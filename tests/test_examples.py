@@ -45,3 +45,9 @@ class TestExamples:
         assert "light load" in output
         assert "near saturation" in output
         assert "coalesced txns" in output
+
+    def test_replication_tuning(self):
+        output = run_example("replication_tuning.py")
+        assert "per-channel polling" in output
+        assert "site-pair mux" in output
+        assert "ship-linger sweep" in output

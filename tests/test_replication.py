@@ -11,6 +11,7 @@ from repro.replication import (
     NotEnoughReplicas,
     QuorumReplicator,
     ReplicationError,
+    ReplicationMux,
 )
 from repro.storage import DataPartition, ReplicaRole, StorageElement
 
@@ -142,6 +143,161 @@ class TestAsyncReplication:
         shipped = run_process(sim, channel.ship_once())
         assert shipped == 0
         assert channel.stalled_rounds == 1
+
+    def test_stop_drains_the_parked_poll(self):
+        """stop() interrupts the process out of its pending interval
+        timeout: a stopped channel neither ships one last round at the
+        next tick nor stays alive in the event queue."""
+        sim, network, _, _, replica_set = build_replicated_partition()
+        channel = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+        process = channel.start()
+        sim.run(until=0.01)  # inside the first 50 ms interval
+        master_write(replica_set, "sub-1", {"v": 1}, timestamp=sim.now)
+        channel.stop()
+        sim.run()  # drains to an empty queue instead of looping forever
+        assert not process.is_alive
+        assert channel.records_shipped == 0, \
+            "the pending write must not ship after stop()"
+        assert not replica_set.copy_on("se-1").store.contains("sub-1")
+
+    def test_pending_records_and_apply_primitives(self):
+        """The mux-facing primitives: pending excludes already-applied
+        records, apply advances the cursor, and apply is idempotent."""
+        sim, network, _, _, replica_set = build_replicated_partition()
+        channel = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+        first = master_write(replica_set, "sub-1", {"v": 1})
+        second = master_write(replica_set, "sub-2", {"v": 2})
+        assert channel.has_backlog()
+        master_name, pending = channel.pending_records()
+        assert master_name == "se-0"
+        assert [r.lsn for r in pending] == [first.lsn, second.lsn]
+        assert channel.apply(master_name, pending) == 2
+        assert not channel.has_backlog()
+        assert channel.pending_records() == ("se-0", [])
+        # Idempotent: re-applying the same shipment installs nothing.
+        assert channel.apply(master_name, pending) == 0
+        versions = replica_set.copy_on("se-1").store.versions("sub-1")
+        assert len(versions) == 1
+
+    def test_pending_skips_records_slave_already_applied(self):
+        sim, network, _, _, replica_set = build_replicated_partition()
+        record = master_write(replica_set, "sub-1", {"v": 1})
+        replica_set.copy_on("se-1").transactions.apply_log_record(record)
+        channel = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+        _master, pending = channel.pending_records()
+        assert pending == []
+        assert not channel.has_backlog(), "the cursor advanced past it"
+
+    def test_inactive_when_slave_is_master(self):
+        sim, network, _, _, replica_set = build_replicated_partition()
+        channel = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+        replica_set.set_master("se-1")
+        assert channel.endpoints() is None
+        assert channel.link_sites() is None
+        assert not channel.has_backlog()
+        assert channel.pending_records() == (None, [])
+
+
+class TestReplicationMux:
+    def build_two_partition_link(self, seed=1):
+        """Two partitions whose masters live at site 0 and slaves at site 1:
+        both channels ship over the same (site, site) link."""
+        sim, network, topology, elements, replica_set = \
+            build_replicated_partition(seed=seed, num_elements=2,
+                                       replication_factor=2)
+        partition_b = DataPartition(1)
+        from repro.replication import ReplicaSet
+        replica_set_b = ReplicaSet(partition_b)
+        replica_set_b.add_member(elements[0], ReplicaRole.PRIMARY)
+        replica_set_b.add_member(elements[1], ReplicaRole.SECONDARY)
+        channels = [
+            AsyncReplicationChannel(sim, network, replica_set, "se-1"),
+            AsyncReplicationChannel(sim, network, replica_set_b, "se-1"),
+        ]
+        mux = ReplicationMux(sim, network, ship_linger=0.05)
+        for channel in channels:
+            mux.attach(channel)
+        return sim, network, (replica_set, replica_set_b), channels, mux
+
+    def test_idle_mux_schedules_no_events(self):
+        sim, network, _sets, _channels, mux = self.build_two_partition_link()
+        mux.start()
+        sim.run(until=5.0)
+        assert mux.wakeups == 0
+        assert network.stats.total_messages() == 0
+
+    def test_two_partitions_share_one_transfer(self):
+        sim, network, (set_a, set_b), channels, mux = \
+            self.build_two_partition_link()
+        mux.start()
+        master_write(set_a, "a-1", {"v": 1}, timestamp=sim.now)
+        master_write(set_b, "b-1", {"v": 2}, timestamp=sim.now)
+        sim.run(until=0.2)
+        assert network.stats.total_messages() == 1, \
+            "both partitions' records ride one shipment over the link"
+        assert mux.wakeups == 1
+        assert set_a.copy_on("se-1").store.contains("a-1")
+        assert set_b.copy_on("se-1").store.contains("b-1")
+
+    def test_commits_ship_on_the_interval_grid(self):
+        """Freshness contract: the mux ships at the same instants the
+        polling loops would have ticked (multiples of the interval)."""
+        sim, network, (set_a, _b), channels, mux = \
+            self.build_two_partition_link()
+        mux.start()
+        sim.run(until=0.12)  # between grid points
+        master_write(set_a, "a-1", {"v": 1}, timestamp=sim.now)
+        sim.run(until=0.149)
+        assert channels[0].records_shipped == 0, "not before the grid point"
+        sim.run(until=0.2)
+        assert channels[0].records_shipped == 1
+
+    def test_stall_retries_until_partition_heals(self):
+        sim, network, (set_a, _b), channels, mux = \
+            self.build_two_partition_link()
+        mux.start()
+        partition = NetworkPartition.isolating(set_a.element("se-0").site)
+        network.apply_partition(partition)
+        master_write(set_a, "a-1", {"v": 1}, timestamp=sim.now)
+        sim.run(until=0.4)
+        assert channels[0].stalled_rounds > 0
+        assert not set_a.copy_on("se-1").store.contains("a-1")
+        network.heal_partition(partition)
+        sim.run(until=0.6)
+        assert set_a.copy_on("se-1").store.contains("a-1")
+        assert channels[0].lag().in_sync
+
+    def test_stop_disarms_pending_rounds(self):
+        sim, network, (set_a, _b), channels, mux = \
+            self.build_two_partition_link()
+        mux.start()
+        master_write(set_a, "a-1", {"v": 1}, timestamp=sim.now)
+        mux.stop()
+        sim.run(until=1.0)
+        assert mux.wakeups == 0
+        assert network.stats.total_messages() == 0
+
+    def test_rebind_follows_a_new_master(self):
+        """After a promotion the mux listens on the new master's log; the
+        promoted element's own channel goes inactive (it *is* the master)
+        and nothing ships to it twice."""
+        sim, network, (set_a, _b), channels, mux = \
+            self.build_two_partition_link()
+        mux.start()
+        record = master_write(set_a, "a-1", {"v": 1}, timestamp=sim.now)
+        sim.run(until=0.2)  # shipped to se-1
+        set_a.set_master("se-1")
+        mux.rebind()
+        # Commits on the new master must not wake anything: the only other
+        # member (se-0) has no channel, and se-1's channel is now inactive.
+        wakeups_before = mux.wakeups
+        tx = set_a.copy_on("se-1").transactions.begin()
+        tx.write("a-2", {"v": 2})
+        tx.commit(timestamp=sim.now)
+        sim.run(until=0.5)
+        assert mux.wakeups == wakeups_before
+        versions = set_a.copy_on("se-1").store.versions("a-1")
+        assert len(versions) == 1, "no duplicate apply after re-binding"
 
 
 class TestDualInSequence:

@@ -78,6 +78,37 @@ class TestWriteAheadLog:
         assert wal.record_at(record.lsn) is not None
         assert wal.record_at(99) is None
 
+    def test_since_after_truncation_and_crash(self):
+        """The index-arithmetic fast path must survive both log prunings:
+        truncation (drops a prefix) and a crash (drops the volatile tail)."""
+        _, wal, manager, _ = make_copy()
+        for i in range(6):
+            commit_write(manager, f"k{i}", {"v": i})
+        wal.truncate_through(2)
+        assert [r.lsn for r in wal.since(0)] == [3, 4, 5, 6]
+        assert [r.lsn for r in wal.since(4)] == [5, 6]
+        assert wal.since(6) == []
+        wal.mark_durable(4)
+        wal.crash()
+        assert [r.lsn for r in wal.since(2)] == [3, 4]
+        assert wal.since(4) == []
+
+    def test_append_listeners_fire_and_unsubscribe(self):
+        """The commit hook the replication mux wakes on: every append (own
+        commit or replication apply) notifies subscribers exactly once."""
+        _, wal, manager, _ = make_copy()
+        seen = []
+        wal.subscribe(seen.append)
+        wal.subscribe(seen.append)  # idempotent
+        record = commit_write(manager, "a", {"v": 1})
+        assert seen == [record]
+        copy = wal.append_record(record)
+        assert seen == [record, copy]
+        wal.unsubscribe(seen.append)
+        commit_write(manager, "b", {"v": 2})
+        assert len(seen) == 2
+        wal.unsubscribe(seen.append)  # no-op when absent
+
 
 class TestCheckpointPolicy:
     def test_loss_window_halves_period_on_average(self):
