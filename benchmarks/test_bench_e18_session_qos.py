@@ -1,0 +1,22 @@
+"""Bench E18: session QoS -- deadlines + priority under a provisioning flood."""
+
+from repro.experiments import e18_session_qos
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e18_session_qos(benchmark):
+    result = run_experiment(benchmark, e18_session_qos.run)
+    # The acceptance bar of the session-API PR: signalling-class p99 under
+    # a provisioning flood improves >= 2x with deadline+priority QoS over
+    # the undifferentiated legacy path...
+    assert result.notes["p99_improved_2x"]
+    assert result.notes["signalling_p99_improvement"] >= 2.0
+    # ...with the no-QoS session run proving equivalence: identical result
+    # codes and identical signalling p99 against the legacy shim on the
+    # same seeded trace.
+    assert result.notes["no_qos_codes_match_legacy"]
+    assert result.notes["no_qos_p99_matches_legacy"]
+    # The flood must never take signalling down with it.
+    assert result.notes["signalling_all_ok"]
+    benchmark.extra_info.update(result.notes)

@@ -27,8 +27,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import ClientType, DispatchMode, UDRConfig, UDRNetworkFunction
-from repro.ldap import ModifyRequest, SearchRequest, SubscriberSchema
+from repro.api import Read, Write
+from repro.core import DispatchMode, UDRConfig, UDRNetworkFunction
 from repro.metrics import format_table
 from repro.subscriber import SubscriberGenerator
 
@@ -50,33 +50,36 @@ def measure(linger_ticks: int, rate: float):
     udr, profiles = build(linger_ticks, rate)
     site_of = {region: site for site in udr.topology.sites
                for region in [site.region.name]}
-    tickets = []
+    # One front-end client per site, each with a long-lived session -- the
+    # session API's front door (typed operations in, futures out).
+    sessions = {site: udr.attach(f"tuning-fe-{site.name}", site).session()
+                for site in udr.topology.sites}
+    futures = []
 
     def arrivals():
         rng = udr.sim.rng("tuning.arrivals")
         for index in range(OPERATIONS):
             yield udr.sim.timeout(rng.expovariate(rate))
             profile = profiles[index % len(profiles)]
-            dn = SubscriberSchema.subscriber_dn(profile.identities.imsi)
+            imsi = profile.identities.imsi
             site = site_of.get(profile.current_region or profile.home_region,
                                udr.topology.sites[0])
-            request = (ModifyRequest(dn=dn,
-                                     changes={"servingMsc": f"msc-{index}"})
-                       if index % 3 == 0 else SearchRequest(dn=dn))
-            tickets.append(udr.submit(request, ClientType.APPLICATION_FE,
-                                      site))
+            operation = (Write(imsi, {"servingMsc": f"msc-{index}"})
+                         if index % 3 == 0 else Read(imsi))
+            futures.append(sessions[site].submit(operation))
 
     process = udr.sim.process(arrivals())
     udr.sim.run_until_triggered(process, limit=udr.sim.now + 3600.0)
 
     def wait_all():
-        yield udr.sim.all_of([ticket.event for ticket in tickets])
+        for session in sessions.values():
+            yield from session.drain()
 
     waiter = udr.sim.process(wait_all())
     udr.sim.run_until_triggered(waiter, limit=udr.sim.now + 3600.0)
 
-    elapsed = max(ticket.completed_at for ticket in tickets)
-    latencies = sorted(ticket.latency for ticket in tickets)
+    elapsed = max(future.completed_at for future in futures)
+    latencies = sorted(future.latency for future in futures)
     p99 = latencies[min(len(latencies) - 1,
                         round(0.99 * (len(latencies) - 1)))]
     waves = udr.metrics.counter("dispatcher.waves")

@@ -19,7 +19,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import ClientType, ReplicationMode, UDRConfig, UDRNetworkFunction
-from repro.ldap import ModifyRequest, SubscriberSchema
+from repro.api import Write
 from repro.metrics import format_table
 from repro.subscriber import SubscriberGenerator
 
@@ -44,15 +44,15 @@ def provision_and_crash(mode: ReplicationMode, writes: int = 25):
                if locator.locate("imsi", p.identities.imsi) == target][:writes]
     ps_site = udr.elements[target].site
 
+    session = udr.attach("tuning-ps", ps_site,
+                         client_type=ClientType.PROVISIONING).session()
     latencies = []
     expected = {}
     for index, profile in enumerate(victims):
-        request = ModifyRequest(
-            dn=SubscriberSchema.subscriber_dn(profile.identities.imsi),
-            changes={"svcCfu": f"+34{index:09d}"})
+        operation = Write(profile.identities.imsi,
+                          {"svcCfu": f"+34{index:09d}"})
         start = udr.sim.now
-        response = drive(udr, udr.execute(request, ClientType.PROVISIONING,
-                                          ps_site))
+        response = drive(udr, session.call(operation))
         if response.ok:
             latencies.append(udr.sim.now - start)
             expected[profile.key] = f"+34{index:09d}"

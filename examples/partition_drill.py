@@ -21,8 +21,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import ClientType, PartitionPolicy, UDRConfig, UDRNetworkFunction
-from repro.ldap import ModifyRequest, SearchRequest, SubscriberSchema
+from repro.core import PartitionPolicy, UDRConfig, UDRNetworkFunction
+from repro.api import Read
 from repro.metrics import format_table
 from repro.net import NetworkPartition
 from repro.provisioning import ChangeServices, ProvisioningSystem
@@ -52,14 +52,13 @@ def run_drill(policy: PartitionPolicy):
         udr.topology, udr.topology.region("germany"))
     udr.network.apply_partition(partition)
 
+    fe_session = udr.attach("drill-fe-germany", germany_site).session()
     fe_ok = fe_total = 0
     ps_ok = ps_total = 0
     for index, subscriber in enumerate(german_subscribers):
         # German front-ends keep reading their local copies...
-        read = SearchRequest(dn=SubscriberSchema.subscriber_dn(
-            subscriber.identities.imsi))
-        response = drive(udr, udr.execute(read, ClientType.APPLICATION_FE,
-                                          germany_site))
+        read = Read(subscriber.identities.imsi)
+        response = drive(udr, fe_session.call(read))
         fe_total += 1
         fe_ok += int(response.ok)
         # ...while the PS in Spain tries to provision them across the cut.

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fail when experiments or examples construct raw LDAP requests.
+
+Usage::
+
+    python scripts/check_api_boundaries.py
+
+The session API (``repro.api``) is the single front door: experiments and
+examples issue typed operations (``Read``/``Search``/``Write``/
+``Provision``), and the LDAP encoding lives only in the API layer and the
+deprecation shims.  This check greps ``src/repro/experiments/`` and
+``examples/`` for direct ``*Request(...)`` construction and exits non-zero
+on any hit, so the boundary cannot erode silently.  CI runs it next to the
+tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("src/repro/experiments", "examples")
+#: Raw-request constructors that must not appear outside the API layer and
+#: the shims.  Word-boundary + open paren, so type annotations and imports
+#: (which are fine) do not match.
+FORBIDDEN = re.compile(
+    r"\b(SearchRequest|ModifyRequest|AddRequest|DeleteRequest|LdapRequest)"
+    r"\s*\(")
+
+
+def violations():
+    for directory in CHECKED_DIRS:
+        for path in sorted((ROOT / directory).rglob("*.py")):
+            for number, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if FORBIDDEN.search(line):
+                    yield path.relative_to(ROOT), number, line.strip()
+
+
+def main() -> int:
+    found = list(violations())
+    for path, number, line in found:
+        print(f"{path}:{number}: raw LDAP request construction: {line}",
+              file=sys.stderr)
+    if found:
+        print(f"\n{len(found)} violation(s): experiments and examples must "
+              f"issue typed repro.api operations (Read/Search/Write/"
+              f"Provision) through sessions instead of hand-building LDAP "
+              f"requests.", file=sys.stderr)
+        return 1
+    print("api boundary clean: no raw LDAP request construction in "
+          f"{', '.join(CHECKED_DIRS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ The public entry points are:
 
 * :class:`repro.core.UDRConfig` / :class:`repro.core.UDRNetworkFunction` --
   build and drive a complete UDR deployment.
+* :mod:`repro.api` -- the session front door: ``udr.attach`` client
+  handles, sessions issuing typed ``Read``/``Search``/``Write``/
+  ``Provision`` operations as response futures, per-session
+  :class:`~repro.api.qos.QoSProfile` (priority, retries, deadlines).
 * :mod:`repro.core.capacity` -- the paper's section 3.5 capacity model.
 * :mod:`repro.core.frash` -- the FRASH trade-off graph of figures 5 and 6.
 * :mod:`repro.experiments` -- one harness per figure / quantitative claim.

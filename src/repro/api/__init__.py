@@ -1,0 +1,50 @@
+"""The unified client API: typed operations, sessions, QoS, futures.
+
+Every workload enters the UDR through this package.  A caller *attaches* a
+named client to a deployment (``udr.attach(name, site, qos=...)``), opens a
+:class:`~repro.api.session.Session` on it, and issues typed
+:class:`~repro.api.operations.Operation` requests -- ``Read``, ``Search``,
+``Write``, ``Provision`` -- instead of hand-building LDAP request objects:
+
+* ``session.call(op)`` is the blocking path (the old ``udr.execute`` /
+  ``udr.call``);
+* ``session.submit(op)`` returns a :class:`~repro.api.session.ResponseFuture`
+  immediately (the old dispatcher ticket path);
+* ``session.submit_many(ops)`` carries a whole list through one batched
+  admission (the old ``udr.execute_batch``), one future per operation.
+
+A per-session :class:`~repro.api.qos.QoSProfile` (priority class, retry
+policy, deadline ticks) overrides the global ``UDRConfig`` knobs and flows
+with every operation through dispatcher wave formation and the pipeline's
+retry stage, so an expired operation short-circuits with
+``TIME_LIMIT_EXCEEDED`` instead of consuming pipeline hops.
+
+The legacy ``UDRNetworkFunction.execute/submit/call/execute_batch`` entry
+points survive as deprecation shims that delegate here and count the
+``api.legacy_calls`` metric.
+"""
+
+from repro.api.operations import (
+    Operation,
+    Provision,
+    Read,
+    Search,
+    Write,
+    as_request,
+)
+from repro.api.qos import DEADLINE_TICK, QoSProfile
+from repro.api.session import ResponseFuture, Session, UDRClient
+
+__all__ = [
+    "DEADLINE_TICK",
+    "Operation",
+    "Provision",
+    "QoSProfile",
+    "Read",
+    "ResponseFuture",
+    "Search",
+    "Session",
+    "UDRClient",
+    "Write",
+    "as_request",
+]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.sim import units
 
@@ -49,6 +49,22 @@ class AvailabilityManager:
         self.name = name
         self.default_repair_time = default_repair_time
         self._components: Dict[str, ManagedComponent] = {}
+        #: Callbacks run with the component name after each recovery; the
+        #: replication mux subscribes here so stalled links re-arm exactly
+        #: on recovery instead of polling a retry cadence.
+        self._recovery_listeners: List[Callable[[str], None]] = []
+
+    # -- recovery notifications --------------------------------------------------
+
+    def subscribe_recovery(self, listener: Callable[[str], None]) -> None:
+        """Run ``listener(name)`` after every component recovery (idempotent)."""
+        if listener not in self._recovery_listeners:
+            self._recovery_listeners.append(listener)
+
+    def unsubscribe_recovery(self, listener: Callable[[str], None]) -> None:
+        """Stop notifying ``listener`` (no-op when not subscribed)."""
+        if listener in self._recovery_listeners:
+            self._recovery_listeners.remove(listener)
 
     # -- registration ----------------------------------------------------------
 
@@ -100,6 +116,8 @@ class AvailabilityManager:
             component.downtime += self.sim.now - component.failed_at
             component.failed_at = None
         component.state = ComponentState.IN_SERVICE
+        for listener in tuple(self._recovery_listeners):
+            listener(name)
 
     # -- reporting ---------------------------------------------------------------------
 

@@ -235,6 +235,19 @@ class UDRConfig:
     #: Framing charge (bytes) of one multiplexed shipment, paid once per
     #: link per round on top of the per-record bytes.
     replication_frame_bytes: int = 256
+    #: Per-shipment backpressure: at most this many records ride one
+    #: ``(master site, slave site)`` shipment of the mux, so a fat link
+    #: burst splits into bounded frames over consecutive rounds instead of
+    #: one huge transfer.  ``None`` (the default) keeps shipments unbounded
+    #: (each member channel still honours its own ``batch_limit``).
+    replication_shipment_max_records: Optional[int] = None
+    #: WAL retention: once a master copy's commit log holds more than this
+    #: many records, the replication mux truncates it through the slowest
+    #: shipped-LSN cursor of its outgoing channels (capped at the
+    #: durability watermark, so crash/checkpoint semantics are untouched),
+    #: bounding log memory on long runs.  ``None`` (the default) keeps the
+    #: log until an explicit ``truncate_through``.
+    wal_retention: Optional[int] = None
     fe_reads_from_slave: bool = True
     ps_reads_from_slave: bool = False
 
@@ -312,6 +325,12 @@ class UDRConfig:
             raise ValueError("replication interval must be positive")
         if self.replication_frame_bytes < 0:
             raise ValueError("replication frame bytes cannot be negative")
+        if self.replication_shipment_max_records is not None and \
+                self.replication_shipment_max_records < 1:
+            raise ValueError(
+                "replication shipment max records must be at least 1")
+        if self.wal_retention is not None and self.wal_retention < 1:
+            raise ValueError("wal retention must be at least 1 record")
         if self.checkpoint_period <= 0:
             raise ValueError("checkpoint period must be positive")
         if self.location_cache_capacity < 0:

@@ -220,6 +220,9 @@ class DeploymentBuilder:
         self._build_clusters_and_elements()
         self._build_replica_sets()
         self._build_replicators()
+        # Recovery notifications re-arm stalled replication links exactly
+        # when their endpoint comes back, instead of a cadence retry.
+        self.replication_mux.bind_availability(availability_manager)
         self._build_points_of_access()
         placement_policy = self._build_placement_policy()
         return Deployment(
@@ -299,7 +302,9 @@ class DeploymentBuilder:
         self.replication_mux = ReplicationMux(
             self.sim, self.network,
             ship_linger=self.config.replication_interval,
-            frame_bytes=self.config.replication_frame_bytes)
+            frame_bytes=self.config.replication_frame_bytes,
+            shipment_max_records=self.config.replication_shipment_max_records,
+            wal_retention=self.config.wal_retention)
         for index, replica_set in self.replica_sets.items():
             for slave_name in replica_set.slave_names():
                 channel = AsyncReplicationChannel(

@@ -65,7 +65,7 @@ from repro.core.config import (
     UDRConfig,
 )
 from repro.core.pipeline import BATCH_LINGER_TICK, BatchItem, OperationPipeline
-from repro.ldap.operations import LdapRequest, LdapResponse
+from repro.ldap.operations import LdapRequest, LdapResponse, ResultCode
 from repro.metrics.collector import MetricsRegistry
 
 
@@ -234,7 +234,8 @@ class BatchDispatcher:
 
     def submit(self, request: LdapRequest, client_type: ClientType,
                client_site: Site, priority: Optional[Priority] = None,
-               source=None) -> DispatchTicket:
+               source=None, deadline: Optional[float] = None,
+               retry_policy=None) -> DispatchTicket:
         """Enqueue one request; returns its :class:`DispatchTicket`.
 
         Non-blocking and callable from outside any process; the caller
@@ -245,11 +246,18 @@ class BatchDispatcher:
         their callers through a single grouped event.  Starts the dispatch
         loop lazily, so drivers need not care whether ``udr.start()`` ran
         with ``dispatch_mode=DISPATCHER`` already set.
+
+        ``deadline`` (absolute virtual time) and ``retry_policy`` carry
+        per-session QoS from the :mod:`repro.api` layer: a ticket still
+        queued when its deadline passes is answered
+        ``TIME_LIMIT_EXCEEDED`` at the next wave formation *without*
+        occupying a wave slot or touching the pipeline.
         """
         self.start()
         if self.adaptive is not None:
             self.adaptive.observe_arrival(self.sim.now)
-        item = BatchItem(request, client_type, client_site, priority=priority)
+        item = BatchItem(request, client_type, client_site, priority=priority,
+                         deadline=deadline, retry_policy=retry_policy)
         event = None if source is not None else \
             self.sim.event("dispatch-ticket")
         ticket = DispatchTicket(item, self.sim.now, event, source=source)
@@ -313,8 +321,52 @@ class BatchDispatcher:
                 self._wake = self.sim.event("dispatcher-arrival")
                 yield self.sim.any_of([self._deadline_timeout, self._wake])
 
+    def _expire_overdue(self) -> None:
+        """Answer queued tickets whose deadline passed, without dispatching.
+
+        Runs at wave formation (deadline propagation, the session-QoS
+        contract): an expired ticket is completed with
+        ``TIME_LIMIT_EXCEEDED`` on the spot -- zero wave slots, zero
+        pipeline hops -- leaving the wave to the still-live work.  Sources
+        waiting on a grouped response event are woken so they can observe
+        the expiry.
+        """
+        now = self.sim.now
+        overdue = [ticket for ticket in self.queue
+                   if ticket.item.deadline is not None
+                   and now >= ticket.item.deadline]
+        if not overdue:
+            return
+        expired_ids = {id(ticket) for ticket in overdue}
+        self.queue = [ticket for ticket in self.queue
+                      if id(ticket) not in expired_ids]
+        self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
+        self.metrics.increment("dispatcher.deadline_expired", len(overdue))
+        sources = set()
+        for ticket in overdue:
+            response = LdapResponse(
+                result_code=ResultCode.TIME_LIMIT_EXCEEDED,
+                request=ticket.item.request,
+                diagnostic_message="deadline expired in dispatch queue",
+                latency=now - ticket.enqueued_at)
+            ticket.completed_at = now
+            ticket.response = response
+            self.metrics.outcomes(ticket.item.client_type.value) \
+                .record_failure("deadline expired in dispatch queue")
+            if ticket.source is None:
+                ticket.event.succeed(response)
+            else:
+                sources.add(ticket.source)
+        for source in sources:
+            event = self._source_events.pop(source, None)
+            if event is not None and not event.triggered:
+                event.succeed(0)
+
     def _dispatch_wave(self):
         """Generator: form one wave by weighted priority and execute it."""
+        self._expire_overdue()
+        if not self.queue:
+            return
         ordered = self.pipeline.batch_admission.order(self.queue)
         wave = ordered[:self.config.batch_max_size]
         selected = {id(ticket) for ticket in wave}

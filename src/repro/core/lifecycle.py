@@ -106,8 +106,9 @@ class ClusterController:
             element.recover(timestamp=self.sim.now)
             self.resynchronise_element(element)
             # Backlog that accumulated while the element was down has no
-            # future commit to wake the mux; re-binding re-arms it.
-            self.deployment.replication_mux.rebind()
+            # future commit to wake the mux; the mux's availability-manager
+            # subscription (bound by the deployment builder) re-arms those
+            # links right after this repair action returns.
         return recover
 
     def resynchronise_element(self, element: StorageElement) -> None:

@@ -80,6 +80,7 @@ from repro.core.config import (
     LocationMode,
     Priority,
     ReplicationMode,
+    RetryPolicy,
     UDRConfig,
 )
 from repro.core.deployment import Deployment, IDENTITY_RECORD_ATTRIBUTE
@@ -114,11 +115,14 @@ class OperationContext:
 
     __slots__ = ("request", "client_type", "client_site", "start", "poa",
                  "plan", "located_element", "entries", "served_from",
-                 "priority", "attempts", "location_resolved")
+                 "priority", "attempts", "location_resolved", "deadline",
+                 "retry_policy")
 
     def __init__(self, request: LdapRequest, client_type: ClientType,
                  client_site: Site, start: float,
-                 priority: Optional[Priority] = None):
+                 priority: Optional[Priority] = None,
+                 deadline: Optional[float] = None,
+                 retry_policy=None):
         self.request = request
         self.client_type = client_type
         self.client_site = client_site
@@ -134,6 +138,17 @@ class OperationContext:
         #: Whether data location ran (``located_element is None`` is a valid
         #: outcome for CREATE, so presence cannot stand in for "resolved").
         self.location_resolved = False
+        #: Absolute virtual-time deadline of this request (session QoS);
+        #: ``None`` -- the legacy default -- never expires.
+        self.deadline = deadline
+        #: The RetryPolicy governing this request's data path; resolved at
+        #: context creation (per-session override, else the config default
+        #: on the batched paths) so the RetryStage needs no fallback logic.
+        self.retry_policy = retry_policy
+
+    def expired(self, now: float) -> bool:
+        """Whether the request's deadline (if any) has passed."""
+        return self.deadline is not None and now >= self.deadline
 
 
 class PipelineStage:
@@ -640,13 +655,18 @@ class BatchItem:
 
     ``priority`` defaults to the client type's natural class
     (FE -> signalling, PS -> provisioning); bulk provisioning runs pass
-    :attr:`Priority.BULK` explicitly.
+    :attr:`Priority.BULK` explicitly.  ``deadline`` (absolute virtual time)
+    and ``retry_policy`` carry per-session QoS overrides from the
+    :mod:`repro.api` layer; both default to the legacy behaviour (no
+    deadline, the config's retry policy).
     """
 
     request: LdapRequest
     client_type: ClientType
     client_site: Site
     priority: Optional[Priority] = None
+    deadline: Optional[float] = None
+    retry_policy: Optional["RetryPolicy"] = None
 
     def priority_class(self) -> Priority:
         return self.priority or Priority.for_client(self.client_type)
@@ -723,22 +743,33 @@ class RetryStage(PipelineStage):
 
     Drives locate (when not already resolved by the shared group probe) and
     the read/write path for one context.  On an :class:`OperationFailure`
-    whose code the configured :class:`~repro.core.config.RetryPolicy` calls
+    whose code the context's :class:`~repro.core.config.RetryPolicy` calls
     transient, it waits the policy's backoff and tries again -- re-running
     data location from scratch (``relocate_on_retry``), so a fail-over that
     invalidated the PoA caches between attempts is honoured instead of
-    retrying against the stale location.  Without a policy it is a plain
+    retrying against the stale location.  The policy is resolved at context
+    creation (the per-session QoS override, else ``UDRConfig.retry_policy``
+    on the batched paths, else ``None``); without one the stage is a plain
     pass-through, preserving sequential-path behaviour bit for bit.
+
+    Deadline propagation: a context whose ``deadline`` has passed
+    short-circuits with ``TIME_LIMIT_EXCEEDED`` before touching the data
+    path, and a retry whose backoff would land past the deadline is not
+    driven at all -- expired work must not consume pipeline hops.
     """
 
     def run(self, ctx: OperationContext,
             pending_failure: Optional[OperationFailure] = None,
             ledger: Optional["_TransferLedger"] = None):
-        policy = self.config.retry_policy
+        policy = ctx.retry_policy
         batch = self.pipeline.batch
         failure = pending_failure
         attempt = 0
         while True:
+            if failure is None and ctx.expired(self.sim.now):
+                batch.increment("api.deadline_expired")
+                raise OperationFailure(ResultCode.TIME_LIMIT_EXCEEDED,
+                                       "deadline expired", retryable=False)
             if failure is None:
                 try:
                     if not ctx.location_resolved:
@@ -761,6 +792,14 @@ class RetryStage(PipelineStage):
                 batch.increment("batch.retry_exhausted")
                 raise failure
             attempt += 1
+            if ctx.deadline is not None and \
+                    self.sim.now + policy.backoff(attempt) >= ctx.deadline:
+                # The backoff alone would outlive the deadline: answer now
+                # instead of sleeping into certain expiry.
+                batch.increment("api.deadline_expired")
+                raise OperationFailure(ResultCode.TIME_LIMIT_EXCEEDED,
+                                       "deadline expired before retry",
+                                       retryable=False)
             ctx.attempts = attempt
             batch.increment("batch.retries")
             yield self.sim.timeout(policy.backoff(attempt))
@@ -814,25 +853,35 @@ class OperationPipeline:
     # -- the operation path --------------------------------------------------------
 
     def execute(self, request: LdapRequest, client_type: ClientType,
-                client_site: Site):
+                client_site: Site, priority: Optional[Priority] = None,
+                deadline: Optional[float] = None,
+                retry_policy: Optional[RetryPolicy] = None):
         """Generator: run one LDAP request through the stages.
 
         Returns an :class:`~repro.ldap.operations.LdapResponse`; never raises
         for operational failures -- they are encoded as result codes, exactly
         as a directory server would answer.  ``UDRConfig.retry_policy`` does
         *not* apply here: a single request fails fast, retries are a batch
-        admission feature (:meth:`execute_batch`).
+        admission feature (:meth:`execute_batch`) -- unless the caller (a
+        session with a QoS override) passes ``retry_policy`` explicitly.
+        ``deadline`` (absolute virtual time) short-circuits expired requests
+        with ``TIME_LIMIT_EXCEEDED`` before they consume any pipeline hop.
         """
         ctx = OperationContext(request, client_type, client_site,
-                               start=self.sim.now)
+                               start=self.sim.now, priority=priority,
+                               deadline=deadline, retry_policy=retry_policy)
+        if ctx.expired(self.sim.now):
+            # Expired before admission: no PoA hop, no LDAP charge, nothing.
+            self.batch.increment("api.deadline_expired")
+            return self._finish(ctx, ResultCode.TIME_LIMIT_EXCEEDED,
+                                reason="deadline expired")
         try:
             yield from self.admission.run(ctx)
             yield from self.plan_stage.run(ctx)
-            self.locate.run(ctx)
-            if ctx.plan.kind is PlanKind.READ:
-                yield from self.read_path.run(ctx)
-            else:
-                yield from self.write_path.run(ctx)
+            # The data path rides the retry stage: with neither a policy nor
+            # a deadline on the context it is a pure pass-through (locate
+            # plus read/write), bit for bit the legacy sequential walk.
+            yield from self.retry_stage.run(ctx)
         except OperationFailure as failure:
             if failure.respond:
                 yield from self.respond.run(ctx)
@@ -1023,6 +1072,13 @@ class OperationPipeline:
                 ctx.location_resolved = False
             pending = slot.failure
             slot.failure = None
+            if pending is None and ctx.expired(self.sim.now):
+                # Short-circuit before locate or the shared transaction:
+                # expired work must not consume the group's hops.
+                self.batch.increment("api.deadline_expired")
+                pending = OperationFailure(ResultCode.TIME_LIMIT_EXCEEDED,
+                                           "deadline expired",
+                                           retryable=False)
             if pending is None and not ctx.location_resolved:
                 try:
                     self.locate.run(ctx)
@@ -1228,9 +1284,12 @@ class OperationPipeline:
         """
         for slot in group:
             item = slot.item
-            slot.ctx = OperationContext(item.request, item.client_type,
-                                        client_site, start=wave_start,
-                                        priority=item.priority_class())
+            slot.ctx = OperationContext(
+                item.request, item.client_type, client_site,
+                start=wave_start, priority=item.priority_class(),
+                deadline=item.deadline,
+                retry_policy=item.retry_policy if item.retry_policy
+                is not None else self.config.retry_policy)
         try:
             poa = yield from self.batch_admission.run(client_site, group)
         except OperationFailure as failure:

@@ -52,6 +52,10 @@ from repro.core.pipeline import (
     _PlacementView,
 )
 
+if False:  # pragma: no cover - type-checking only (avoids a circular import)
+    from repro.api.qos import QoSProfile
+    from repro.api.session import UDRClient
+
 #: Backwards-compatible aliases for the pre-refactor private names.
 _IDENTITY_RECORD_ATTRIBUTE = IDENTITY_RECORD_ATTRIBUTE
 _OperationFailure = OperationFailure
@@ -97,6 +101,9 @@ class UDRNetworkFunction:
         self.points_of_access = deployment.points_of_access
         self.placement_policy = deployment.placement_policy
         self.subscribers_loaded = 0
+        #: Named client attachments (:meth:`attach`), the session API's
+        #: per-caller handles.
+        self.clients: Dict[str, "UDRClient"] = {}
 
     # ------------------------------------------------------------- lifecycle
 
@@ -205,16 +212,51 @@ class UDRNetworkFunction:
         return self.controller.scale_out_new_cluster(
             region, synchroniser=synchroniser)
 
-    # ------------------------------------------------------------ operations
+    # ------------------------------------------------------------ client API
+
+    def attach(self, name: str, site: Site,
+               client_type: ClientType = ClientType.APPLICATION_FE,
+               qos: Optional["QoSProfile"] = None) -> "UDRClient":
+        """Attach a named client to the deployment; the session front door.
+
+        Returns the :class:`~repro.api.session.UDRClient` handle bound to
+        ``site`` and ``client_type``, carrying ``qos`` as the default
+        profile of every session it opens.  Attaching an already-attached
+        name returns a fresh handle under the same name (the metrics tag
+        is the name, so re-attachment keeps one series per caller).
+        """
+        # Imported here: the API layer imports core modules, so a module-
+        # level import would be circular.
+        from repro.api.session import UDRClient
+        client = UDRClient(self, name, site, client_type=client_type,
+                           qos=qos)
+        self.clients[name] = client
+        return client
+
+    # ----------------------------------------- operations (deprecation shims)
+    #
+    # The four entry points below predate the session API.  They survive as
+    # thin delegating shims -- new code attaches a client and issues typed
+    # operations through a Session (see repro.api) -- and each call is
+    # counted in ``api.legacy_calls`` so migrations can be tracked.
+
+    def _count_legacy_call(self, entry_point: str) -> None:
+        self.metrics.increment("api.legacy_calls")
+        self.metrics.increment(f"api.legacy_calls.{entry_point}")
 
     def execute(self, request: LdapRequest, client_type: ClientType,
                 client_site: Site):
         """Generator: run one LDAP request through the staged pipeline.
 
+        .. deprecated:: PR 5
+           Legacy shim; prefer ``udr.attach(...).session()`` and
+           :meth:`repro.api.session.Session.call` with a typed operation.
+
         Returns an :class:`~repro.ldap.operations.LdapResponse`; never raises
         for operational failures -- they are encoded as result codes, exactly
         as a directory server would answer.
         """
+        self._count_legacy_call("execute")
         return self.pipeline.execute(request, client_type, client_site)
 
     def submit(self, request: LdapRequest, client_type: ClientType,
@@ -233,7 +275,12 @@ class UDRNetworkFunction:
         path instead: wave-mates of one source share a single grouped
         response event and the caller reads ``ticket.response`` (see
         :meth:`~repro.core.dispatcher.BatchDispatcher.submit`).
+
+        .. deprecated:: PR 5
+           Legacy shim; prefer :meth:`repro.api.session.Session.submit`,
+           whose futures carry per-session QoS (deadlines included).
         """
+        self._count_legacy_call("submit")
         return self.dispatcher.submit(request, client_type, client_site,
                                       priority=priority, source=source)
 
@@ -249,7 +296,11 @@ class UDRNetworkFunction:
         identify themselves with a ``source`` tag are resumed through one
         grouped response event per wave (fewer simulator events when many
         of a front-end's requests complete together).
+
+        .. deprecated:: PR 5
+           Legacy shim; prefer :meth:`repro.api.session.Session.call`.
         """
+        self._count_legacy_call("call")
         if self.config.dispatch_mode is DispatchMode.DISPATCHER:
             ticket = self.dispatcher.submit(request, client_type, client_site,
                                             priority=priority, source=source)
@@ -276,7 +327,13 @@ class UDRNetworkFunction:
         :meth:`OperationPipeline.execute_batch`), while the shared
         admission/LDAP/locate/respond hops are paid once per admission wave
         (``UDRConfig.batch_max_size``).
+
+        .. deprecated:: PR 5
+           Legacy shim; prefer
+           :meth:`repro.api.session.Session.submit_many` /
+           :meth:`~repro.api.session.Session.execute_batch`.
         """
+        self._count_legacy_call("execute_batch")
         return self.pipeline.execute_batch(items, client_type=client_type,
                                            client_site=client_site)
 

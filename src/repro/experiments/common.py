@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.operations import Read, Write
 from repro.core.config import ClientType, UDRConfig
 from repro.core.udr import UDRNetworkFunction
 from repro.frontends.hlr_fe import HlrFrontEnd
 from repro.frontends.procedures import ProcedureCatalogue
 from repro.ldap.operations import ModifyRequest, SearchRequest
-from repro.ldap.schema import SubscriberSchema
 from repro.provisioning.operations import ChangeServices, CreateSubscription
 from repro.provisioning.system import ProvisioningSystem
 from repro.subscriber.generator import SubscriberGenerator
@@ -28,6 +28,15 @@ def build_loaded_udr(config: Optional[UDRConfig] = None,
     profiles = generator.generate(subscribers)
     udr.load_subscriber_base(profiles)
     return udr, profiles
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[index]
 
 
 def drive(udr: UDRNetworkFunction, generator, horizon: float = 3600.0):
@@ -53,13 +62,13 @@ def home_site_of(udr: UDRNetworkFunction, profile: SubscriberProfile):
 
 
 def read_request(profile: SubscriberProfile) -> SearchRequest:
-    return SearchRequest(dn=SubscriberSchema.subscriber_dn(
-        profile.identities.imsi))
+    """One subscriber read, built through the typed operation layer."""
+    return Read(profile.identities.imsi).to_request()
 
 
 def write_request(profile: SubscriberProfile, **changes) -> ModifyRequest:
-    return ModifyRequest(dn=SubscriberSchema.subscriber_dn(
-        profile.identities.imsi), changes=dict(changes))
+    """One subscriber update, built through the typed operation layer."""
+    return Write(profile.identities.imsi, changes=dict(changes)).to_request()
 
 
 def run_fe_sample(udr: UDRNetworkFunction, profiles, operations: int,

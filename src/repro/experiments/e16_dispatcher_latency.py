@@ -30,6 +30,7 @@ from repro.experiments.common import (
     build_loaded_udr,
     drive,
     home_site_of,
+    percentile,
     read_request,
     write_request,
 )
@@ -63,14 +64,6 @@ def _workload(udr, profiles, operations: int) -> List[BatchItem]:
 def _wait_all(udr, tickets):
     """Generator: block until every submitted ticket has its response."""
     yield udr.sim.all_of([ticket.event for ticket in tickets])
-
-
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1,
-                max(0, int(round(fraction * (len(sorted_values) - 1)))))
-    return sorted_values[index]
 
 
 def _run_dispatcher(arrival_rate: Optional[float], linger_ticks: int,
@@ -123,8 +116,8 @@ def _run_dispatcher(arrival_rate: Optional[float], linger_ticks: int,
                  if waves else 0.0)
     codes = [ticket.event.value.result_code.name for ticket in tickets]
     return (operations / elapsed, mean_wave,
-            _percentile(latencies, 0.50) * 1000.0,
-            _percentile(latencies, 0.99) * 1000.0, codes)
+            percentile(latencies, 0.50) * 1000.0,
+            percentile(latencies, 0.99) * 1000.0, codes)
 
 
 def _run_explicit(operations: int, seed: int) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.api.qos import QoSProfile
 from repro.core.config import ClientType
 from repro.frontends.procedures import (
     NetworkProcedure,
@@ -27,16 +28,27 @@ from repro.subscriber.profile import SubscriberProfile
 
 
 class ApplicationFrontEnd:
-    """A stateless front-end instance serving users at one site."""
+    """A stateless front-end instance serving users at one site.
+
+    A thin adapter over the session API: construction attaches a named
+    :class:`~repro.api.session.UDRClient` (FE client type) and keeps one
+    long-lived session; every procedure's typed operations are issued
+    through it.  An optional ``qos`` profile (priority, retry policy,
+    deadline ticks) applies to all of the front-end's traffic.
+    """
 
     client_type = ClientType.APPLICATION_FE
     default_mix = ProcedureCatalogue.classic_mix
 
     def __init__(self, name: str, udr, site,
-                 procedure_mix: Optional[Dict[NetworkProcedure, float]] = None):
+                 procedure_mix: Optional[Dict[NetworkProcedure, float]] = None,
+                 qos: Optional[QoSProfile] = None):
         self.name = name
         self.udr = udr
         self.site = site
+        self.client = udr.attach(name, site, client_type=self.client_type,
+                                 qos=qos)
+        self.session = self.client.session()
         self.procedure_mix = procedure_mix or type(self).default_mix()
         self.procedures_attempted = 0
         self.procedures_succeeded = 0
@@ -49,23 +61,24 @@ class ApplicationFrontEnd:
                       serving_node: Optional[str] = None):
         """Generator: execute one procedure; returns a ProcedureOutcome."""
         serving_node = serving_node or f"{self.name}-node"
-        requests = procedure.requests(subscriber, serving_node)
+        operations = procedure.operations(subscriber, serving_node)
         start = self.udr.sim.now
         self.procedures_attempted += 1
         outcome = ProcedureOutcome(procedure=procedure.name, succeeded=True,
-                                   operations=len(requests))
-        for index, request in enumerate(requests):
-            # call() routes by UDRConfig.dispatch_mode: direct call-and-wait,
-            # or enqueue into the arrival-driven batch dispatcher and wait
-            # (the source tag lets all of this front-end's requests that
-            # complete in one wave share a single grouped response event).
-            response = yield from self.udr.call(
-                request, self.client_type, self.site, source=self.name)
+                                   operations=len(operations))
+        for index, operation in enumerate(operations):
+            # Session.call routes by UDRConfig.dispatch_mode: direct
+            # call-and-wait, or enqueue into the arrival-driven batch
+            # dispatcher and wait (the client name is the source tag, so all
+            # of this front-end's requests completing in one wave share a
+            # single grouped response event).
+            response = yield from self.session.call(operation)
             if not response.ok:
                 outcome.succeeded = False
                 outcome.failed_operation = index
                 outcome.diagnostics.append(
-                    f"{request.operation_name}: {response.result_code.name} "
+                    f"{response.request.operation_name}: "
+                    f"{response.result_code.name} "
                     f"({response.diagnostic_message})")
                 break
         outcome.latency = self.udr.sim.now - start

@@ -1,10 +1,17 @@
-"""Network procedures and the LDAP operations they cost.
+"""Network procedures and the typed operations they cost.
 
 The paper (section 3.5, footnote 8): "Typical mobile network procedures cause
 between 1 and 3 LDAP operations [...] A single typical IMS network procedure
 may cause 5 or 6 LDAP read/write operations."  Each procedure below builds
-its concrete request sequence for a given subscriber, so front-ends replay
+its concrete operation sequence for a given subscriber, so front-ends replay
 realistic operation mixes against the UDR.
+
+Procedures build typed :mod:`repro.api` operations (``Read``, ``Search``,
+``Write``) -- the LDAP encoding lives in the API layer, not here.
+:meth:`NetworkProcedure.requests` survives as a deprecation shim rendering
+the operations to raw :class:`~repro.ldap.operations.LdapRequest` objects
+for legacy callers; new code iterates :meth:`NetworkProcedure.operations`
+and issues them through a session.
 """
 
 from __future__ import annotations
@@ -12,47 +19,47 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.ldap.operations import LdapRequest, ModifyRequest, SearchRequest
-from repro.ldap.schema import SubscriberSchema
+from repro.api.operations import Operation, Read, Search, Write
+from repro.ldap.operations import LdapRequest
 from repro.subscriber.profile import SubscriberProfile
 
 
-def _dn(profile: SubscriberProfile):
-    return SubscriberSchema.subscriber_dn(profile.identities.imsi)
+def _read(profile: SubscriberProfile, attributes=()) -> Read:
+    return Read(profile.identities.imsi, attributes=tuple(attributes))
 
 
-def _read(profile: SubscriberProfile, attributes=()) -> SearchRequest:
-    return SearchRequest(dn=_dn(profile), attributes=tuple(attributes))
+def _read_by_msisdn(profile: SubscriberProfile) -> Search:
+    return Search("msisdn", profile.identities.msisdn)
 
 
-def _read_by_msisdn(profile: SubscriberProfile) -> SearchRequest:
-    return SearchRequest(
-        dn=SubscriberSchema.BASE_DN,
-        filter_text=f"(&(objectClass=udrSubscriber)"
-                    f"(msisdn={profile.identities.msisdn}))")
-
-
-def _update(profile: SubscriberProfile, changes) -> ModifyRequest:
-    return ModifyRequest(dn=_dn(profile), changes=dict(changes))
+def _update(profile: SubscriberProfile, changes) -> Write:
+    return Write(profile.identities.imsi, changes=dict(changes))
 
 
 @dataclass(frozen=True)
 class NetworkProcedure:
-    """One network procedure: a name and its LDAP operation sequence."""
+    """One network procedure: a name and its typed operation sequence."""
 
     name: str
-    build: Callable[[SubscriberProfile, str], List[LdapRequest]]
+    build: Callable[[SubscriberProfile, str], List[Operation]]
     ims: bool = False
+
+    def operations(self, profile: SubscriberProfile,
+                   serving_node: str = "node-0") -> List[Operation]:
+        """The typed :mod:`repro.api` operations this procedure issues."""
+        return self.build(profile, serving_node)
 
     def requests(self, profile: SubscriberProfile,
                  serving_node: str = "node-0") -> List[LdapRequest]:
-        return self.build(profile, serving_node)
+        """Deprecation shim: the operations rendered to raw LDAP requests."""
+        return [operation.to_request()
+                for operation in self.operations(profile, serving_node)]
 
     def operation_count(self, profile: SubscriberProfile) -> int:
-        return len(self.requests(profile))
+        return len(self.operations(profile))
 
 
-def _attach(profile: SubscriberProfile, serving_node: str) -> List[LdapRequest]:
+def _attach(profile: SubscriberProfile, serving_node: str) -> List[Operation]:
     """Initial attach: authentication read + location update write."""
     return [
         _read(profile, attributes=("authKey", "subscriberStatus")),
@@ -62,7 +69,7 @@ def _attach(profile: SubscriberProfile, serving_node: str) -> List[LdapRequest]:
 
 
 def _location_update(profile: SubscriberProfile,
-                     serving_node: str) -> List[LdapRequest]:
+                     serving_node: str) -> List[Operation]:
     """Periodic/moving location update: read profile + write serving node."""
     return [
         _read(profile, attributes=("subscriberStatus", "svcRoamingAllowed")),
@@ -72,30 +79,30 @@ def _location_update(profile: SubscriberProfile,
 
 
 def _authentication(profile: SubscriberProfile,
-                    serving_node: str) -> List[LdapRequest]:
+                    serving_node: str) -> List[Operation]:
     return [_read(profile, attributes=("authKey",))]
 
 
 def _terminating_call(profile: SubscriberProfile,
-                      serving_node: str) -> List[LdapRequest]:
+                      serving_node: str) -> List[Operation]:
     """Routing an incoming call: one read, addressed by MSISDN."""
     return [_read_by_msisdn(profile)]
 
 
 def _originating_call(profile: SubscriberProfile,
-                      serving_node: str) -> List[LdapRequest]:
+                      serving_node: str) -> List[Operation]:
     """Outgoing call: read barring/forwarding settings."""
     return [_read(profile, attributes=("svcBarOutInternational",
                                        "svcBarPremium", "svcCfu"))]
 
 
 def _sms_delivery(profile: SubscriberProfile,
-                  serving_node: str) -> List[LdapRequest]:
+                  serving_node: str) -> List[Operation]:
     return [_read_by_msisdn(profile)]
 
 
 def _ims_registration(profile: SubscriberProfile,
-                      serving_node: str) -> List[LdapRequest]:
+                      serving_node: str) -> List[Operation]:
     """IMS registration: the heavier 5-operation procedure of footnote 8."""
     return [
         _read(profile, attributes=("impi", "authKey")),
@@ -107,7 +114,7 @@ def _ims_registration(profile: SubscriberProfile,
 
 
 def _ims_session(profile: SubscriberProfile,
-                 serving_node: str) -> List[LdapRequest]:
+                 serving_node: str) -> List[Operation]:
     """IMS session setup: reads of both parties' service profiles."""
     return [
         _read(profile, attributes=("impu", "svcImsEnabled")),

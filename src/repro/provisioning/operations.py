@@ -1,10 +1,13 @@
-"""Provisioning operations and the LDAP requests they issue.
+"""Provisioning operations and the typed operations they issue.
 
-Every operation knows how to build its LDAP request sequence.  In a UDC
-network the whole sequence addresses the single UDR and should be treated as
-one transaction; the pre-UDC comparison (writes scattered over HLR, HSS and
-every SLF instance) is modelled by :meth:`ProvisioningOperation.pre_udc_write_count`
-so experiments can quantify the simplification the paper claims in section 2.4.
+Every operation knows how to build its typed :mod:`repro.api` operation
+sequence (the LDAP encoding lives in the API layer;
+:meth:`ProvisioningOperation.requests` survives as a deprecation shim for
+legacy callers).  In a UDC network the whole sequence addresses the single
+UDR and should be treated as one transaction; the pre-UDC comparison (writes
+scattered over HLR, HSS and every SLF instance) is modelled by
+:meth:`ProvisioningOperation.pre_udc_write_count` so experiments can
+quantify the simplification the paper claims in section 2.4.
 """
 
 from __future__ import annotations
@@ -12,13 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-from repro.ldap.operations import (
-    AddRequest,
-    DeleteRequest,
-    LdapRequest,
-    ModifyRequest,
-)
-from repro.ldap.schema import SubscriberSchema
+from repro.api.operations import Operation, Provision, Write
+from repro.ldap.operations import LdapRequest
 from repro.subscriber.profile import SubscriberProfile
 
 
@@ -34,12 +32,18 @@ class ProvisioningOperation:
     #: (subscription data on the HLR/HSS plus identity tuples on each SLF).
     PRE_UDC_SLF_INSTANCES = 4
 
-    def requests(self) -> List[LdapRequest]:
+    def operations(self) -> List[Operation]:
+        """The typed :mod:`repro.api` operations this change issues."""
         raise NotImplementedError
+
+    def requests(self) -> List[LdapRequest]:
+        """Deprecation shim: the operations rendered to raw LDAP requests."""
+        return [operation.to_request() for operation in self.operations()]
 
     def write_count(self) -> int:
         """Write operations against the UDR (UDC network)."""
-        return sum(1 for request in self.requests() if request.is_write)
+        return sum(1 for operation in self.operations()
+                   if operation.is_write)
 
     def pre_udc_write_count(self) -> int:
         """Writes a pre-UDC network would issue across its silos."""
@@ -51,8 +55,9 @@ class ProvisioningOperation:
             return 1 + self.PRE_UDC_SLF_INSTANCES
         return 1
 
-    def _dn(self):
-        return SubscriberSchema.subscriber_dn(self.subscriber.identities.imsi)
+    @property
+    def _imsi(self) -> str:
+        return self.subscriber.identities.imsi
 
 
 @dataclass
@@ -61,9 +66,8 @@ class CreateSubscription(ProvisioningOperation):
 
     name = "create_subscription"
 
-    def requests(self) -> List[LdapRequest]:
-        return [AddRequest(dn=self._dn(),
-                           attributes=self.subscriber.to_record())]
+    def operations(self) -> List[Operation]:
+        return [Provision.create(self.subscriber.to_record())]
 
 
 @dataclass
@@ -73,9 +77,9 @@ class ChangeServices(ProvisioningOperation):
     changes: Dict[str, Any] = field(default_factory=dict)
     name = "change_services"
 
-    def requests(self) -> List[LdapRequest]:
+    def operations(self) -> List[Operation]:
         changes = self.changes or {"svcBarPremium": True}
-        return [ModifyRequest(dn=self._dn(), changes=dict(changes))]
+        return [Write(self._imsi, changes=dict(changes))]
 
 
 @dataclass
@@ -90,15 +94,13 @@ class SwapSim(ProvisioningOperation):
     new_imsi: str = ""
     name = "swap_sim"
 
-    def requests(self) -> List[LdapRequest]:
-        new_imsi = self.new_imsi or f"{self.subscriber.identities.imsi[:-1]}9"
+    def operations(self) -> List[Operation]:
+        new_imsi = self.new_imsi or f"{self._imsi[:-1]}9"
         new_record = dict(self.subscriber.to_record())
         new_record["imsi"] = new_imsi
         return [
-            ModifyRequest(dn=self._dn(),
-                          changes={"subscriberStatus": "suspended"}),
-            AddRequest(dn=SubscriberSchema.subscriber_dn(new_imsi),
-                       attributes=new_record),
+            Write(self._imsi, changes={"subscriberStatus": "suspended"}),
+            Provision.create(new_record),
         ]
 
 
@@ -108,5 +110,5 @@ class TerminateSubscription(ProvisioningOperation):
 
     name = "terminate_subscription"
 
-    def requests(self) -> List[LdapRequest]:
-        return [DeleteRequest(dn=self._dn())]
+    def operations(self) -> List[Operation]:
+        return [Provision.terminate(self._imsi)]

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.qos import QoSProfile
 from repro.core.config import ClientType, Priority
-from repro.core.pipeline import BatchItem
 from repro.provisioning.backlog import BacklogModel
 from repro.provisioning.operations import ProvisioningOperation
 
@@ -39,18 +39,31 @@ class ProvisioningOutcome:
 
 
 class ProvisioningSystem:
-    """A PS instance co-located with one Point of Access."""
+    """A PS instance co-located with one Point of Access.
+
+    A thin adapter over the session API: construction attaches a named
+    :class:`~repro.api.session.UDRClient` (provisioning client type, so no
+    slave reads) and keeps one long-lived session; provisioning operations'
+    typed :mod:`repro.api` operations are issued through it.  An optional
+    ``qos`` profile applies to all of this PS's traffic -- bulk runs
+    typically pass ``QoSProfile(priority=Priority.BULK, deadline_ticks=...)``
+    so floods yield to signalling (experiment E18).
+    """
 
     client_type = ClientType.PROVISIONING
 
     def __init__(self, name: str, udr, site, max_retries: int = 0,
                  retry_delay: float = 0.5,
-                 backlog: Optional[BacklogModel] = None):
+                 backlog: Optional[BacklogModel] = None,
+                 qos: Optional[QoSProfile] = None):
         if max_retries < 0:
             raise ValueError("max_retries cannot be negative")
         self.name = name
         self.udr = udr
         self.site = site
+        self.client = udr.attach(name, site, client_type=self.client_type,
+                                 qos=qos)
+        self.session = self.client.session()
         self.max_retries = max_retries
         self.retry_delay = retry_delay
         self.backlog = backlog or BacklogModel()
@@ -88,22 +101,23 @@ class ProvisioningSystem:
         return outcome
 
     def _run_requests(self, operation: ProvisioningOperation):
-        requests = operation.requests()
+        operations = operation.operations()
         applied_any = False
         diagnostics: List[str] = []
-        for index, request in enumerate(requests):
-            # Dispatch-mode aware: under DISPATCHER this enqueues into the
-            # arrival-driven batch dispatcher instead of call-and-wait; the
-            # source tag joins the PS's wave-mates on one grouped response
-            # event (the shared-wave respond path).
-            response = yield from self.udr.call(
-                request, self.client_type, self.site, source=self.name)
+        for index, typed_operation in enumerate(operations):
+            # Session.call is dispatch-mode aware: under DISPATCHER it
+            # enqueues into the arrival-driven batch dispatcher instead of
+            # call-and-wait; the client name is the source tag, joining the
+            # PS's wave-mates on one grouped response event (the
+            # shared-wave respond path).
+            response = yield from self.session.call(typed_operation)
             if not response.ok:
                 diagnostics.append(
-                    f"{request.operation_name}: {response.result_code.name} "
+                    f"{response.request.operation_name}: "
+                    f"{response.result_code.name} "
                     f"({response.diagnostic_message})")
                 return False, index, applied_any, diagnostics
-            if request.is_write:
+            if typed_operation.is_write:
                 applied_any = True
         return True, None, applied_any, diagnostics
 
@@ -113,8 +127,9 @@ class ProvisioningSystem:
                             priority: Priority = Priority.BULK):
         """Generator: run a list of operations as pipelined batches.
 
-        Consecutive single-request operations are carried through the UDR's
-        batched admission together (``udr.execute_batch``), amortising the
+        Consecutive single-request operations are carried through the
+        session's batched admission together
+        (:meth:`repro.api.session.Session.execute_batch`), amortising the
         PoA, LDAP and locate hops; a multi-request operation (a
         transactional sequence such as a SIM swap) flushes the accumulated
         batch first and then runs through the sequential :meth:`provision`
@@ -127,9 +142,9 @@ class ProvisioningSystem:
         outcomes: List[Optional[ProvisioningOutcome]] = [None] * len(operations)
         segment: List[tuple] = []
         for index, operation in enumerate(operations):
-            requests = operation.requests()
-            if len(requests) == 1:
-                segment.append((index, requests[0]))
+            typed = operation.operations()
+            if len(typed) == 1:
+                segment.append((index, typed[0]))
                 continue
             yield from self._provision_segment(segment, operations, outcomes,
                                                priority)
@@ -147,19 +162,18 @@ class ProvisioningSystem:
             return
         start = self.udr.sim.now
         results = {}
-        attempts_of = {index: 0 for index, _request in segment}
+        attempts_of = {index: 0 for index, _operation in segment}
         latency_of = {}
-        diagnostics_of = {index: [] for index, _request in segment}
+        diagnostics_of = {index: [] for index, _operation in segment}
         pending = list(segment)
         attempts = 0
+        batch_qos = QoSProfile(priority=priority)
         while True:
             attempts += 1
-            items = [BatchItem(request, self.client_type, self.site,
-                               priority=priority)
-                     for _index, request in pending]
-            responses = yield from self.udr.execute_batch(items)
-            for (index, request), response in zip(pending, responses):
-                results[index] = (request, response)
+            responses = yield from self.session.execute_batch(
+                [typed for _index, typed in pending], qos=batch_qos)
+            for (index, typed), response in zip(pending, responses):
+                results[index] = (typed, response)
                 attempts_of[index] = attempts
                 # An operation's latency runs until the batch that carried
                 # its (final) attempt completed -- later *retry rounds* are
@@ -167,16 +181,16 @@ class ProvisioningSystem:
                 latency_of[index] = self.udr.sim.now - start
                 if not response.ok:
                     diagnostics_of[index].append(
-                        f"{request.operation_name}: "
+                        f"{response.request.operation_name}: "
                         f"{response.result_code.name} "
                         f"({response.diagnostic_message})")
-            failed = [(index, request) for index, request in pending
+            failed = [(index, typed) for index, typed in pending
                       if not results[index][1].ok]
             if not failed or attempts > self.max_retries:
                 break
             pending = failed
             yield self.udr.sim.timeout(self.retry_delay)
-        for index, _request in segment:
+        for index, _operation in segment:
             _, response = results[index]
             operation = operations[index]
             self.operations_attempted += 1

@@ -127,6 +127,15 @@ class AsyncReplicationChannel:
             return None
         return (ends[0].site, ends[1].site)
 
+    def shipped_lsn(self, master_name: str) -> int:
+        """The shipped cursor on ``master_name``'s log (0 = nothing yet).
+
+        The replication mux's WAL-retention policy truncates a master log
+        through the *minimum* of these cursors across its outgoing
+        channels, so no record leaves the log before every slave has it.
+        """
+        return self._shipped_lsn.get(master_name, 0)
+
     def has_backlog(self) -> bool:
         """Whether the master's log holds records past the shipped cursor.
 

@@ -29,10 +29,25 @@ collapses that fan-in:
   recomputed from live channel state at every round, so a round armed just
   before a fail-over can never ship along a stale binding.
 
-Stalls (a crashed endpoint, a partitioned link) fall back to cadence:
-a round that found backlog it could not ship re-arms itself after
-``retry_interval``, so a healing partition drains exactly like the polling
-loops would -- without the idle cost while everything is healthy.
+Three queue-health policies ride on the rounds:
+
+* **stall handling** -- a round that found backlog it could not ship
+  re-arms itself after ``retry_interval``, so a healing partition drains
+  exactly like the polling loops would, without the idle cost while
+  everything is healthy.  When the mux is subscribed to the availability
+  manager (:meth:`bind_availability`, the default deployment wiring), a
+  stall caused by a *down endpoint* does not poll at all: the link re-arms
+  exactly on the component's recovery notification.  Network-level stalls
+  (a partitioned backbone has no recovery event) keep the cadence retry;
+* **per-shipment backpressure** -- ``shipment_max_records`` caps how many
+  records one round may carry over one link, so a fat burst (a recovered
+  slave's whole outage backlog, a bulk provisioning run) splits into
+  bounded frames over consecutive rounds instead of one huge transfer;
+* **WAL retention** -- with ``wal_retention`` set, a master commit log
+  that grew past the limit is truncated through the *slowest shipped-LSN
+  cursor* of its outgoing channels (capped at the durability watermark, so
+  checkpoint/crash semantics are untouched), bounding log memory on long
+  runs without ever dropping an unshipped record.
 """
 
 from __future__ import annotations
@@ -52,27 +67,42 @@ class ReplicationMux:
                  ship_linger: float = 50 * units.MILLISECOND,
                  frame_bytes: int = 256,
                  retry_interval: Optional[float] = None,
+                 shipment_max_records: Optional[int] = None,
+                 wal_retention: Optional[int] = None,
                  metrics=None):
         if ship_linger <= 0:
             raise ValueError("ship linger must be positive")
         if frame_bytes < 0:
             raise ValueError("frame bytes cannot be negative")
+        if shipment_max_records is not None and shipment_max_records < 1:
+            raise ValueError("shipment max records must be at least 1")
+        if wal_retention is not None and wal_retention < 1:
+            raise ValueError("wal retention must be at least 1 record")
         self.sim = sim
         self.network = network
         self.ship_linger = ship_linger
         self.frame_bytes = frame_bytes
         self.retry_interval = (retry_interval if retry_interval is not None
                                else ship_linger)
+        self.shipment_max_records = shipment_max_records
+        self.wal_retention = wal_retention
         self.metrics = metrics
         self.channels: List[AsyncReplicationChannel] = []
         self.wakeups = 0
         self.shipments = 0
         self.records_shipped = 0
         self.stalled_rounds = 0
+        self.wal_records_truncated = 0
         #: Links with a shipping round armed (pending in the event queue).
         self._armed: Set[Tuple] = set()
+        #: Per-link rotation of the member scan under a shipment cap, so
+        #: the budget is not always spent on the same first channels.
+        self._scan_offset: Dict[Tuple, int] = {}
         #: ``(wal, listener)`` pairs currently subscribed.
         self._subscriptions: List[Tuple] = []
+        #: The availability manager whose recovery notifications re-arm
+        #: stalled links (``None`` falls back to cadence retries).
+        self._availability = None
         self._running = False
         #: Bumped by stop()/rebind(); an armed round whose generation is
         #: stale does nothing when it fires.
@@ -87,6 +117,34 @@ class ReplicationMux:
     def bind_metrics(self, metrics) -> None:
         """Record wakeup counters and shipment histograms into ``metrics``."""
         self.metrics = metrics
+
+    def bind_availability(self, availability_manager) -> None:
+        """Re-arm stalled links exactly on component recovery.
+
+        Subscribes to the availability manager's recovery notifications:
+        when a component returns to service, every link holding backlog
+        whose endpoints are now both available gets a shipping round armed
+        on the interval grid.  With the subscription in place, rounds
+        stalled by a *down endpoint* stop falling back to the cadence
+        retry -- an outage costs zero replication wakeups instead of one
+        per ``retry_interval``.
+        """
+        if self._availability is availability_manager:
+            return
+        self._availability = availability_manager
+        availability_manager.subscribe_recovery(self._on_recovery)
+
+    def _on_recovery(self, _component_name: str) -> None:
+        if not self._running:
+            return
+        for channel in self.channels:
+            if channel.has_backlog() and self._endpoints_available(channel):
+                self._arm(channel.link_sites(), self._grid_delay())
+
+    @staticmethod
+    def _endpoints_available(channel: AsyncReplicationChannel) -> bool:
+        ends = channel.endpoints()
+        return ends is not None and ends[0].available and ends[1].available
 
     def attach(self, channel: AsyncReplicationChannel) -> None:
         """Take ownership of one channel (the channel's own process stays
@@ -195,9 +253,13 @@ class ReplicationMux:
         if rearm is not None:
             self._arm(key, rearm)
         elif any(channel.link_sites() == key and channel.has_backlog()
+                 and self._endpoints_available(channel)
                  for channel in self.channels):
-            # Commits that landed during the transfer, or a batch-limit
-            # truncation that left records behind.
+            # Commits that landed during the transfer, or a batch-limit /
+            # shipment-cap truncation that left records behind.  Backlog on
+            # a down endpoint does not count: it either re-arms on the
+            # recovery notification (bind_availability) or was already
+            # scheduled a cadence retry by _ship_link.
             self._arm(key, self._grid_delay())
 
     def _ship_link(self, key):
@@ -205,22 +267,39 @@ class ReplicationMux:
 
         Membership is recomputed here, from live channel state, so
         fail-overs between arming and firing are honoured automatically.
-        Returns the re-arm delay when the round stalled, else ``None``.
+        Returns the re-arm delay when the round stalled, else ``None`` --
+        endpoint stalls return ``None`` too once the mux is subscribed to
+        recovery notifications (the link re-arms on recovery, not on a
+        cadence).  ``shipment_max_records`` caps the round's payload; what
+        does not fit stays backlogged for the next grid point, and the
+        member scan rotates round over round so a channel that keeps the
+        budget busy cannot starve its link-mates indefinitely.
         """
         source, destination = key
+        members = [channel for channel in self.channels
+                   if channel.link_sites() == key]
+        if self.shipment_max_records is not None and len(members) > 1:
+            start = self._scan_offset.get(key, 0) % len(members)
+            self._scan_offset[key] = start + 1
+            members = members[start:] + members[:start]
         shipment = []
-        stalled = False
-        for channel in self.channels:
-            if channel.link_sites() != key:
-                continue
+        endpoint_stalled = False
+        budget = self.shipment_max_records
+        for channel in members:
             master_element, slave_element = channel.endpoints()
             if not master_element.available or not slave_element.available:
                 if channel.has_backlog():
                     channel.stalled_rounds += 1
-                    stalled = True
+                    endpoint_stalled = True
                 continue
+            if budget is not None and budget <= 0:
+                continue  # out of budget; stall accounting still ran above
             master_name, records = channel.pending_records()
+            if budget is not None and len(records) > budget:
+                records = records[:budget]
             if records:
+                if budget is not None:
+                    budget -= len(records)
                 shipment.append((channel, master_name, records))
         if shipment:
             payload = self.frame_bytes + sum(
@@ -251,7 +330,47 @@ class ReplicationMux:
             if self.metrics is not None:
                 self.metrics.histogram(
                     "replication.mux.shipment_size").record(total)
-        return self.retry_interval if stalled else None
+            self._apply_retention()
+        if endpoint_stalled and self._availability is None:
+            return self.retry_interval
+        return None
+
+    # -- WAL retention -----------------------------------------------------------
+
+    def _apply_retention(self) -> None:
+        """Truncate over-long master logs through the slowest shipped cursor.
+
+        For every master commit log longer than ``wal_retention`` records,
+        drop the prefix every outgoing channel has already shipped *and*
+        the checkpointer has already made durable.  A channel that never
+        shipped (cursor 0) or a log with no durable prefix keeps everything
+        -- retention never drops a record some slave (or a crash recovery)
+        could still need.
+        """
+        if self.wal_retention is None:
+            return
+        by_wal: Dict[int, Tuple] = {}
+        for channel in self.channels:
+            master_name = channel.replica_set.master_element_name
+            if master_name is None or \
+                    master_name == channel.slave_element_name:
+                continue
+            wal = channel.replica_set.copy_on(master_name).wal
+            entry = by_wal.get(id(wal))
+            if entry is None:
+                entry = (wal, [])
+                by_wal[id(wal)] = entry
+            entry[1].append(channel.shipped_lsn(master_name))
+        for wal, cursors in by_wal.values():
+            if len(wal) <= self.wal_retention or not cursors:
+                continue
+            safe_lsn = min(min(cursors), wal.durable_lsn)
+            if safe_lsn <= 0:
+                continue
+            dropped = wal.truncate_through(safe_lsn)
+            if dropped:
+                self.wal_records_truncated += dropped
+                self._count("replication.wal.truncated", dropped)
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:

@@ -46,6 +46,12 @@ class TestExamples:
         assert "near saturation" in output
         assert "coalesced txns" in output
 
+    def test_session_qos(self):
+        output = run_example("session_qos.py")
+        assert "Provision.create -> SUCCESS" in output
+        assert "bulk + 25-tick deadline" in output
+        assert "TIME_LIMIT_EXCEEDED" in output
+
     def test_replication_tuning(self):
         output = run_example("replication_tuning.py")
         assert "per-channel polling" in output

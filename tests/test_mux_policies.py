@@ -1,0 +1,246 @@
+"""Replication-mux queue-health policies (PR 5's satellite tasks).
+
+* WAL retention: ``UDRConfig.wal_retention`` lets the mux truncate master
+  commit logs through the slowest shipped-LSN cursor (never past the
+  durability watermark), bounding log memory on long runs;
+* recovery re-arm: with the availability-manager subscription, a link
+  stalled on a down endpoint schedules *zero* retry wakeups and re-arms
+  exactly on the component's recovery;
+* per-shipment backpressure: ``replication_shipment_max_records`` splits a
+  fat backlog into bounded frames over consecutive rounds.
+"""
+
+from repro.cluster.saf import AvailabilityManager
+from repro.core import UDRConfig
+from repro.replication import AsyncReplicationChannel
+from repro.replication.mux import ReplicationMux
+
+from tests.helpers import build_replicated_partition, master_write
+from tests.conftest import build_udr, run_to_completion
+
+
+def build_link(seed=1, **mux_kwargs):
+    """One partition, master at site 0, slave at site 1, mux-driven."""
+    sim, network, _topology, elements, replica_set = \
+        build_replicated_partition(seed=seed, num_elements=2,
+                                   replication_factor=2)
+    channel = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+    mux = ReplicationMux(sim, network, ship_linger=0.05, **mux_kwargs)
+    mux.attach(channel)
+    return sim, network, elements, replica_set, channel, mux
+
+
+class TestWalRetention:
+    def test_shipped_and_durable_prefix_is_truncated(self):
+        sim, _network, _elements, replica_set, channel, mux = \
+            build_link(wal_retention=5)
+        mux.start()
+        wal = replica_set.master_copy.wal
+        for index in range(12):
+            master_write(replica_set, f"k-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.2)  # one shipping round moves everything
+        assert channel.lag().in_sync
+        # Nothing truncated yet: the records are shipped but not durable.
+        assert len(wal) == 12
+        replica_set.master_copy.checkpointer.checkpoint(timestamp=sim.now)
+        master_write(replica_set, "k-last", {"v": 99}, timestamp=sim.now)
+        sim.run(until=0.4)  # the next round applies retention
+        assert len(wal) < 13, "the shipped+durable prefix was dropped"
+        assert mux.wal_records_truncated >= 12
+        # The slave still holds every record.
+        for index in range(12):
+            assert replica_set.copy_on("se-1").store.contains(f"k-{index}")
+
+    def test_slowest_cursor_bounds_truncation(self):
+        """A second slave that never received anything pins the log."""
+        sim, network, _topology, elements, replica_set = \
+            build_replicated_partition(seed=2, num_elements=3,
+                                       replication_factor=3)
+        fast = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+        slow = AsyncReplicationChannel(sim, network, replica_set, "se-2")
+        mux = ReplicationMux(sim, network, ship_linger=0.05, wal_retention=3)
+        mux.attach(fast)
+        elements[2].crash()  # the slow slave is down: cursor stays at 0
+        mux.attach(slow)
+        mux.start()
+        wal = replica_set.master_copy.wal
+        for index in range(8):
+            master_write(replica_set, f"k-{index}", {"v": index},
+                         timestamp=sim.now)
+        replica_set.master_copy.checkpointer.checkpoint(timestamp=sim.now)
+        master_write(replica_set, "k-8", {"v": 8}, timestamp=sim.now)
+        sim.run(until=0.3)
+        assert len(wal) == 9, \
+            "an unshipped slave's zero cursor must pin the whole log"
+        assert mux.wal_records_truncated == 0
+
+    def test_retention_bounds_log_memory_in_a_deployment(self):
+        """End to end: a long writing run against a deployment with
+        ``wal_retention`` and frequent checkpoints keeps every master log
+        bounded, with replicas intact."""
+        from repro.api import Write
+        from repro.core import ClientType
+        config = UDRConfig(wal_retention=10, checkpoint_period=0.5, seed=3)
+        udr, profiles = build_udr(config, subscribers=24)
+        client = udr.attach("ps", udr.topology.sites[0],
+                            client_type=ClientType.PROVISIONING)
+        session = client.session()
+        for round_index in range(4):
+            for index, profile in enumerate(profiles):
+                run_to_completion(udr, session.call(
+                    Write(profile.identities.imsi,
+                          {"servingMsc": f"m-{round_index}-{index}"})))
+            udr.sim.run_for(1.0)  # checkpoints + shipping rounds
+        total_writes = 4 * len(profiles)
+        truncated = udr.metrics.counter("replication.wal.truncated")
+        assert truncated > 0
+        for replica_set in udr.replica_sets.values():
+            wal = replica_set.master_copy.wal
+            assert len(wal) < total_writes, f"{wal!r} never truncated"
+
+
+class TestRecoveryRearm:
+    def test_endpoint_stall_waits_for_recovery_not_cadence(self):
+        sim, network, elements, replica_set, channel, mux = build_link()
+        manager = AvailabilityManager(sim)
+        slave = elements[1]
+        manager.manage("se-1", fail_action=slave.crash,
+                       repair_action=lambda: slave.recover(
+                           timestamp=sim.now))
+        mux.bind_availability(manager)
+        mux.start()
+        manager.fail_component("se-1", auto_repair=False)
+        master_write(replica_set, "k-1", {"v": 1}, timestamp=sim.now)
+        sim.run(until=2.0)
+        assert not replica_set.copy_on("se-1").store.contains("k-1")
+        assert mux.wakeups <= 1, \
+            "a down endpoint must not be polled on the retry cadence"
+        wakeups_during_outage = mux.wakeups
+        manager.repair_component("se-1")
+        sim.run(until=2.2)
+        assert replica_set.copy_on("se-1").store.contains("k-1")
+        assert mux.wakeups == wakeups_during_outage + 1, \
+            "recovery re-armed exactly one shipping round"
+
+    def test_without_subscription_cadence_retry_is_kept(self):
+        sim, _network, elements, replica_set, channel, mux = build_link()
+        mux.start()
+        elements[1].crash()
+        master_write(replica_set, "k-1", {"v": 1}, timestamp=sim.now)
+        sim.run(until=1.0)
+        assert mux.wakeups > 5, "unsubscribed muxes keep the retry cadence"
+        elements[1].recover(timestamp=sim.now)
+        sim.run(until=1.2)
+        assert replica_set.copy_on("se-1").store.contains("k-1")
+
+    def test_deployment_outage_costs_no_replication_wakeups(self):
+        """The built deployment wires the subscription by default: an
+        element outage with pending backlog schedules no mux retries, and
+        lifecycle recovery drains the backlog."""
+        udr, profiles = build_udr(subscribers=12)
+        udr.sim.run_for(0.5)  # quiesce the base-load shipping rounds
+        # Crash every slave of one replica set, then write to its master.
+        replica_set = udr.replica_sets[0]
+        for slave_name in replica_set.slave_names():
+            udr.crash_element(slave_name)
+        from tests.helpers import master_write as commit
+        commit(replica_set, "outage-key", {"v": 1}, timestamp=udr.sim.now)
+        wakeups_before = udr.replication_mux.wakeups
+        udr.sim.run_for(2.0)
+        assert udr.replication_mux.wakeups - wakeups_before <= 1
+        for slave_name in replica_set.slave_names():
+            udr.recover_element(slave_name)
+        udr.sim.run_for(1.0)
+        for slave_name in replica_set.slave_names():
+            assert replica_set.copy_on(slave_name).store.contains(
+                "outage-key")
+
+
+class TestShipmentBackpressure:
+    def test_fat_burst_splits_into_bounded_frames(self):
+        sim, network, _elements, replica_set, channel, mux = \
+            build_link(shipment_max_records=4)
+        mux.start()
+        for index in range(10):
+            master_write(replica_set, f"k-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.055)  # exactly one grid point
+        assert channel.records_shipped == 4, "the first frame was capped"
+        sim.run(until=1.0)
+        assert channel.records_shipped == 10, "the backlog drained in frames"
+        assert mux.shipments == 3, "10 records / 4 per frame = 3 rounds"
+        assert channel.lag().in_sync
+
+    def test_cap_spans_channels_of_one_link(self):
+        """The cap is per shipment (per link), not per channel."""
+        from repro.storage import DataPartition, ReplicaRole
+        from repro.replication import ReplicaSet
+        sim, network, _topology, elements, set_a = \
+            build_replicated_partition(seed=4, num_elements=2,
+                                       replication_factor=2)
+        set_b = ReplicaSet(DataPartition(1))
+        set_b.add_member(elements[0], ReplicaRole.PRIMARY)
+        set_b.add_member(elements[1], ReplicaRole.SECONDARY)
+        channel_a = AsyncReplicationChannel(sim, network, set_a, "se-1")
+        channel_b = AsyncReplicationChannel(sim, network, set_b, "se-1")
+        mux = ReplicationMux(sim, network, ship_linger=0.05,
+                             shipment_max_records=3)
+        mux.attach(channel_a)
+        mux.attach(channel_b)
+        mux.start()
+        for index in range(3):
+            master_write(set_a, f"a-{index}", {"v": index},
+                         timestamp=sim.now)
+            master_write(set_b, f"b-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.055)
+        assert channel_a.records_shipped + channel_b.records_shipped == 3
+        sim.run(until=1.0)
+        assert channel_a.records_shipped == 3
+        assert channel_b.records_shipped == 3
+
+    def test_rotation_prevents_link_mate_starvation(self):
+        """A channel that refills the budget every round must not starve
+        the other channels of its link: the member scan rotates."""
+        from repro.storage import DataPartition, ReplicaRole
+        from repro.replication import ReplicaSet
+        sim, network, _topology, elements, set_a = \
+            build_replicated_partition(seed=5, num_elements=2,
+                                       replication_factor=2)
+        set_b = ReplicaSet(DataPartition(1))
+        set_b.add_member(elements[0], ReplicaRole.PRIMARY)
+        set_b.add_member(elements[1], ReplicaRole.SECONDARY)
+        channel_a = AsyncReplicationChannel(sim, network, set_a, "se-1")
+        channel_b = AsyncReplicationChannel(sim, network, set_b, "se-1")
+        mux = ReplicationMux(sim, network, ship_linger=0.05,
+                             shipment_max_records=2)
+        mux.attach(channel_a)
+        mux.attach(channel_b)
+        mux.start()
+
+        def keep_a_busy():
+            index = 0
+            while sim.now < 0.5:
+                # Refill partition 0 faster than the cap drains it.
+                for _ in range(3):
+                    master_write(set_a, f"a-{index}", {"v": index},
+                                 timestamp=sim.now)
+                    index += 1
+                yield sim.timeout(0.05)
+
+        sim.process(keep_a_busy())
+        master_write(set_b, "b-0", {"v": 0}, timestamp=sim.now)
+        sim.run(until=0.3)
+        assert channel_b.records_shipped == 1, \
+            "the rotating scan must reach partition 1 within a few rounds"
+
+    def test_unbounded_by_default(self):
+        sim, _network, _elements, replica_set, channel, mux = build_link()
+        mux.start()
+        for index in range(10):
+            master_write(replica_set, f"k-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.2)
+        assert mux.shipments == 1
+        assert channel.records_shipped == 10
