@@ -23,15 +23,17 @@ that down.  The LDAP encoding lives *only* here; a CI check
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
 
+from repro.ldap.dn import DistinguishedName
 from repro.ldap.operations import (
     AddRequest,
     DeleteRequest,
     LdapRequest,
     ModifyRequest,
     SearchRequest,
+    SearchScope,
 )
 from repro.ldap.schema import SubscriberSchema
 
@@ -75,13 +77,36 @@ class Read(Operation):
 
 @dataclass(frozen=True)
 class Search(Operation):
-    """Fetch one subscriber's record by a non-IMSI identity (index lookup)."""
+    """Fetch subscriber records: by identity, or by scoped filter search.
 
-    identity_type: str
-    value: str
+    Two shapes, exactly one per operation:
+
+    * ``Search("msisdn", "+34...")`` -- the classic index-based
+      single-subscriber lookup by a non-IMSI identity;
+    * :meth:`Search.scoped` -- a scoped directory search (BASE / ONE_LEVEL /
+      SUBTREE) with an arbitrary filter, optionally keyset-paged
+      (``page_size``; follow pages via :meth:`next_page` or
+      ``Session.search_pages``).
+    """
+
+    identity_type: str = ""
+    value: str = ""
     attributes: Tuple[str, ...] = ()
+    filter_text: str = ""
+    scope: SearchScope = SearchScope.SUBTREE
+    base: Optional[DistinguishedName] = None
+    page_size: Optional[int] = None
+    cursor: Optional[str] = None
 
     def __post_init__(self):
+        if bool(self.identity_type or self.value) == bool(self.filter_text):
+            raise ValueError("Search is either an identity lookup "
+                             "(identity_type + value) or a scoped filter "
+                             "search (filter_text), exactly one")
+        if self.filter_text:
+            if self.page_size is not None and self.page_size < 1:
+                raise ValueError("page_size must be at least 1")
+            return
         if self.identity_type not in IDENTITY_TYPES:
             raise ValueError(f"unknown identity type "
                              f"{self.identity_type!r}; expected one of "
@@ -89,7 +114,40 @@ class Search(Operation):
         if not self.value:
             raise ValueError("Search needs an identity value")
 
+    @classmethod
+    def scoped(cls, filter_text: str,
+               scope: SearchScope = SearchScope.SUBTREE,
+               base: Optional[DistinguishedName] = None,
+               attributes: Tuple[str, ...] = (),
+               page_size: Optional[int] = None,
+               cursor: Optional[str] = None) -> "Search":
+        """A scoped directory search under ``base`` (the subscriber subtree
+        by default), optionally keyset-paged."""
+        return cls(filter_text=filter_text, scope=scope, base=base,
+                   attributes=tuple(attributes), page_size=page_size,
+                   cursor=cursor)
+
+    def next_page(self, response) -> Optional["Search"]:
+        """The follow-up operation fetching the page after ``response``.
+
+        Returns ``None`` when the response says the result set is drained
+        (``has_more`` false or no cursor).
+        """
+        if not getattr(response, "has_more", False) or \
+                response.next_cursor is None:
+            return None
+        return replace(self, cursor=response.next_cursor)
+
     def to_request(self) -> SearchRequest:
+        if self.filter_text:
+            return SearchRequest(
+                dn=self.base if self.base is not None
+                else SubscriberSchema.BASE_DN,
+                scope=self.scope,
+                filter_text=self.filter_text,
+                attributes=tuple(self.attributes),
+                page_size=self.page_size,
+                cursor=self.cursor)
         return SearchRequest(
             dn=SubscriberSchema.BASE_DN,
             filter_text=(f"(&(objectClass=udrSubscriber)"

@@ -255,6 +255,30 @@ class Session:
             responses.append(response)
         return responses
 
+    def search_pages(self, operation, qos: Optional[QoSProfile] = None,
+                     max_pages: Optional[int] = None):
+        """Generator: drive a keyset-paged search page by page.
+
+        ``operation`` is a paged :meth:`~repro.api.operations.Search.scoped`
+        operation (``page_size`` set).  Each page rides :meth:`submit` -- so
+        pages are individually dispatched waves, futures, deadlines and all
+        -- and the next page is requested with the previous response's
+        cursor until the result set is drained (or ``max_pages`` is hit).
+        Returns the list of page responses, in order.
+        """
+        pages: List[LdapResponse] = []
+        current = operation
+        while current is not None:
+            future = self.submit(current, qos)
+            response = yield from future.wait()
+            pages.append(response)
+            if not response.ok:
+                break
+            if max_pages is not None and len(pages) >= max_pages:
+                break
+            current = current.next_page(response)
+        return pages
+
     def drain(self):
         """Generator: wait until every in-flight future resolved."""
         while self._outstanding:

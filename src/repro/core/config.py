@@ -263,6 +263,9 @@ class UDRConfig:
     #: :mod:`repro.core.location_cache`.  Capacity 0 means unbounded.
     location_cache_enabled: bool = True
     location_cache_capacity: int = 0
+    #: Serve scoped Search from the interval-indexed DIT catalog; disabling
+    #: falls back to a full scan over every partition (the e20 baseline).
+    search_index_enabled: bool = True
 
     # -- batched admission -----------------------------------------------------------
     #: Most requests one admission wave of ``execute_batch`` carries through

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 from repro.cluster.balancer import PointOfAccess
 from repro.cluster.blade_cluster import BladeCluster, ClusterLimits
 from repro.cluster.saf import AvailabilityManager
+from repro.directory.dit import DirectoryCatalog
 from repro.directory.locator import (
     CachedLocator,
     ConsistentHashLocator,
@@ -90,7 +91,7 @@ class Deployment:
         "elements", "element_order", "scheme", "replica_sets", "coordinators",
         "channels", "replication_mux", "dual_replicators",
         "quorum_replicators", "locators", "points_of_access",
-        "primary_partition_of_element", "placement_policy",
+        "primary_partition_of_element", "placement_policy", "catalog",
     )
 
     def __init__(self, *, config: UDRConfig, topology: NetworkTopology,
@@ -107,7 +108,8 @@ class Deployment:
                  locators: Dict[str, Locator],
                  points_of_access: List[PointOfAccess],
                  primary_partition_of_element: Dict[str, int],
-                 placement_policy: PlacementPolicy):
+                 placement_policy: PlacementPolicy,
+                 catalog: Optional[DirectoryCatalog] = None):
         self.config = config
         self.topology = topology
         self.network = network
@@ -126,6 +128,7 @@ class Deployment:
         self.points_of_access = points_of_access
         self.primary_partition_of_element = primary_partition_of_element
         self.placement_policy = placement_policy
+        self.catalog = catalog
 
     # -- lookups -------------------------------------------------------------------
 
@@ -219,6 +222,7 @@ class DeploymentBuilder:
             self.sim, name=f"{config.name}.amf")
         self._build_clusters_and_elements()
         self._build_replica_sets()
+        catalog = self._build_catalog()
         self._build_replicators()
         # Recovery notifications re-arm stalled replication links exactly
         # when their endpoint comes back, instead of a cadence retry.
@@ -236,7 +240,7 @@ class DeploymentBuilder:
             quorum_replicators=self.quorum_replicators, locators=self.locators,
             points_of_access=self.points_of_access,
             primary_partition_of_element=self.primary_partition_of_element,
-            placement_policy=placement_policy)
+            placement_policy=placement_policy, catalog=catalog)
 
     # -- build steps ---------------------------------------------------------------
 
@@ -293,6 +297,34 @@ class DeploymentBuilder:
             self.replica_sets[partition.index] = replica_set
             self.coordinators[partition.index] = MultiMasterCoordinator(
                 replica_set, enabled=self.config.multi_master_enabled())
+
+    def _build_catalog(self) -> DirectoryCatalog:
+        """The DIT catalog, maintained from every partition copy's WAL.
+
+        Every member copy's log is subscribed, filtered to records the copy
+        itself committed (``record.origin`` equals the copy's own name):
+        replication applies preserve the originating master's name, so each
+        logical commit folds into the catalog exactly once -- and the wiring
+        keeps working across fail-over, when a promoted copy starts
+        committing under its own name.
+        """
+        from repro.ldap.schema import SubscriberSchema
+        catalog = DirectoryCatalog(SubscriberSchema.catalog_view,
+                                   SubscriberSchema.INDEXED_ATTRIBUTES)
+
+        def subscribe(partition_index: int, copy) -> None:
+            copy_name = copy.transactions.name
+
+            def on_commit(record) -> None:
+                if record.origin == copy_name:
+                    catalog.apply_commit(partition_index, record)
+
+            copy.wal.subscribe(on_commit)
+
+        for partition_index, replica_set in self.replica_sets.items():
+            for _element, copy in replica_set.members():
+                subscribe(partition_index, copy)
+        return catalog
 
     def _build_replicators(self) -> None:
         # The mux is built unconditionally (its start is gated by

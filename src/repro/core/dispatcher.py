@@ -263,6 +263,10 @@ class BatchDispatcher:
         ticket = DispatchTicket(item, self.sim.now, event, source=source)
         self.queue.append(ticket)
         self.metrics.increment("dispatcher.enqueued")
+        if getattr(request, "paged", False):
+            # A paged search occupies one wave slot per page, never the
+            # whole result set; count the pages flowing through the queue.
+            self.metrics.increment("dispatcher.search_pages")
         self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
         self.metrics.set_gauge_max("dispatcher.queue_depth_max",
                                    len(self.queue))

@@ -116,7 +116,7 @@ class OperationContext:
     __slots__ = ("request", "client_type", "client_site", "start", "poa",
                  "plan", "located_element", "entries", "served_from",
                  "priority", "attempts", "location_resolved", "deadline",
-                 "retry_policy")
+                 "retry_policy", "next_cursor", "has_more")
 
     def __init__(self, request: LdapRequest, client_type: ClientType,
                  client_site: Site, start: float,
@@ -145,6 +145,9 @@ class OperationContext:
         #: context creation (per-session override, else the config default
         #: on the batched paths) so the RetryStage needs no fallback logic.
         self.retry_policy = retry_policy
+        #: Keyset cursor and continuation flag of a paged SEARCH page.
+        self.next_cursor: Optional[str] = None
+        self.has_more = False
 
     def expired(self, now: float) -> bool:
         """Whether the request's deadline (if any) has passed."""
@@ -254,6 +257,12 @@ class LocateStage(PipelineStage):
 
     def run(self, ctx: OperationContext) -> None:
         plan = ctx.plan
+        if plan.kind is PlanKind.SEARCH:
+            # Scoped searches resolve their targets through the DIT catalog
+            # (or a scan), not the identity-location maps.
+            ctx.located_element = None
+            ctx.location_resolved = True
+            return
         try:
             ctx.located_element = self._resolve(ctx)
         except LocatorSyncInProgress:
@@ -286,6 +295,10 @@ class LocateStage(PipelineStage):
         by_identity: Dict[Tuple[str, str], List[_BatchSlot]] = {}
         for slot in slots:
             plan = slot.ctx.plan
+            if plan.kind is PlanKind.SEARCH:
+                slot.ctx.located_element = None
+                slot.ctx.location_resolved = True
+                continue
             by_identity.setdefault(
                 (plan.identity_type, plan.identity_value), []).append(slot)
         for group in by_identity.values():
@@ -438,6 +451,212 @@ class ReadPath(PipelineStage):
             return True, 1
         behind = master_version.commit_seq - copy_version.commit_seq
         return behind > 0, max(0, behind)
+
+
+class SearchPath(PipelineStage):
+    """Serve a scoped Search: DIT interval scan, postings, keyset paging.
+
+    The indexed path resolves the scope as one interval range-scan over the
+    deployment's :class:`~repro.directory.dit.DirectoryCatalog`, intersects
+    the filter planner's most-selective postings first, and only then fetches
+    candidate records -- in ``(sort_key, entry_id)`` order, stopping as soon
+    as a page is full, so a paged search touches storage proportionally to
+    the page, not the result set.  With ``search_index_enabled`` off (or no
+    catalog) it degrades to a full scan over every partition, which is the
+    e20 baseline; either way the parsed filter is re-evaluated on every
+    fetched entry, so the index only prunes, never decides, and both paths
+    return bit-identical result sets.
+    """
+
+    def run(self, ctx: OperationContext,
+            ledger: Optional[_TransferLedger] = None):
+        from repro.ldap.filters import FilterPlanner, parse_filter
+        plan = ctx.plan
+        parsed = parse_filter(plan.filter_text)
+        after = self._parse_cursor(plan.cursor)
+        catalog = self.deployment.catalog
+        if self.config.search_index_enabled and catalog is not None:
+            self.pipeline.batch.increment("ldap.search.indexed")
+            planner = FilterPlanner(catalog.attributes)
+            yield from self._run_indexed(ctx, parsed, planner.plan(parsed),
+                                         after, ledger)
+        else:
+            self.pipeline.batch.increment("ldap.search.scan")
+            yield from self._run_scan(ctx, parsed, after, ledger)
+        if plan.page_size is not None:
+            self.pipeline.batch.increment("ldap.search.pages")
+
+    # -- indexed ---------------------------------------------------------------
+
+    def _run_indexed(self, ctx: OperationContext, parsed, filter_plan,
+                     after: Optional[Tuple[str, str]],
+                     ledger: Optional[_TransferLedger]):
+        plan, poa = ctx.plan, ctx.poa
+        catalog = self.deployment.catalog
+        scoped = catalog.scope_candidates(plan.base_dn, plan.scope)
+        if scoped is None:
+            raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                   f"search base {plan.base_dn} does not "
+                                   f"exist")
+        scope_ids, comparisons = scoped
+        postings = filter_plan.candidates()
+        if postings is not None:
+            candidates = [entry_id for entry_id in scope_ids
+                          if entry_id in postings]
+        else:
+            candidates = list(scope_ids)
+        comparisons += len(candidates)
+        ordered = sorted((catalog.sort_key_of(entry_id), entry_id)
+                         for entry_id in candidates)
+        if after is not None:
+            ordered = [pair for pair in ordered if pair > after]
+        # The interval scan, intersection and sort are LDAP-server CPU work.
+        yield self.sim.timeout(comparisons * poa.ldap_pool.service_time())
+        search_ledger = ledger if ledger is not None else _TransferLedger()
+        page_size = plan.page_size
+        matches: List[Tuple[str, str, dict]] = []
+        consumed = 0
+        for sort_key, entry_id in ordered:
+            consumed += 1
+            partition = catalog.partition_of(entry_id)
+            if partition is None:
+                continue
+            replica_set = self.deployment.replica_sets[partition]
+            entry = yield from self._fetch(ctx, replica_set, entry_id,
+                                           search_ledger)
+            if entry is None or not parsed.matches(entry):
+                continue
+            matches.append((sort_key, entry_id, entry))
+            if page_size is not None and len(matches) >= page_size:
+                break
+        self._emit(ctx, matches,
+                   exhausted=consumed >= len(ordered))
+
+    def _fetch(self, ctx: OperationContext, replica_set: ReplicaSet,
+               entry_id: str, ledger: _TransferLedger):
+        """Generator: read one candidate record from its best copy.
+
+        Returns the enriched LDAP entry, or ``None`` when the record vanished
+        or its partition has no reachable copy (the candidate is skipped, the
+        scan itself survives partial unavailability).
+        """
+        copy_element = self.pipeline.read_path._choose_read_element(
+            replica_set, ctx.poa.site, ctx.client_type)
+        if copy_element is None:
+            return None
+        element = self.deployment.elements[copy_element]
+        copy = replica_set.copy_on(copy_element)
+        try:
+            yield from self.element_round_trip(ctx.poa, element,
+                                               "copy unreachable",
+                                               ledger=ledger)
+        except OperationFailure:
+            return None
+        yield self.sim.timeout(
+            element.service_times.operation_time(reads=1, writes=0))
+        record = copy.store.get(entry_id)
+        if not isinstance(record, dict):
+            return None
+        return SubscriberSchema.ldap_entry(record)
+
+    # -- scan fallback ------------------------------------------------------------
+
+    def _run_scan(self, ctx: OperationContext, parsed,
+                  after: Optional[Tuple[str, str]],
+                  ledger: Optional[_TransferLedger]):
+        plan, poa = ctx.plan, ctx.poa
+        base_dn, scope = plan.base_dn, plan.scope
+        eval_time = poa.ldap_pool.service_time()
+        search_ledger = ledger if ledger is not None else _TransferLedger()
+        base_exists = False
+        matches: List[Tuple[str, str, dict]] = []
+        for replica_set in self.deployment.replica_sets.values():
+            copy_element = self.pipeline.read_path._choose_read_element(
+                replica_set, poa.site, ctx.client_type)
+            if copy_element is None:
+                raise OperationFailure(ResultCode.UNAVAILABLE,
+                                       "no reachable copy for search scan")
+            element = self.deployment.elements[copy_element]
+            copy = replica_set.copy_on(copy_element)
+            yield from self.element_round_trip(poa, element,
+                                               "copy unreachable",
+                                               ledger=search_ledger)
+            keys = list(copy.store.keys())
+            read_time = element.service_times.operation_time(reads=1,
+                                                             writes=0)
+            # One aggregate charge per partition: every record is read and
+            # evaluated against the filter.
+            yield self.sim.timeout(len(keys) * (read_time + eval_time))
+            for key in keys:
+                view = SubscriberSchema.catalog_view(key, copy.store.get(key))
+                if view is None:
+                    continue
+                dn, entry = view
+                if dn.is_descendant_of(base_dn):
+                    base_exists = True
+                if not _scope_matches(dn, base_dn, scope):
+                    continue
+                if parsed.matches(entry):
+                    matches.append((dn.leaf_value, key, entry))
+        if not base_exists:
+            raise OperationFailure(ResultCode.NO_SUCH_OBJECT,
+                                   f"search base {base_dn} does not exist")
+        matches.sort(key=lambda match: (match[0], match[1]))
+        if after is not None:
+            matches = [m for m in matches if (m[0], m[1]) > after]
+        page_size = plan.page_size
+        if page_size is not None and len(matches) > page_size:
+            self._emit(ctx, matches[:page_size], exhausted=False)
+        else:
+            self._emit(ctx, matches, exhausted=True)
+
+    # -- shared tail --------------------------------------------------------------
+
+    @staticmethod
+    def _parse_cursor(cursor: Optional[str]) -> Optional[Tuple[str, str]]:
+        if cursor is None:
+            return None
+        sort_key, separator, entry_id = cursor.rpartition("|")
+        if not separator or not entry_id:
+            raise OperationFailure(ResultCode.UNWILLING_TO_PERFORM,
+                                   f"malformed page cursor {cursor!r}",
+                                   retryable=False)
+        return sort_key, entry_id
+
+    def _emit(self, ctx: OperationContext,
+              matches: List[Tuple[str, str, dict]], exhausted: bool) -> None:
+        plan = ctx.plan
+        entries = []
+        for _sort_key, _entry_id, entry in matches:
+            if plan.requested_attributes:
+                wanted = set(plan.requested_attributes) | {"dn"}
+                entry = {name: value for name, value in entry.items()
+                         if name in wanted}
+            entries.append(entry)
+        ctx.entries = entries
+        ctx.served_from = "dit-index" if (
+            self.config.search_index_enabled
+            and self.deployment.catalog is not None) else "full-scan"
+        if plan.page_size is not None and not exhausted:
+            last = matches[-1]
+            ctx.next_cursor = f"{last[0]}|{last[1]}"
+            ctx.has_more = True
+        else:
+            ctx.next_cursor = None
+            ctx.has_more = False
+        self.pipeline.batch.record_read(
+            ctx.client_type.value, served_from_slave=False, stale=False,
+            versions_behind=0)
+
+
+def _scope_matches(dn, base_dn, scope) -> bool:
+    """Whether ``dn`` falls inside an LDAP search scope (brute-force form)."""
+    name = getattr(scope, "name", str(scope))
+    if name == "BASE":
+        return dn == base_dn
+    if name == "ONE_LEVEL":
+        return len(dn) == len(base_dn) + 1 and dn.is_descendant_of(base_dn)
+    return dn.is_descendant_of(base_dn)
 
 
 class WritePath(PipelineStage):
@@ -777,6 +996,9 @@ class RetryStage(PipelineStage):
                     if ctx.plan.kind is PlanKind.READ:
                         yield from self.pipeline.read_path.run(ctx,
                                                                ledger=ledger)
+                    elif ctx.plan.kind is PlanKind.SEARCH:
+                        yield from self.pipeline.search_path.run(ctx,
+                                                                 ledger=ledger)
                     else:
                         yield from self.pipeline.write_path.run(ctx,
                                                                 ledger=ledger)
@@ -807,6 +1029,8 @@ class RetryStage(PipelineStage):
                 ctx.located_element = None
                 ctx.location_resolved = False
             ctx.entries = []
+            ctx.next_cursor = None
+            ctx.has_more = False
             # A retry is a fresh message; it pays its own network hops.
             ledger = None
             failure = None
@@ -828,6 +1052,7 @@ class OperationPipeline:
         self.plan_stage = LdapPlanStage(self)
         self.locate = LocateStage(self)
         self.read_path = ReadPath(self)
+        self.search_path = SearchPath(self)
         self.write_path = WritePath(self)
         self.replicate = ReplicateStage(self)
         self.respond = RespondStage(self)
@@ -1084,13 +1309,18 @@ class OperationPipeline:
                     self.locate.run(ctx)
                 except OperationFailure as failure:
                     pending = failure
-            if pending is None and ctx.plan.kind is not PlanKind.READ:
+            if pending is None and ctx.plan.is_write:
                 pending = yield from self._coalesced_write(slot, groups,
                                                            ledger)
                 if pending is None:
                     if ctx.plan.kind in (PlanKind.CREATE, PlanKind.DELETE):
                         placement_changed = True
                     continue
+            elif pending is None and ctx.plan.kind is PlanKind.SEARCH:
+                # A scoped search may touch any partition: commit every open
+                # group first so it observes its wave-mates' earlier writes.
+                for partition in list(groups):
+                    yield from self._flush_group(groups.pop(partition))
             elif pending is None:
                 # A read must observe its wave-mates' earlier writes: commit
                 # the open group on its partition before serving it.
@@ -1309,7 +1539,9 @@ class OperationPipeline:
                                 entries=list(ctx.entries),
                                 diagnostic_message=reason,
                                 latency=latency, served_from=ctx.served_from,
-                                attempts=ctx.attempts)
+                                attempts=ctx.attempts,
+                                next_cursor=ctx.next_cursor,
+                                has_more=ctx.has_more)
         client = ctx.client_type.value
         if code.is_success:
             self.batch.record_outcome(client, success=True)

@@ -73,6 +73,8 @@ class UDRNetworkFunction:
         self.builder = DeploymentBuilder(config, self.sim)
         self.deployment: Deployment = self.builder.build()
         self.deployment.replication_mux.bind_metrics(self.metrics)
+        if self.deployment.catalog is not None:
+            self.deployment.catalog.bind_metrics(self.metrics)
         self.location_caches = LocationCacheGroup(
             capacity=config.location_cache_capacity)
         self.pipeline = OperationPipeline(self.sim, config, self.deployment,
@@ -100,6 +102,7 @@ class UDRNetworkFunction:
         self.locators = deployment.locators
         self.points_of_access = deployment.points_of_access
         self.placement_policy = deployment.placement_policy
+        self.catalog = deployment.catalog
         self.subscribers_loaded = 0
         #: Named client attachments (:meth:`attach`), the session API's
         #: per-caller handles.

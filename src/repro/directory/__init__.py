@@ -23,7 +23,13 @@ discusses so they can be compared experimentally:
 
 from repro.directory.errors import LocatorSyncInProgress, UnknownIdentity
 from repro.directory.identity_map import IdentityLocationMap
-from repro.directory.indexes import IdentityType, MultiIndexDirectory
+from repro.directory.indexes import (
+    AttributeIndex,
+    AttributeIndexSet,
+    IdentityType,
+    MultiIndexDirectory,
+)
+from repro.directory.dit import DirectoryCatalog, DITIndex
 from repro.directory.consistent_hash import ConsistentHashRing
 from repro.directory.placement import (
     HomeRegionPlacement,
@@ -42,9 +48,13 @@ from repro.directory.locator import (
 from repro.directory.sync import MapSyncEstimate, MapSynchroniser
 
 __all__ = [
+    "AttributeIndex",
+    "AttributeIndexSet",
     "CachedLocator",
     "ConsistentHashLocator",
     "ConsistentHashRing",
+    "DITIndex",
+    "DirectoryCatalog",
     "HomeRegionPlacement",
     "IdentityLocationMap",
     "IdentityType",

@@ -1,0 +1,439 @@
+"""Interval-indexed directory information tree (the XPath-accelerator trick).
+
+Scoped LDAP Search is a tree problem: ``scope=SUBTREE`` asks for the
+descendants of a base DN, ``scope=ONE_LEVEL`` for its children.  Walking the
+directory per query costs O(entries); annotating every node with a
+*pre/post-order interval* instead makes both scopes one range scan over a
+sorted array, because
+
+    x is a descendant of a  <=>  pre(a) < pre(x) < post(a)
+
+(Grust's XPath accelerator; a descendant axis *is* an LDAP subtree scope).
+The labels are **gapped integers**: a new node takes two labels out of its
+parent's tail gap, so the hot path (provisioning appends under the flat
+``ou=subscribers`` base) never renumbers anything.  Only when a parent's gap
+is exhausted does the tree relabel -- one DFS that re-sizes every gap
+proportionally to the node's fan-out, so relabels stay amortised O(1) per
+insert (each relabel buys room for a constant fraction of the current
+subtree before the next one).  Relabels are counted and surfaced as the
+``directory.dit.relabels`` metric: a hot path accidentally triggering full
+renumbering shows up loudly.
+
+:class:`DirectoryCatalog` combines the DIT with the attribute secondary
+indexes (:class:`~repro.directory.indexes.AttributeIndexSet`) and keeps both
+current from commit records -- the deployment subscribes it to every
+partition copy's WAL, filtered to locally-originated commits, so a CREATE,
+MODIFY or DELETE maintains the index incrementally on the commit hook
+instead of rebuilding anything.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.directory.indexes import AttributeIndexSet
+from repro.ldap.dn import DistinguishedName
+from repro.storage.records import TOMBSTONE
+
+#: Tail gap granted per node at relabel time: room for this many direct
+#: children (plus a constant floor) before the parent must relabel again.
+_RELABEL_SLACK_FLOOR = 16
+
+
+class _Node:
+    """One DIT node: an entry, or an interior container on an entry's path."""
+
+    __slots__ = ("dn", "rdn_key", "parent", "children", "depth",
+                 "pre", "post", "entry_id", "last_child")
+
+    def __init__(self, dn: Optional[DistinguishedName], rdn_key: str,
+                 parent: Optional["_Node"], depth: int):
+        self.dn = dn
+        self.rdn_key = rdn_key
+        self.parent = parent
+        self.children: Dict[str, "_Node"] = {}
+        self.depth = depth
+        self.pre = 0
+        self.post = 0
+        #: The directory entry stored at this DN (None for pure containers).
+        self.entry_id: Optional[str] = None
+        #: The child with the highest pre label (new siblings append after
+        #: its post), maintained on insert/delete.
+        self.last_child: Optional["_Node"] = None
+
+    def __repr__(self) -> str:
+        return (f"<_Node {self.rdn_key!r} pre={self.pre} post={self.post} "
+                f"entry={self.entry_id!r}>")
+
+
+def _rdn_key(attribute: str, value: str) -> str:
+    return f"{attribute}={value}"
+
+
+class DITIndex:
+    """Pre/post-order interval labels over the directory information tree.
+
+    ``insert`` / ``remove`` maintain the labels incrementally (two labels out
+    of the parent's tail gap per insert); ``subtree`` / ``one_level`` /
+    ``base`` resolve a search scope as one binary search plus a contiguous
+    slice of the pre-ordered node array, returning the entry ids in document
+    order together with the comparison count the caller charges as work.
+    """
+
+    def __init__(self):
+        self._root = _Node(None, "", None, depth=0)
+        self._root.pre = 0
+        self._root.post = 1 << 62
+        self._nodes: Dict[str, _Node] = {}
+        #: Pre labels of all non-root nodes, ascending (document order).
+        self._pres: List[int] = []
+        #: Nodes parallel to ``_pres``.
+        self._order: List[_Node] = []
+        #: Full renumbering passes (the ``directory.dit.relabels`` metric).
+        self.relabels = 0
+        self.entries = 0
+        self._bulk = False
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def node_count(self) -> int:
+        return len(self._order)
+
+    def find(self, dn: DistinguishedName) -> Optional[_Node]:
+        return self._nodes.get(str(dn))
+
+    def contains(self, dn: DistinguishedName) -> bool:
+        return str(dn) in self._nodes
+
+    # -- maintenance ------------------------------------------------------------
+
+    def insert(self, dn: DistinguishedName, entry_id: str) -> None:
+        """Store ``entry_id`` at ``dn``, creating container nodes on the way."""
+        node = self._ensure_node(dn)
+        if node.entry_id is None:
+            self.entries += 1
+        node.entry_id = entry_id
+
+    def remove(self, dn: DistinguishedName) -> bool:
+        """Remove the entry at ``dn``; empty container nodes are pruned.
+
+        Deleting only unlinks nodes from the sorted array -- the labels they
+        held become reusable gap for later siblings, no renumbering happens.
+        """
+        node = self._nodes.get(str(dn))
+        if node is None or node.entry_id is None:
+            return False
+        node.entry_id = None
+        self.entries -= 1
+        while node is not None and node.parent is not None and \
+                node.entry_id is None and not node.children:
+            parent = node.parent
+            self._unlink(node)
+            node = parent
+        return True
+
+    def bulk_load(self, items: Iterable[Tuple[DistinguishedName, str]]) -> None:
+        """Load many entries with a single labelling pass (initial builds)."""
+        self._bulk = True
+        try:
+            for dn, entry_id in items:
+                self.insert(dn, entry_id)
+        finally:
+            self._bulk = False
+        self._relabel()
+
+    # -- scope resolution ----------------------------------------------------------
+
+    def subtree(self, base: DistinguishedName) -> Optional[Tuple[List[str], int]]:
+        """Entry ids under ``base`` (base included), plus comparisons spent.
+
+        Returns ``None`` when the base DN is not in the tree at all.
+        """
+        node = self._nodes.get(str(base))
+        if node is None:
+            return None
+        low, high, comparisons = self._interval_slice(node)
+        ids = [] if node.entry_id is None else [node.entry_id]
+        for inner in self._order[low:high]:
+            if inner.entry_id is not None:
+                ids.append(inner.entry_id)
+        return ids, comparisons + (high - low)
+
+    def one_level(self, base: DistinguishedName
+                  ) -> Optional[Tuple[List[str], int]]:
+        """Entry ids exactly one level below ``base`` (base excluded)."""
+        node = self._nodes.get(str(base))
+        if node is None:
+            return None
+        low, high, comparisons = self._interval_slice(node)
+        child_depth = node.depth + 1
+        ids = [inner.entry_id for inner in self._order[low:high]
+               if inner.depth == child_depth and inner.entry_id is not None]
+        return ids, comparisons + (high - low)
+
+    def base(self, base: DistinguishedName) -> Optional[Tuple[List[str], int]]:
+        """The entry at exactly ``base`` (empty when it is a pure container)."""
+        node = self._nodes.get(str(base))
+        if node is None:
+            return None
+        ids = [] if node.entry_id is None else [node.entry_id]
+        return ids, 1
+
+    def _interval_slice(self, node: _Node) -> Tuple[int, int, int]:
+        low = bisect_right(self._pres, node.pre)
+        high = bisect_left(self._pres, node.post)
+        # Two binary searches over the sorted pre array.
+        comparisons = 2 * max(1, len(self._pres).bit_length())
+        return low, high, comparisons
+
+    # -- labelling ----------------------------------------------------------------
+
+    def _ensure_node(self, dn: DistinguishedName) -> _Node:
+        key = str(dn)
+        node = self._nodes.get(key)
+        if node is not None:
+            return node
+        parent_dn = dn.parent()
+        parent = self._root if parent_dn is None else self._ensure_node(parent_dn)
+        node = _Node(dn, _rdn_key(*dn.rdns[0]), parent, depth=parent.depth + 1)
+        self._nodes[key] = node
+        parent.children[node.rdn_key] = node
+        if not self._bulk:
+            self._assign_labels(node, parent)
+        return node
+
+    def _assign_labels(self, node: _Node, parent: _Node) -> None:
+        left = parent.last_child.post if parent.last_child is not None \
+            else parent.pre
+        if parent.post - left < 3:
+            # The node already hangs off its parent, so the renumbering DFS
+            # labels it (and re-sorts everything) -- nothing left to do.
+            self._relabel()
+            return
+        node.pre = left + 1
+        node.post = left + 2
+        parent.last_child = node
+        index = bisect_left(self._pres, node.pre)
+        self._pres.insert(index, node.pre)
+        self._order.insert(index, node)
+
+    def _unlink(self, node: _Node) -> None:
+        parent = node.parent
+        del parent.children[node.rdn_key]
+        del self._nodes[str(node.dn)]
+        index = bisect_left(self._pres, node.pre)
+        del self._pres[index]
+        del self._order[index]
+        if parent.last_child is node:
+            parent.last_child = (
+                max(parent.children.values(), key=lambda child: child.pre)
+                if parent.children else None)
+
+    def _relabel(self) -> None:
+        """Renumber the whole tree, granting every node a fan-out-sized gap.
+
+        O(nodes); amortised away by the gap sizing -- a node with ``k``
+        children leaves room for ``2k + floor`` more before its gap can run
+        out again, so relabel events thin out geometrically as a hot spot
+        grows.
+        """
+        self.relabels += 1
+        counter = [0]
+        pres: List[int] = []
+        order: List[_Node] = []
+
+        def assign(node: _Node) -> None:
+            node.pre = counter[0]
+            counter[0] += 1
+            if node is not self._root:
+                pres.append(node.pre)
+                order.append(node)
+            last = None
+            # Children dicts preserve insertion order, which is document
+            # order (packed inserts always append after the last sibling) --
+            # and it covers nodes a relabel reached before their first
+            # labels were assigned.
+            for child in node.children.values():
+                assign(child)
+                last = child
+            node.last_child = last
+            counter[0] += 2 * len(node.children) + _RELABEL_SLACK_FLOOR
+            node.post = counter[0]
+            counter[0] += 1
+
+        # Iterative DFS via explicit recursion limit safety: directory trees
+        # are shallow (a handful of levels), plain recursion is fine.
+        assign(self._root)
+        self._pres = pres
+        self._order = order
+
+    def __repr__(self) -> str:
+        return (f"<DITIndex entries={self.entries} "
+                f"nodes={len(self._order)} relabels={self.relabels}>")
+
+
+class _CatalogEntry:
+    __slots__ = ("entry_id", "dn", "partition_index", "sort_key", "values")
+
+    def __init__(self, entry_id: str, dn: DistinguishedName,
+                 partition_index: int, sort_key: str,
+                 values: Dict[str, Tuple[str, ...]]):
+        self.entry_id = entry_id
+        self.dn = dn
+        self.partition_index = partition_index
+        self.sort_key = sort_key
+        #: Indexed attribute -> normalised value tuple, the snapshot diffed
+        #: against on MODIFY so stale postings are withdrawn.
+        self.values = values
+
+
+class DirectoryCatalog:
+    """DIT intervals + attribute postings, maintained from commit records.
+
+    ``entry_view(key, value)`` adapts a raw storage record to the directory:
+    it returns ``(dn, ldap_entry_dict)`` for records that are directory
+    entries and ``None`` for everything else (the schema layer provides it,
+    keeping this module free of subscriber specifics).
+    """
+
+    def __init__(self, entry_view: Callable[[str, Any],
+                                            Optional[Tuple[DistinguishedName,
+                                                           Dict[str, Any]]]],
+                 indexed_attributes: Iterable[str]):
+        self.entry_view = entry_view
+        self.dit = DITIndex()
+        self.attributes = AttributeIndexSet(indexed_attributes)
+        self._entries: Dict[str, _CatalogEntry] = {}
+        self._metrics = None
+        self._reported_relabels = 0
+
+    # -- metrics -----------------------------------------------------------------
+
+    def bind_metrics(self, metrics) -> None:
+        """Report relabel events to ``metrics`` (counter
+        ``directory.dit.relabels``); catches up on any already counted."""
+        self._metrics = metrics
+        self._flush_relabels()
+
+    def _flush_relabels(self) -> None:
+        if self._metrics is None:
+            return
+        delta = self.dit.relabels - self._reported_relabels
+        if delta > 0:
+            self._metrics.increment("directory.dit.relabels", delta)
+            self._reported_relabels = self.dit.relabels
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def relabels(self) -> int:
+        return self.dit.relabels
+
+    def entry(self, entry_id: str) -> Optional[_CatalogEntry]:
+        return self._entries.get(entry_id)
+
+    def partition_of(self, entry_id: str) -> Optional[int]:
+        entry = self._entries.get(entry_id)
+        return None if entry is None else entry.partition_index
+
+    def sort_key_of(self, entry_id: str) -> str:
+        entry = self._entries.get(entry_id)
+        return "" if entry is None else entry.sort_key
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def apply_commit(self, partition_index: int, record) -> None:
+        """Fold one WAL commit record into the catalog (the commit hook)."""
+        for operation in record.operations:
+            if operation.value is TOMBSTONE:
+                self.remove(operation.key)
+            else:
+                self.upsert(operation.key, operation.value, partition_index)
+        self._flush_relabels()
+
+    def upsert(self, key: str, value: Any, partition_index: int) -> None:
+        existing = self._entries.get(key)
+        if existing is not None and isinstance(value, dict):
+            # MODIFY fast path: the DN of a stored key never changes, so
+            # the indexed values diff straight off the raw record -- no
+            # LDAP entry is materialised on the write hot path.
+            self._diff_values(existing, key, value, partition_index)
+            return
+        view = self.entry_view(key, value)
+        if view is None:
+            return
+        dn, ldap_entry = view
+        new_values = self.attributes.normalised_values(ldap_entry)
+        self.dit.insert(dn, key)
+        self._entries[key] = _CatalogEntry(
+            key, dn, partition_index, dn.leaf_value, new_values)
+        for attribute, values in new_values.items():
+            self.attributes.add(attribute, key, values)
+
+    def _diff_values(self, existing: _CatalogEntry, key: str,
+                     record: Dict[str, Any], partition_index: int) -> None:
+        new_values = self.attributes.normalised_values(record)
+        existing.partition_index = partition_index
+        old_values = existing.values
+        for attribute, values in old_values.items():
+            if new_values.get(attribute) != values:
+                self.attributes.discard(attribute, key, values)
+        for attribute, values in new_values.items():
+            if old_values.get(attribute) != values:
+                self.attributes.add(attribute, key, values)
+        existing.values = new_values
+
+    def remove(self, key: str) -> None:
+        existing = self._entries.pop(key, None)
+        if existing is None:
+            return
+        self.dit.remove(existing.dn)
+        for attribute, values in existing.values.items():
+            self.attributes.discard(attribute, key, values)
+        self._flush_relabels()
+
+    def bulk_load(self, items: Iterable[Tuple[str, Any, int]]) -> None:
+        """Load ``(key, value, partition_index)`` records in one labelling
+        pass -- the initial-base fast path (incremental inserts afterwards)."""
+        staged: List[Tuple[DistinguishedName, str]] = []
+        for key, value, partition_index in items:
+            view = self.entry_view(key, value)
+            if view is None:
+                continue
+            dn, ldap_entry = view
+            values = self.attributes.normalised_values(ldap_entry)
+            self._entries[key] = _CatalogEntry(
+                key, dn, partition_index, dn.leaf_value, values)
+            for attribute, value_tuple in values.items():
+                self.attributes.add(attribute, key, value_tuple)
+            staged.append((dn, key))
+        self.dit.bulk_load(staged)
+        self._flush_relabels()
+
+    # -- scope resolution ---------------------------------------------------------------
+
+    def scope_candidates(self, base: DistinguishedName, scope
+                         ) -> Optional[Tuple[List[str], int]]:
+        """Entry ids matching an LDAP search scope, plus comparisons spent.
+
+        ``scope`` is a :class:`~repro.ldap.operations.SearchScope`; returns
+        ``None`` when the base DN does not exist in the tree.
+        """
+        # Compared by value to avoid importing the ldap layer here.
+        name = getattr(scope, "name", str(scope))
+        if name == "BASE":
+            return self.dit.base(base)
+        if name == "ONE_LEVEL":
+            return self.dit.one_level(base)
+        return self.dit.subtree(base)
+
+    def __repr__(self) -> str:
+        return (f"<DirectoryCatalog entries={len(self._entries)} "
+                f"relabels={self.dit.relabels}>")

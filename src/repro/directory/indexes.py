@@ -9,7 +9,7 @@ the same storage location.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.directory.errors import UnknownIdentity
 from repro.directory.identity_map import IdentityLocationMap
@@ -126,3 +126,127 @@ class MultiIndexDirectory:
     def __repr__(self) -> str:
         return (f"<MultiIndexDirectory types={len(self._maps)} "
                 f"entries={self.total_entries()}>")
+
+
+def normalise_attribute_values(raw: Any) -> Tuple[str, ...]:
+    """The string forms an attribute value matches under LDAP filters.
+
+    Mirrors :class:`~repro.ldap.filters.EqualityFilter`: collections index
+    each item, scalars index ``str(value)``, absent/None values index
+    nothing.  Postings built from this normalisation therefore agree exactly
+    with brute-force filter evaluation.
+    """
+    if raw is None:
+        return ()
+    if isinstance(raw, (list, tuple, set, frozenset)):
+        return tuple(sorted(str(item) for item in raw))
+    return (str(raw),)
+
+
+class AttributeIndex:
+    """Inverted postings for one attribute: value -> set of entry ids."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute.lower()
+        self._postings: Dict[str, Set[str]] = {}
+        #: Every entry holding the attribute at all (presence filter support).
+        self._present: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def add(self, entry_id: str, values: Tuple[str, ...]) -> None:
+        if not values:
+            return
+        self._present.add(entry_id)
+        for value in values:
+            self._postings.setdefault(value, set()).add(entry_id)
+
+    def discard(self, entry_id: str, values: Tuple[str, ...]) -> None:
+        self._present.discard(entry_id)
+        for value in values:
+            bucket = self._postings.get(value)
+            if bucket is None:
+                continue
+            bucket.discard(entry_id)
+            if not bucket:
+                del self._postings[value]
+
+    def postings(self, value: str) -> Set[str]:
+        return self._postings.get(value, set())
+
+    def present(self) -> Set[str]:
+        return self._present
+
+    def count(self, value: str) -> int:
+        """Posting-list length: the planner's selectivity estimate."""
+        return len(self._postings.get(value, ()))
+
+    def present_count(self) -> int:
+        return len(self._present)
+
+    def __repr__(self) -> str:
+        return (f"<AttributeIndex {self.attribute!r} "
+                f"values={len(self._postings)} entries={len(self._present)}>")
+
+
+class AttributeIndexSet:
+    """The secondary indexes a directory catalog maintains per entry."""
+
+    def __init__(self, attributes: Iterable[str]):
+        self._indexes: Dict[str, AttributeIndex] = {
+            attribute.lower(): AttributeIndex(attribute)
+            for attribute in attributes}
+
+    @property
+    def attributes(self) -> List[str]:
+        return list(self._indexes)
+
+    def covers(self, attribute: str) -> bool:
+        return attribute.lower() in self._indexes
+
+    def index_for(self, attribute: str) -> Optional[AttributeIndex]:
+        return self._indexes.get(attribute.lower())
+
+    def normalised_values(self, entry: Mapping[str, Any]
+                          ) -> Dict[str, Tuple[str, ...]]:
+        """The indexed-attribute snapshot of ``entry`` (case-insensitive)."""
+        lowered = {key.lower(): value for key, value in entry.items()}
+        snapshot: Dict[str, Tuple[str, ...]] = {}
+        for attribute in self._indexes:
+            values = normalise_attribute_values(lowered.get(attribute))
+            if values:
+                snapshot[attribute] = values
+        return snapshot
+
+    def add(self, attribute: str, entry_id: str,
+            values: Tuple[str, ...]) -> None:
+        index = self._indexes.get(attribute.lower())
+        if index is not None:
+            index.add(entry_id, values)
+
+    def discard(self, attribute: str, entry_id: str,
+                values: Tuple[str, ...]) -> None:
+        index = self._indexes.get(attribute.lower())
+        if index is not None:
+            index.discard(entry_id, values)
+
+    def equality_postings(self, attribute: str, value: str) -> Optional[Set[str]]:
+        """Entry ids with ``attribute == value``; None when not indexed."""
+        index = self._indexes.get(attribute.lower())
+        return None if index is None else index.postings(value)
+
+    def presence_postings(self, attribute: str) -> Optional[Set[str]]:
+        index = self._indexes.get(attribute.lower())
+        return None if index is None else index.present()
+
+    def estimate_equality(self, attribute: str, value: str) -> Optional[int]:
+        index = self._indexes.get(attribute.lower())
+        return None if index is None else index.count(value)
+
+    def estimate_presence(self, attribute: str) -> Optional[int]:
+        index = self._indexes.get(attribute.lower())
+        return None if index is None else index.present_count()
+
+    def __repr__(self) -> str:
+        return f"<AttributeIndexSet attributes={sorted(self._indexes)}>"

@@ -16,7 +16,13 @@ paper's analysis depends on:
 """
 
 from repro.ldap.dn import DistinguishedName
-from repro.ldap.filters import FilterError, LdapFilter, parse_filter
+from repro.ldap.filters import (
+    FilterError,
+    FilterPlan,
+    FilterPlanner,
+    LdapFilter,
+    parse_filter,
+)
 from repro.ldap.schema import SubscriberSchema
 from repro.ldap.operations import (
     AddRequest,
@@ -35,6 +41,8 @@ __all__ = [
     "DeleteRequest",
     "DistinguishedName",
     "FilterError",
+    "FilterPlan",
+    "FilterPlanner",
     "LdapFilter",
     "LdapRequest",
     "LdapResponse",

@@ -94,11 +94,23 @@ class DistinguishedName:
     def leaf_value(self) -> str:
         return self.rdns[0][1]
 
+    @property
+    def depth(self) -> int:
+        """Number of RDNs, i.e. the entry's depth in the directory tree."""
+        return len(self.rdns)
+
     def parent(self) -> Optional["DistinguishedName"]:
         """The DN with the leaf RDN removed (None for a single-RDN DN)."""
         if len(self.rdns) == 1:
             return None
         return DistinguishedName(self.rdns[1:])
+
+    def ancestors(self) -> List["DistinguishedName"]:
+        """Every proper ancestor, closest parent first (root last)."""
+        result: List["DistinguishedName"] = []
+        for start in range(1, len(self.rdns)):
+            result.append(DistinguishedName(self.rdns[start:]))
+        return result
 
     def child(self, attribute: str, value: str) -> "DistinguishedName":
         """A DN one level below this one."""

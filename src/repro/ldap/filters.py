@@ -146,6 +146,121 @@ def _get_attribute(entry: Dict[str, Any], attribute: str) -> Optional[Any]:
     return None
 
 
+class PlannedPredicate:
+    """One indexable conjunct with its selectivity estimate."""
+
+    __slots__ = ("attribute", "value", "estimate", "presence")
+
+    def __init__(self, attribute: str, value: Optional[str], estimate: int):
+        self.attribute = attribute
+        self.value = value
+        self.estimate = estimate
+        self.presence = value is None
+
+    def __repr__(self) -> str:
+        assertion = "*" if self.presence else self.value
+        return f"<predicate ({self.attribute}={assertion}) ~{self.estimate}>"
+
+
+class FilterPlan:
+    """The index-access strategy for one parsed filter.
+
+    ``predicates`` holds the indexable conjuncts ordered most-selective
+    first (smallest estimated postings count; ties broken by attribute then
+    value so the order is deterministic).  ``candidates()`` intersects their
+    postings starting from the smallest list, so the working set only ever
+    shrinks.  A plan with no indexable conjunct (``indexed`` False) means the
+    caller must scan; either way the full filter is still re-evaluated on
+    every fetched entry, so the index only ever prunes, never decides.
+    """
+
+    def __init__(self, parsed: LdapFilter,
+                 predicates: List[PlannedPredicate], indexes):
+        self.filter = parsed
+        self.predicates = predicates
+        self._indexes = indexes
+
+    @property
+    def indexed(self) -> bool:
+        return bool(self.predicates)
+
+    def candidates(self) -> Optional[frozenset]:
+        """Entry ids surviving every indexed conjunct; None when unindexed."""
+        if not self.predicates:
+            return None
+        result: Optional[set] = None
+        for predicate in self.predicates:
+            if predicate.presence:
+                postings = self._indexes.presence_postings(predicate.attribute)
+            else:
+                postings = self._indexes.equality_postings(
+                    predicate.attribute, predicate.value)
+            if postings is None:
+                continue
+            if result is None:
+                result = set(postings)
+            else:
+                result &= postings
+            if not result:
+                break
+        return None if result is None else frozenset(result)
+
+    def __repr__(self) -> str:
+        return f"<FilterPlan indexed={self.indexed} {self.predicates}>"
+
+
+class FilterPlanner:
+    """Orders conjunctive predicates by estimated selectivity.
+
+    Only top-level AND conjuncts (and the filter itself when it is a simple
+    equality or presence test) are indexable: anything under OR/NOT or a
+    substring match cannot safely prune candidates, so it is left to the
+    per-entry re-evaluation.
+    """
+
+    def __init__(self, indexes):
+        self._indexes = indexes
+
+    def plan(self, parsed: LdapFilter) -> FilterPlan:
+        predicates = [predicate
+                      for conjunct in self._conjuncts(parsed)
+                      for predicate in [self._plan_conjunct(conjunct)]
+                      if predicate is not None]
+        predicates.sort(key=lambda p: (p.estimate, p.attribute, p.value or ""))
+        return FilterPlan(parsed, predicates, self._indexes)
+
+    @staticmethod
+    def _conjuncts(parsed: LdapFilter) -> List[LdapFilter]:
+        """Flatten top-level (possibly nested) AND into its conjuncts."""
+        if not isinstance(parsed, AndFilter):
+            return [parsed]
+        flat: List[LdapFilter] = []
+        stack = list(parsed.children)
+        while stack:
+            child = stack.pop(0)
+            if isinstance(child, AndFilter):
+                stack = list(child.children) + stack
+            else:
+                flat.append(child)
+        return flat
+
+    def _plan_conjunct(self, conjunct: LdapFilter
+                       ) -> Optional[PlannedPredicate]:
+        if isinstance(conjunct, EqualityFilter):
+            estimate = self._indexes.estimate_equality(
+                conjunct.attribute, conjunct.value)
+            if estimate is None:
+                return None
+            return PlannedPredicate(conjunct.attribute, conjunct.value,
+                                    estimate)
+        if isinstance(conjunct, PresenceFilter):
+            estimate = self._indexes.estimate_presence(conjunct.attribute)
+            if estimate is None:
+                return None
+            return PlannedPredicate(conjunct.attribute, None, estimate)
+        return None
+
+
 def parse_filter(text: str) -> LdapFilter:
     """Parse an RFC 4515 filter string into an :class:`LdapFilter` tree."""
     if not text or not text.strip():

@@ -57,15 +57,34 @@ class LdapRequest:
 
 @dataclass(frozen=True)
 class SearchRequest(LdapRequest):
-    """An index-based read of subscriber data."""
+    """An index-based read of subscriber data.
+
+    ``page_size``/``cursor`` opt into keyset-paged result streaming: the
+    response carries at most ``page_size`` entries plus a ``next_cursor``
+    (``{sort_key}|{entry_id}``) that resumes the scan strictly after the
+    last returned entry.  ``cursor=None`` starts from the beginning.
+    """
 
     scope: SearchScope = SearchScope.BASE
     filter_text: str = "(objectClass=*)"
     attributes: Tuple[str, ...] = ()
+    page_size: Optional[int] = None
+    cursor: Optional[str] = None
 
     @property
     def is_write(self) -> bool:
         return False
+
+    @property
+    def paged(self) -> bool:
+        return self.page_size is not None
+
+    def next_page(self, cursor: str) -> "SearchRequest":
+        """The request fetching the page after ``cursor``."""
+        return SearchRequest(dn=self.dn, scope=self.scope,
+                             filter_text=self.filter_text,
+                             attributes=self.attributes,
+                             page_size=self.page_size, cursor=cursor)
 
 
 @dataclass(frozen=True)
@@ -112,6 +131,11 @@ class LdapResponse:
     #: Retries the batch pipeline's RetryStage spent on the request
     #: (0 = answered on the first attempt; always 0 on the sequential path).
     attempts: int = 0
+    #: Keyset cursor resuming a paged search after the last entry of this
+    #: page (``{sort_key}|{entry_id}``); None once the result set is drained.
+    next_cursor: Optional[str] = None
+    #: True while a paged search may have further matching entries.
+    has_more: bool = False
 
     @property
     def ok(self) -> bool:

@@ -44,6 +44,18 @@ class SubscriberSchema:
     #: Attributes that must be present in every new subscriber entry.
     REQUIRED_ATTRIBUTES = ("imsi", "msisdn", "homeRegion", "subscriberStatus")
 
+    #: Attributes the directory catalog maintains secondary indexes for --
+    #: the identities plus the grouping attributes scoped searches filter
+    #: on.  ``objectClass`` is deliberately absent: it is constant over
+    #: every entry, so its postings would be the whole directory (zero
+    #: selectivity) while taxing every single write with index upkeep.
+    INDEXED_ATTRIBUTES = ("imsi", "msisdn", "impu", "impi", "homeRegion",
+                          "subscriberStatus", "currentRegion",
+                          "organisation")
+
+    #: Storage-key prefix of subscriber records (see SubscriberProfile.key).
+    RECORD_KEY_PREFIX = "sub:"
+
     # -- DN helpers ---------------------------------------------------------------
 
     @classmethod
@@ -56,6 +68,36 @@ class SubscriberSchema:
         return (dn.leaf_attribute == "imsi"
                 and dn.is_descendant_of(cls.BASE_DN)
                 and len(dn) == len(cls.BASE_DN) + 1)
+
+    # -- entry views --------------------------------------------------------------
+
+    @classmethod
+    def ldap_entry(cls, record: Dict[str, Any],
+                   dn: Optional[DistinguishedName] = None) -> Dict[str, Any]:
+        """The directory view of a stored record: attributes plus the
+        schema-level ``objectClass`` and ``dn`` the raw record omits."""
+        if dn is None:
+            dn = cls.subscriber_dn(str(record.get("imsi", "")))
+        entry = dict(record)
+        entry["objectClass"] = cls.OBJECT_CLASS
+        entry["dn"] = str(dn)
+        return entry
+
+    @classmethod
+    def catalog_view(cls, key: str, value: Any
+                     ) -> Optional[Tuple[DistinguishedName, Dict[str, Any]]]:
+        """Adapt a raw storage record for the directory catalog.
+
+        Returns ``(dn, ldap_entry)`` for subscriber records and ``None`` for
+        any other key the storage layer may hold.
+        """
+        if not key.startswith(cls.RECORD_KEY_PREFIX):
+            return None
+        if not isinstance(value, dict):
+            return None
+        imsi = str(value.get("imsi") or key[len(cls.RECORD_KEY_PREFIX):])
+        dn = cls.subscriber_dn(imsi)
+        return dn, cls.ldap_entry(value, dn)
 
     # -- identity extraction ---------------------------------------------------------
 

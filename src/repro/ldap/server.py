@@ -32,6 +32,7 @@ from repro.ldap.operations import (
     ModifyRequest,
     ResultCode,
     SearchRequest,
+    SearchScope,
 )
 from repro.ldap.schema import SubscriberSchema
 
@@ -40,6 +41,7 @@ class PlanKind(enum.Enum):
     """What the UDR has to do for a request."""
 
     READ = "read"
+    SEARCH = "search"
     UPDATE = "update"
     CREATE = "create"
     DELETE = "delete"
@@ -57,6 +59,12 @@ class OperationPlan:
     requested_attributes: Tuple[str, ...] = ()
     error: Optional[ResultCode] = None
     diagnostic: str = ""
+    # -- SEARCH plans only ------------------------------------------------------
+    scope: Optional["SearchScope"] = None
+    base_dn: Optional[DistinguishedName] = None
+    filter_text: str = ""
+    page_size: Optional[int] = None
+    cursor: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -112,18 +120,36 @@ class LdapServer:
         return plan
 
     def _plan_search(self, request: SearchRequest) -> OperationPlan:
-        identity = self.schema.identity_from_dn(request.dn)
-        if identity is None:
-            identity = self._identity_from_filter(request.filter_text)
-        if identity is None:
+        try:
+            parse_filter(request.filter_text)
+        except FilterError as error:
             return OperationPlan(
-                kind=PlanKind.READ, error=ResultCode.UNWILLING_TO_PERFORM,
-                diagnostic="search is not an index-based single-subscriber "
-                           "query (no identity in DN or filter)")
-        identity_type, identity_value = identity
-        return OperationPlan(kind=PlanKind.READ,
-                             identity_type=identity_type,
-                             identity_value=identity_value,
+                kind=PlanKind.SEARCH, error=ResultCode.UNWILLING_TO_PERFORM,
+                diagnostic=f"malformed filter: {error}")
+        if request.page_size is not None and request.page_size < 1:
+            return OperationPlan(
+                kind=PlanKind.SEARCH, error=ResultCode.UNWILLING_TO_PERFORM,
+                diagnostic=f"invalid page size {request.page_size}")
+        # The fast path -- an index-based single-subscriber read -- applies
+        # only to BASE scope: ONE_LEVEL/SUBTREE on a subscriber DN address
+        # the entry's (empty) children or subtree, not the entry itself.
+        if request.scope is SearchScope.BASE:
+            identity = self.schema.identity_from_dn(request.dn)
+            if identity is None:
+                identity = self._identity_from_filter(request.filter_text)
+            if identity is not None:
+                identity_type, identity_value = identity
+                return OperationPlan(
+                    kind=PlanKind.READ,
+                    identity_type=identity_type,
+                    identity_value=identity_value,
+                    requested_attributes=tuple(request.attributes))
+        return OperationPlan(kind=PlanKind.SEARCH,
+                             scope=request.scope,
+                             base_dn=request.dn,
+                             filter_text=request.filter_text,
+                             page_size=request.page_size,
+                             cursor=request.cursor,
                              requested_attributes=tuple(request.attributes))
 
     def _identity_from_filter(self, filter_text: str) -> Optional[Tuple[str, str]]:

@@ -24,6 +24,7 @@ from repro.experiments import (
     e13_backlog,
     e14_latency,
     e15_batch_throughput,
+    e20_search_scaling,
 )
 from repro.experiments.runner import ExperimentResult
 
@@ -144,3 +145,16 @@ class TestSimulationExperiments:
         assert result.notes["speedup_at_largest_batch"] >= 1.3
         assert result.notes["codes_identical_across_batch_sizes"]
         assert result.notes["all_succeeded"]
+
+    def test_e20_search_scaling_directions(self):
+        result = e20_search_scaling.run(sizes=(1_000, 5_000), subscribers=30,
+                                        seed=5)
+        # Deterministic mode: the cost-model prune ratio, not wall clock.
+        assert result.notes["speedup_1e5"] >= 10.0
+        assert result.notes["part_a_sets_equal"]
+        assert result.notes["matches_bruteforce"]
+        assert result.notes["paged_equals_unpaged"]
+        assert result.notes["pages"] > 1
+        assert result.notes["counter_indexed"] > 0
+        assert result.notes["counter_scan"] > 0
+        assert result.notes["counter_relabels"] > 0

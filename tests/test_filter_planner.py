@@ -1,0 +1,146 @@
+"""Unit tests for the selectivity-ordered conjunctive filter planner."""
+
+import random
+
+from repro.directory import DirectoryCatalog
+from repro.ldap.filters import FilterPlanner, parse_filter
+from repro.ldap.schema import SubscriberSchema
+
+REGIONS = ("spain", "brazil", "mexico")
+ORGS = ("acme", "globex", "initech", "umbrella")
+STATUSES = ("active", "suspended")
+
+
+def _random_catalog(rng, count):
+    catalog = DirectoryCatalog(SubscriberSchema.catalog_view,
+                               SubscriberSchema.INDEXED_ATTRIBUTES)
+    entries = {}
+    items = []
+    for index in range(count):
+        imsi = f"2140700{index:08d}"
+        record = {
+            "imsi": imsi,
+            "homeRegion": rng.choice(REGIONS),
+            "organisation": rng.choice(ORGS),
+            "subscriberStatus": rng.choice(STATUSES),
+        }
+        if rng.random() < 0.5:  # presence conjuncts need gaps
+            record["currentRegion"] = rng.choice(REGIONS)
+        key = f"sub:{imsi}"
+        items.append((key, record, index % 3))
+        entries[key] = SubscriberSchema.ldap_entry(
+            record, SubscriberSchema.subscriber_dn(imsi))
+    catalog.bulk_load(items)
+    return catalog, entries
+
+
+class TestPlannerOrdering:
+    def test_predicates_sorted_by_estimated_selectivity(self):
+        rng = random.Random(11)
+        catalog, _ = _random_catalog(rng, 200)
+        planner = FilterPlanner(catalog.attributes)
+        conjuncts = ["(homeRegion=spain)", "(organisation=acme)",
+                     "(subscriberStatus=active)", "(currentRegion=*)"]
+        plan = planner.plan(parse_filter("(&" + "".join(conjuncts) + ")"))
+        estimates = [predicate.estimate for predicate in plan.predicates]
+        assert estimates == sorted(estimates)
+        assert plan.indexed
+
+    def test_ordering_stable_under_seeded_shuffles(self):
+        rng = random.Random(23)
+        catalog, _ = _random_catalog(rng, 300)
+        planner = FilterPlanner(catalog.attributes)
+        conjuncts = ["(homeRegion=brazil)", "(organisation=globex)",
+                     "(subscriberStatus=suspended)", "(currentRegion=*)",
+                     "(objectClass=udrSubscriber)"]
+        baseline = None
+        for shuffle_seed in range(12):
+            shuffled = list(conjuncts)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            plan = planner.plan(parse_filter("(&" + "".join(shuffled) + ")"))
+            ordering = [(predicate.attribute, predicate.value)
+                        for predicate in plan.predicates]
+            if baseline is None:
+                baseline = ordering
+            # The plan must not depend on how the client spelled the AND.
+            assert ordering == baseline
+
+    def test_nested_and_flattened(self):
+        rng = random.Random(5)
+        catalog, _ = _random_catalog(rng, 100)
+        planner = FilterPlanner(catalog.attributes)
+        flat = planner.plan(parse_filter(
+            "(&(homeRegion=spain)(organisation=acme)"
+            "(subscriberStatus=active))"))
+        nested = planner.plan(parse_filter(
+            "(&(homeRegion=spain)(&(organisation=acme)"
+            "(subscriberStatus=active)))"))
+        assert [(p.attribute, p.value) for p in nested.predicates] == \
+            [(p.attribute, p.value) for p in flat.predicates]
+
+    def test_unindexed_filter_has_no_candidates(self):
+        rng = random.Random(3)
+        catalog, _ = _random_catalog(rng, 50)
+        planner = FilterPlanner(catalog.attributes)
+        plan = planner.plan(parse_filter("(servingMsc=msc-1)"))
+        assert not plan.indexed
+        assert plan.candidates() is None
+        # Disjunctions cannot be answered from postings intersections.
+        plan = planner.plan(parse_filter(
+            "(|(homeRegion=spain)(homeRegion=brazil))"))
+        assert plan.candidates() is None
+
+
+class TestPlannerEquivalence:
+    def test_indexed_candidates_superset_of_matches(self):
+        """Pruning may overshoot, never undershoot: every brute-force match
+        must survive the postings intersection."""
+        rng = random.Random(91)
+        catalog, entries = _random_catalog(rng, 400)
+        planner = FilterPlanner(catalog.attributes)
+        filters = [
+            "(&(homeRegion=spain)(organisation=acme))",
+            "(&(subscriberStatus=active)(currentRegion=*))",
+            "(&(objectClass=udrSubscriber)(organisation=umbrella)"
+            "(homeRegion=mexico))",
+            "(&(homeRegion=brazil)(servingMsc=*))",  # partially indexed
+        ]
+        for filter_text in filters:
+            parsed = parse_filter(filter_text)
+            brute = {key for key, entry in entries.items()
+                     if parsed.matches(entry)}
+            candidates = planner.plan(parsed).candidates()
+            assert candidates is not None
+            assert brute <= candidates
+            # And filtering the candidates gives exactly the brute set.
+            assert {key for key in candidates
+                    if parsed.matches(entries[key])} == brute
+
+    def test_equivalence_on_randomized_directories(self):
+        for seed in (1, 17, 29):
+            rng = random.Random(seed)
+            catalog, entries = _random_catalog(rng, 150 + seed)
+            planner = FilterPlanner(catalog.attributes)
+            for _ in range(10):
+                region = rng.choice(REGIONS)
+                org = rng.choice(ORGS)
+                parsed = parse_filter(
+                    f"(&(homeRegion={region})(organisation={org}))")
+                brute = sorted(key for key, entry in entries.items()
+                               if parsed.matches(entry))
+                candidates = planner.plan(parsed).candidates()
+                indexed = sorted(key for key in candidates
+                                 if parsed.matches(entries[key]))
+                assert indexed == brute
+
+    def test_empty_intersection_short_circuits(self):
+        catalog = DirectoryCatalog(SubscriberSchema.catalog_view,
+                                   SubscriberSchema.INDEXED_ATTRIBUTES)
+        catalog.bulk_load([
+            ("sub:1", {"imsi": "1", "homeRegion": "spain"}, 0),
+            ("sub:2", {"imsi": "2", "homeRegion": "brazil"}, 0),
+        ])
+        planner = FilterPlanner(catalog.attributes)
+        plan = planner.plan(parse_filter(
+            "(&(homeRegion=spain)(homeRegion=brazil))"))
+        assert plan.candidates() == frozenset()

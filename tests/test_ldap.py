@@ -13,6 +13,7 @@ from repro.ldap import (
     ModifyRequest,
     ResultCode,
     SearchRequest,
+    SearchScope,
     SubscriberSchema,
     parse_filter,
 )
@@ -54,6 +55,24 @@ class TestDistinguishedName:
         a = DistinguishedName.parse("imsi=1,ou=subscribers")
         b = DistinguishedName.parse("imsi=1,ou=subscribers")
         assert len({a, b}) == 1
+
+    def test_every_escapable_char_roundtrips(self):
+        from repro.ldap.dn import _ESCAPABLE
+        for char in sorted(_ESCAPABLE):
+            value = f"a{char}b"
+            dn = DistinguishedName.parse("ou=subscribers").child("cn", value)
+            parsed = DistinguishedName.parse(str(dn))
+            assert parsed == dn, f"round-trip broke on {char!r}"
+            assert parsed.leaf_value == value
+
+    def test_depth_and_ancestors(self):
+        dn = DistinguishedName.parse("imsi=1,ou=subscribers,dc=udr,dc=ex")
+        assert dn.depth == 4
+        ancestors = dn.ancestors()
+        assert [str(a) for a in ancestors] == [
+            "ou=subscribers,dc=udr,dc=ex", "dc=udr,dc=ex", "dc=ex"]
+        assert ancestors[0] == dn.parent()
+        assert DistinguishedName.parse("dc=ex").ancestors() == []
 
 
 class TestFilters:
@@ -158,13 +177,48 @@ class TestLdapServerPlanning:
         assert plan.identity_type == IdentityType.MSISDN
         assert plan.identity_value == "+34600000001"
 
-    def test_unindexed_search_rejected(self):
+    def test_unindexed_search_plans_scoped_search(self):
+        # An identity-less filter used to be rejected outright; it now plans
+        # a scoped SEARCH served by the DIT index / scan path.
         request = SearchRequest(dn=SubscriberSchema.BASE_DN,
                                 filter_text="(homeRegion=spain)")
         plan = self.server.plan(request)
+        assert plan.ok
+        assert plan.kind is PlanKind.SEARCH
+        assert plan.base_dn == SubscriberSchema.BASE_DN
+        assert plan.scope is SearchScope.BASE
+        assert plan.filter_text == "(homeRegion=spain)"
+        assert self.server.translation_errors == 0
+
+    def test_search_plan_respects_scope(self):
+        # Regression: ``_plan_search`` used to ignore ``request.scope`` and
+        # collapse every search on a subscriber DN to a single-entry READ.
+        dn = SubscriberSchema.subscriber_dn("214070000000001")
+        base = self.server.plan(SearchRequest(dn=dn,
+                                              scope=SearchScope.BASE))
+        assert base.ok and base.kind is PlanKind.READ
+        one = self.server.plan(SearchRequest(dn=dn,
+                                             scope=SearchScope.ONE_LEVEL))
+        assert one.ok and one.kind is PlanKind.SEARCH
+        assert one.scope is SearchScope.ONE_LEVEL
+        sub = self.server.plan(SearchRequest(dn=dn,
+                                             scope=SearchScope.SUBTREE))
+        assert sub.ok and sub.kind is PlanKind.SEARCH
+        assert sub.scope is SearchScope.SUBTREE
+        assert sub.base_dn == dn
+
+    def test_search_plan_rejects_malformed_filter(self):
+        plan = self.server.plan(SearchRequest(
+            dn=SubscriberSchema.BASE_DN, filter_text="(broken"))
         assert not plan.ok
         assert plan.error is ResultCode.UNWILLING_TO_PERFORM
-        assert self.server.translation_errors == 1
+
+    def test_search_plan_rejects_bad_page_size(self):
+        plan = self.server.plan(SearchRequest(
+            dn=SubscriberSchema.BASE_DN, scope=SearchScope.SUBTREE,
+            filter_text="(homeRegion=spain)", page_size=0))
+        assert not plan.ok
+        assert plan.error is ResultCode.UNWILLING_TO_PERFORM
 
     def test_modify_plans_update(self):
         plan = self.server.plan(ModifyRequest(dn=self.dn,

@@ -184,6 +184,33 @@ class TestLdapProperties:
         dn = DistinguishedName(rdns)
         assert DistinguishedName.parse(str(dn)) == dn
 
+    # Every escapable character (comma, plus, equals, backslash, semicolon,
+    # angle brackets, hash) mixed into otherwise plain values; ``parse``
+    # strips surrounding whitespace, so the alphabet stays whitespace-free.
+    escapable_values = st.text(
+        alphabet=string.ascii_letters + string.digits + ",+=\\;<>#",
+        min_size=1, max_size=12)
+
+    @given(st.lists(st.tuples(st.sampled_from(["cn", "ou", "imsi"]),
+                              escapable_values), min_size=1, max_size=4))
+    def test_dn_roundtrip_with_escapable_characters(self, rdns):
+        dn = DistinguishedName(rdns)
+        parsed = DistinguishedName.parse(str(dn))
+        assert parsed == dn
+        assert parsed.leaf_value == rdns[0][1]
+
+    @given(st.lists(st.tuples(st.sampled_from(["cn", "ou", "dc"]),
+                              dn_values), min_size=2, max_size=5))
+    def test_dn_depth_and_ancestors_consistent(self, rdns):
+        dn = DistinguishedName(rdns)
+        ancestors = dn.ancestors()
+        assert dn.depth == len(rdns)
+        assert len(ancestors) == dn.depth - 1
+        assert ancestors[0] == dn.parent()
+        for ancestor in ancestors:
+            assert dn.is_descendant_of(ancestor)
+            assert ancestor.depth < dn.depth
+
     @given(st.dictionaries(st.sampled_from(["imsi", "msisdn", "status"]),
                            st.text(alphabet=string.ascii_lowercase + string.digits,
                                    min_size=1, max_size=10),

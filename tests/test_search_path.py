@@ -1,0 +1,226 @@
+"""End-to-end tests for scoped search: DIT-indexed path, scan fallback,
+keyset paging, and WAL-hook catalog maintenance."""
+
+import pytest
+
+from repro.api.operations import Provision, Search, Write
+from repro.core import ClientType, UDRConfig
+from repro.core.config import DispatchMode
+from repro.ldap.operations import ResultCode, SearchScope
+from repro.ldap.schema import SubscriberSchema
+
+from tests.conftest import build_udr, run_to_completion
+
+
+def _session(udr, name="search-tester"):
+    # PROVISIONING clients read from masters, so results are never behind
+    # an in-flight replication shipment.
+    client = udr.attach(name, udr.topology.sites[0],
+                        client_type=ClientType.PROVISIONING)
+    return client.session()
+
+
+def _run(udr, session, operation):
+    def driver():
+        future = session.submit(operation)
+        response = yield from future.wait()
+        return response
+    return run_to_completion(udr, driver())
+
+
+def _run_pages(udr, session, operation):
+    def driver():
+        pages = yield from session.search_pages(operation)
+        return pages
+    return run_to_completion(udr, driver())
+
+
+def _reference(profiles, filter_text):
+    from repro.ldap.filters import parse_filter
+    parsed = parse_filter(filter_text)
+    matches = []
+    for profile in profiles:
+        entry = SubscriberSchema.ldap_entry(
+            profile.to_record(),
+            SubscriberSchema.subscriber_dn(profile.identities.imsi))
+        if parsed.matches(entry):
+            matches.append(entry["imsi"])
+    return sorted(matches)
+
+
+def _imsis(response):
+    return sorted(entry["imsi"] for entry in response.entries)
+
+
+class TestScopedSearchEquivalence:
+    def test_subtree_matches_bruteforce(self, fresh_udr):
+        udr, profiles = fresh_udr
+        session = _session(udr)
+        region = profiles[0].home_region
+        filter_text = f"(homeRegion={region})"
+        response = _run(udr, session, Search.scoped(filter_text))
+        assert response.ok
+        assert response.served_from == "dit-index"
+        assert _imsis(response) == _reference(profiles, filter_text)
+        assert udr.metrics.counter("ldap.search.indexed") == 1
+        assert udr.metrics.counter("ldap.search.scan") == 0
+
+    def test_one_level_equals_subtree_on_flat_base(self, fresh_udr):
+        # Subscriber entries hang directly under the base, so both scopes
+        # must return the same set there.
+        udr, profiles = fresh_udr
+        session = _session(udr)
+        sub = _run(udr, session, Search.scoped(
+            "(objectClass=udrSubscriber)", scope=SearchScope.SUBTREE))
+        one = _run(udr, session, Search.scoped(
+            "(objectClass=udrSubscriber)", scope=SearchScope.ONE_LEVEL))
+        assert sub.ok and one.ok
+        assert _imsis(sub) == _imsis(one)
+        assert len(sub.entries) == len(profiles)
+
+    def test_base_scope_on_entry_dn(self, fresh_udr):
+        udr, profiles = fresh_udr
+        session = _session(udr)
+        imsi = profiles[0].identities.imsi
+        response = _run(udr, session, Search.scoped(
+            "(objectClass=*)", scope=SearchScope.BASE,
+            base=SubscriberSchema.subscriber_dn(imsi)))
+        assert response.ok
+        assert _imsis(response) == [imsi]
+
+    def test_missing_base_is_no_such_object(self, fresh_udr):
+        udr, _ = fresh_udr
+        session = _session(udr)
+        response = _run(udr, session, Search.scoped(
+            "(objectClass=*)",
+            base=SubscriberSchema.BASE_DN.child("ou", "nowhere")))
+        assert not response.ok
+        assert response.result_code is ResultCode.NO_SUCH_OBJECT
+
+    def test_attribute_projection(self, fresh_udr):
+        udr, profiles = fresh_udr
+        session = _session(udr)
+        response = _run(udr, session, Search.scoped(
+            f"(imsi={profiles[0].identities.imsi})",
+            attributes=("imsi", "homeRegion")))
+        assert response.ok and response.entries
+        for entry in response.entries:
+            assert set(entry) <= {"imsi", "homeRegion", "dn"}
+
+
+class TestScanFallback:
+    def test_scan_returns_identical_set(self):
+        indexed_udr, profiles = build_udr(config=UDRConfig(seed=7))
+        scan_udr, _ = build_udr(config=UDRConfig(
+            seed=7, search_index_enabled=False))
+        region = profiles[0].home_region
+        filter_text = f"(homeRegion={region})"
+        indexed = _run(indexed_udr, _session(indexed_udr),
+                       Search.scoped(filter_text))
+        scanned = _run(scan_udr, _session(scan_udr),
+                       Search.scoped(filter_text))
+        assert indexed.ok and scanned.ok
+        assert scanned.served_from == "full-scan"
+        assert _imsis(indexed) == _imsis(scanned)
+        assert _imsis(scanned) == _reference(profiles, filter_text)
+        assert scan_udr.metrics.counter("ldap.search.scan") == 1
+        assert scan_udr.metrics.counter("ldap.search.indexed") == 0
+
+
+class TestKeysetPaging:
+    def test_paged_union_equals_unpaged(self, fresh_udr):
+        udr, profiles = fresh_udr
+        session = _session(udr)
+        filter_text = "(objectClass=udrSubscriber)"
+        unpaged = _run(udr, session, Search.scoped(filter_text))
+        pages = _run_pages(udr, session,
+                           Search.scoped(filter_text, page_size=7))
+        assert all(page.ok for page in pages)
+        assert len(pages) > 1
+        for page in pages[:-1]:
+            assert len(page.entries) == 7
+            assert page.has_more and page.next_cursor
+        union = sorted(entry["imsi"] for page in pages
+                       for entry in page.entries)
+        assert union == _imsis(unpaged)
+        assert udr.metrics.counter("ldap.search.pages") == len(pages)
+
+    def test_pages_are_disjoint_and_ordered(self, fresh_udr):
+        udr, _ = fresh_udr
+        session = _session(udr)
+        pages = _run_pages(udr, session, Search.scoped(
+            "(objectClass=udrSubscriber)", page_size=10))
+        seen = []
+        for page in pages:
+            seen.extend(entry["imsi"] for entry in page.entries)
+        assert seen == sorted(seen)  # keyset order is total
+        assert len(seen) == len(set(seen))  # no entry served twice
+
+    def test_malformed_cursor_rejected(self, fresh_udr):
+        udr, _ = fresh_udr
+        session = _session(udr)
+        response = _run(udr, session, Search.scoped(
+            "(objectClass=udrSubscriber)", page_size=5,
+            cursor="not-a-cursor"))
+        assert not response.ok
+        assert response.result_code is ResultCode.UNWILLING_TO_PERFORM
+
+    def test_page_size_validated_at_operation_layer(self):
+        with pytest.raises(ValueError):
+            Search.scoped("(objectClass=*)", page_size=0)
+
+
+class TestCatalogMaintenance:
+    def test_provision_terminate_and_write_move_postings(self, fresh_udr):
+        udr, profiles = fresh_udr
+        session = _session(udr, "maint-ps")
+        from repro.subscriber import SubscriberGenerator
+        newcomer = SubscriberGenerator(udr.config.regions,
+                                       seed=4321).generate_one()
+        imsi = newcomer.identities.imsi
+        filter_text = f"(imsi={imsi})"
+
+        before = _run(udr, session, Search.scoped(filter_text))
+        assert before.ok and before.entries == []
+
+        created = _run(udr, session, Provision.create(newcomer.to_record()))
+        assert created.ok
+        found = _run(udr, session, Search.scoped(filter_text))
+        assert _imsis(found) == [imsi]
+
+        # A write that changes an indexed attribute must move the entry
+        # between postings sets, visibly to searches.
+        moved = _run(udr, session,
+                     Write(imsi, {"organisation": "org-moved"}))
+        assert moved.ok
+        by_org = _run(udr, session, Search.scoped(
+                      f"(&(imsi={imsi})(organisation=org-moved))"))
+        assert _imsis(by_org) == [imsi]
+
+        gone = _run(udr, session, Provision.terminate(imsi))
+        assert gone.ok
+        after = _run(udr, session, Search.scoped(filter_text))
+        assert after.ok and after.entries == []
+
+    def test_relabel_counter_surfaces(self, fresh_udr):
+        udr, _ = fresh_udr
+        # Loading the 60-subscriber base triggers at least one relabel of
+        # the flat subscriber container.
+        assert udr.metrics.counter("directory.dit.relabels") > 0
+        assert udr.catalog is not None
+        assert udr.metrics.counter("directory.dit.relabels") == \
+            udr.catalog.relabels
+
+
+class TestDispatcherMode:
+    def test_paged_search_through_dispatcher(self):
+        udr, profiles = build_udr(config=UDRConfig(
+            seed=7, dispatch_mode=DispatchMode.DISPATCHER))
+        session = _session(udr)
+        pages = _run_pages(udr, session, Search.scoped(
+            "(objectClass=udrSubscriber)", page_size=25))
+        assert all(page.ok for page in pages)
+        union = sorted(entry["imsi"] for page in pages
+                       for entry in page.entries)
+        assert len(union) == len(profiles)
+        assert udr.metrics.counter("dispatcher.search_pages") == len(pages)
