@@ -1,0 +1,27 @@
+"""Bench E19: overload armor -- quotas + deadlines + shed vs a flood."""
+
+from repro.experiments import e19_overload_flood
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e19_overload_flood(benchmark):
+    result = run_experiment(benchmark, e19_overload_flood.run)
+    # The acceptance bar of the overload-armor PR: at a 2x-capacity flood
+    # the armored arm's goodput is >= 1.5x the raw (PR 6) arm's...
+    assert result.notes["goodput_gain_1_5x"]
+    assert result.notes["goodput_gain_at_2x"] >= 1.5
+    # ...signalling p99 stays within 1.5x of the uncontended run...
+    assert result.notes["sig_p99_within_1_5x_uncontended"]
+    # ...no expired ticket is answered later than deadline + one sim tick
+    # (the dispatcher's early-wake contract)...
+    assert result.notes["expiry_within_one_tick"]
+    assert result.notes["late_expiries"] == 0
+    # ...and with quota and shed off, sessions are bit-identical to the
+    # raw dispatcher path at every load point (armor is pay-to-arm).
+    assert result.notes["no_qos_bit_identical_to_raw"]
+    # Sustained overload trips shed mode; the quota absorbs most of the
+    # 4x flood at the front door.
+    assert result.notes["shed_tripped_at_4x"]
+    assert result.notes["rejected_fraction_at_4x"] > 0.5
+    benchmark.extra_info.update(result.notes)

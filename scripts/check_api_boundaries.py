@@ -9,9 +9,15 @@ The session API (``repro.api``) is the single front door: experiments and
 examples issue typed operations (``Read``/``Search``/``Write``/
 ``Provision``), and the LDAP encoding lives only in the API layer and the
 deprecation shims.  This check greps ``src/repro/experiments/`` and
-``examples/`` for direct ``*Request(...)`` construction and exits non-zero
-on any hit, so the boundary cannot erode silently.  CI runs it next to the
-tier-1 suite.
+``examples/`` for two kinds of erosion and exits non-zero on any hit, so
+the boundary cannot decay silently.  CI runs it next to the tier-1 suite.
+
+* direct ``*Request(...)`` construction (hand-built LDAP encoding);
+* calls into the deprecated ``udr.execute``/``udr.submit``/``udr.call``/
+  ``udr.execute_batch`` shims -- experiment code rides sessions
+  (``ClientPool``) or reaches the core layers (``udr.pipeline``,
+  ``udr.dispatcher``) explicitly, and ``api.legacy_calls`` stays zero
+  (``tests/test_experiment_api_hygiene.py`` asserts it at runtime).
 """
 
 from __future__ import annotations
@@ -28,6 +34,10 @@ CHECKED_DIRS = ("src/repro/experiments", "examples")
 FORBIDDEN = re.compile(
     r"\b(SearchRequest|ModifyRequest|AddRequest|DeleteRequest|LdapRequest)"
     r"\s*\(")
+#: The deprecated pre-session entry points.  Call-shaped (open paren), so
+#: docstrings and comments explaining the migration do not match.
+LEGACY_SHIMS = re.compile(
+    r"\budr\.(execute|submit|call|execute_batch)\s*\(")
 
 
 def violations():
@@ -36,22 +46,26 @@ def violations():
             for number, line in enumerate(
                     path.read_text().splitlines(), start=1):
                 if FORBIDDEN.search(line):
-                    yield path.relative_to(ROOT), number, line.strip()
+                    yield (path.relative_to(ROOT), number, line.strip(),
+                           "raw LDAP request construction")
+                if LEGACY_SHIMS.search(line):
+                    yield (path.relative_to(ROOT), number, line.strip(),
+                           "deprecated legacy entry point")
 
 
 def main() -> int:
     found = list(violations())
-    for path, number, line in found:
-        print(f"{path}:{number}: raw LDAP request construction: {line}",
-              file=sys.stderr)
+    for path, number, line, kind in found:
+        print(f"{path}:{number}: {kind}: {line}", file=sys.stderr)
     if found:
         print(f"\n{len(found)} violation(s): experiments and examples must "
               f"issue typed repro.api operations (Read/Search/Write/"
-              f"Provision) through sessions instead of hand-building LDAP "
-              f"requests.", file=sys.stderr)
+              f"Provision) through sessions -- not hand-built LDAP requests "
+              f"or the deprecated udr.execute/submit/call/execute_batch "
+              f"shims.", file=sys.stderr)
         return 1
-    print("api boundary clean: no raw LDAP request construction in "
-          f"{', '.join(CHECKED_DIRS)}")
+    print("api boundary clean: no raw LDAP requests or legacy entry points "
+          f"in {', '.join(CHECKED_DIRS)}")
     return 0
 
 

@@ -11,13 +11,18 @@ operation), layered over the config defaults:
 * ``retry_policy`` -- overrides ``UDRConfig.retry_policy`` for the
   session's operations (``None`` inherits it on the batched paths; the
   sequential path stays fail-fast, exactly like the legacy ``execute``);
-* ``deadline_ticks`` -- **new**: a per-operation completion budget, in
-  ticks of :data:`DEADLINE_TICK` from submit time.  An operation still
-  queued or retrying when its deadline passes short-circuits with
+* ``deadline_ticks`` -- a per-operation completion budget, in ticks of
+  :data:`DEADLINE_TICK` from submit time.  An operation still queued or
+  retrying when its deadline passes short-circuits with
   ``TIME_LIMIT_EXCEEDED`` instead of consuming pipeline hops -- the
-  dispatcher answers expired tickets at wave formation without spending a
-  wave slot on them, and the retry stage refuses to start (or re-drive)
-  expired work.
+  dispatcher answers expired tickets the moment the deadline passes (an
+  early-wake timeout, never a wave slot), and the retry stage refuses to
+  start (or re-drive) expired work;
+* ``rate_limit`` -- a token-bucket admission quota
+  (:class:`~repro.core.config.RateLimit`).  The bucket lives on the
+  :class:`~repro.api.session.UDRClient`, so the quota bounds the *client*,
+  not each individual session: over-quota operations are answered ``BUSY``
+  at ``session.submit`` without touching the dispatcher or pipeline.
 
 Profiles merge: a session profile is the base, a per-operation profile
 overrides field by field (:meth:`QoSProfile.layered`).
@@ -29,7 +34,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim import units
-from repro.core.config import Priority, RetryPolicy
+from repro.core.config import Priority, RateLimit, RetryPolicy
 
 #: Virtual duration of one ``deadline_ticks`` tick (same grid as the
 #: dispatcher's linger ticks, so budgets compose readably with linger).
@@ -43,6 +48,7 @@ class QoSProfile:
     priority: Optional[Priority] = None
     retry_policy: Optional[RetryPolicy] = None
     deadline_ticks: Optional[int] = None
+    rate_limit: Optional[RateLimit] = None
 
     def __post_init__(self):
         if self.deadline_ticks is not None and self.deadline_ticks < 0:
@@ -52,7 +58,7 @@ class QoSProfile:
     def is_default(self) -> bool:
         """Whether this profile changes nothing (pure inheritance)."""
         return (self.priority is None and self.retry_policy is None
-                and self.deadline_ticks is None)
+                and self.deadline_ticks is None and self.rate_limit is None)
 
     def layered(self, override: Optional["QoSProfile"]) -> "QoSProfile":
         """This profile with ``override``'s non-``None`` fields applied."""
@@ -64,7 +70,9 @@ class QoSProfile:
             retry_policy=override.retry_policy
             if override.retry_policy is not None else self.retry_policy,
             deadline_ticks=override.deadline_ticks
-            if override.deadline_ticks is not None else self.deadline_ticks)
+            if override.deadline_ticks is not None else self.deadline_ticks,
+            rate_limit=override.rate_limit
+            if override.rate_limit is not None else self.rate_limit)
 
     def deadline_at(self, now: float) -> Optional[float]:
         """The absolute virtual-time deadline of work submitted at ``now``."""

@@ -29,18 +29,22 @@ session carries no QoS overrides.
 
 The session's :class:`~repro.api.qos.QoSProfile` stamps every operation
 with its priority class, retry policy and absolute deadline; per-operation
-profiles layer on top.  Completions are recorded per client under the
-``api.client.<name>.*`` metric names, so experiments can split latency and
-outcome distributions by who issued the traffic.
+profiles layer on top.  A profile carrying a
+:class:`~repro.core.config.RateLimit` arms token-bucket admission on the
+client: over-quota operations are answered ``BUSY`` at submit, before any
+queue or pipeline work (``api.admission.rejected`` / ``.throttled``).
+Completions are recorded per client under the ``api.client.<name>.*``
+metric names, so experiments can split latency and outcome distributions
+by who issued the traffic.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.config import ClientType, DispatchMode
+from repro.core.config import ClientType, DispatchMode, RateLimit
 from repro.core.pipeline import BatchItem
-from repro.ldap.operations import LdapResponse
+from repro.ldap.operations import LdapResponse, ResultCode
 from repro.api.operations import as_request
 from repro.api.qos import QoSProfile
 
@@ -197,10 +201,19 @@ class Session:
         stream (wave formation, priority overtaking, deadline expiry at
         the queue); under ``DIRECT`` it runs the pipeline in its own
         process, concurrent with the caller.
+
+        With a :class:`~repro.core.config.RateLimit` in the effective QoS
+        profile, admission is checked *here*: an over-quota operation is
+        answered ``BUSY`` immediately (an already-settled future) and never
+        reaches the dispatcher queue or the pipeline.
         """
         effective = self.qos.layered(qos)
         future = self._make_future(operation, effective)
         client = self.client
+        if effective.rate_limit is not None and \
+                not client._admit(effective.rate_limit):
+            self._reject_over_quota(future)
+            return future
         if client.config.dispatch_mode is DispatchMode.DISPATCHER:
             future._ticket = client.udr.dispatcher.submit(
                 future.request, client.client_type, client.site,
@@ -220,8 +233,12 @@ class Session:
             response = yield from future.wait()
             return response
         effective = self.qos.layered(qos)
-        response = yield from self._drive_single(
-            self._make_future(operation, effective), effective)
+        future = self._make_future(operation, effective)
+        if effective.rate_limit is not None and \
+                not self.client._admit(effective.rate_limit):
+            self._reject_over_quota(future)
+            return future.result()
+        response = yield from self._drive_single(future, effective)
         return response
 
     def submit_many(self, operations: Sequence,
@@ -238,10 +255,20 @@ class Session:
                    for operation in operations]
         if not futures:
             return futures
+        admitted = futures
+        if effective.rate_limit is not None:
+            admitted = []
+            for future in futures:
+                if self.client._admit(effective.rate_limit):
+                    admitted.append(future)
+                else:
+                    self._reject_over_quota(future)
+        if not admitted:
+            return futures
         process = self.client.sim.process(
-            self._drive_batch(futures, effective),
+            self._drive_batch(admitted, effective),
             name=f"api-batch:{self.client.name}")
-        for future in futures:
+        for future in admitted:
             future._process = process
         return futures
 
@@ -304,6 +331,20 @@ class Session:
         client.metrics.increment(client._requests_counter)
         return future
 
+    def _reject_over_quota(self, future: ResponseFuture) -> None:
+        """Settle ``future`` with the immediate ``BUSY`` admission answer."""
+        self._reject_over_quota_count()
+        future._settle(LdapResponse(
+            result_code=ResultCode.BUSY,
+            request=future.request,
+            diagnostic_message="admission quota exceeded",
+            latency=0.0))
+
+    def _reject_over_quota_count(self) -> None:
+        metrics = self.client.metrics
+        metrics.increment("api.admission.rejected")
+        metrics.increment(self.client._rejected_counter)
+
     def _drive_single(self, future: ResponseFuture, effective: QoSProfile):
         client = self.client
         response = yield from client.udr.pipeline.execute(
@@ -340,7 +381,12 @@ class Session:
         latency = future.latency
         client._latency_recorder.record(
             latency if latency is not None else response.latency)
-        if not response.ok:
+        # Tickets the dispatcher expired in its queue were already counted
+        # under this client's scope at expiry time (the dispatcher knows
+        # the source tag); counting again at settle would double them.
+        ticket = future._ticket
+        if not response.ok and \
+                not (ticket is not None and ticket.expired_in_queue):
             client.metrics.increment(client._failed_counter)
 
     def __repr__(self) -> str:
@@ -370,8 +416,44 @@ class UDRClient:
         # counter and one latency sample per operation.
         self._requests_counter = f"api.client.{name}.requests"
         self._failed_counter = f"api.client.{name}.failed"
+        self._rejected_counter = f"api.client.{name}.rejected"
         self._latency_recorder = udr.metrics.latency(
             f"api.client.{name}.latency")
+        # Token-bucket admission state (QoSProfile.rate_limit).  One bucket
+        # per *client*, shared by all its sessions: the quota bounds the
+        # caller's aggregate rate, which is the whole point of admission
+        # control.  Initialised full on first use.
+        self._bucket_tokens: Optional[float] = None
+        self._bucket_refilled_at = 0.0
+        self._throttled = False
+
+    def _admit(self, limit: RateLimit) -> bool:
+        """Spend one admission token; False answers the operation ``BUSY``.
+
+        The bucket refills continuously at ``limit.rate_per_second``
+        (virtual time) up to ``limit.burst`` tokens.  Entering the
+        over-quota state (the first rejection after an admitted operation)
+        counts one ``api.admission.throttled`` episode; every rejected
+        operation counts in ``api.admission.rejected`` and the client's
+        ``api.client.<name>.rejected`` scope (recorded by the caller).
+        """
+        now = self.sim.now
+        if self._bucket_tokens is None:
+            self._bucket_tokens = float(limit.burst)
+        else:
+            self._bucket_tokens = min(
+                float(limit.burst),
+                self._bucket_tokens
+                + (now - self._bucket_refilled_at) * limit.rate_per_second)
+        self._bucket_refilled_at = now
+        if self._bucket_tokens >= 1.0:
+            self._bucket_tokens -= 1.0
+            self._throttled = False
+            return True
+        if not self._throttled:
+            self._throttled = True
+            self.metrics.increment("api.admission.throttled")
+        return False
 
     # -- deployment plumbing (delegates, so sessions stay import-light) -------
 

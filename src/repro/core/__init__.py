@@ -23,8 +23,10 @@ from repro.core.config import (
     PartitionPolicy,
     PlacementMode,
     Priority,
+    RateLimit,
     ReplicationMode,
     RetryPolicy,
+    ShedPolicy,
     UDRConfig,
 )
 from repro.core.udr import UDRNetworkFunction
@@ -83,9 +85,11 @@ __all__ = [
     "PartitionPolicy",
     "PlacementMode",
     "Priority",
+    "RateLimit",
     "ReplicationMode",
     "RetryPolicy",
     "RetryStage",
+    "ShedPolicy",
     "TradeOffLink",
     "TradeOffPosition",
     "UDRConfig",

@@ -159,6 +159,63 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class RateLimit:
+    """A token-bucket admission quota: sustained rate plus burst headroom.
+
+    Carried by :class:`~repro.api.qos.QoSProfile` and enforced per
+    :class:`~repro.api.session.UDRClient` at ``session.submit``: the bucket
+    refills at ``rate_per_second`` (virtual time) up to ``burst`` tokens,
+    and every admitted operation spends one.  An operation arriving with an
+    empty bucket is answered ``BUSY`` immediately -- it never reaches the
+    dispatcher queue or the pipeline, which is what keeps a misbehaving
+    client from expiring at wave formation instead of being stopped at the
+    front door.
+    """
+
+    rate_per_second: float
+    burst: int = 1
+
+    def __post_init__(self):
+        if self.rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1 token")
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Sustained-overload shedding for the arrival-driven dispatcher.
+
+    The dispatcher tracks an EWMA of its queue depth (one ``alpha``-weighted
+    observation per submit and per wave).  When the smoothed depth climbs to
+    ``trip_depth`` the deployment enters **shed mode**; it leaves again only
+    once the smoothed depth has fallen back to ``clear_depth``.  Keeping
+    ``clear_depth`` well below ``trip_depth`` is the hysteresis that stops
+    the mode from chattering at the boundary.  While shedding:
+
+    * reads may be served from slave replicas even for client types whose
+      configured read policy is master-only (capacity over freshness);
+    * bulk-class tickets are deferred from wave membership while any
+      higher-class work is queued (they are never dropped, and a wave with
+      only bulk work still dispatches it, so bulk cannot be starved into
+      expiry by an empty signalling queue).
+    """
+
+    alpha: float = 0.2
+    trip_depth: float = 64.0
+    clear_depth: float = 16.0
+
+    def __post_init__(self):
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.trip_depth <= 0:
+            raise ValueError("trip_depth must be positive")
+        if not 0 <= self.clear_depth < self.trip_depth:
+            raise ValueError("clear_depth must be non-negative and below "
+                             "trip_depth (the hysteresis band)")
+
+
+@dataclass(frozen=True)
 class AdaptiveLingerPolicy:
     """Load-adaptive linger budgets for the arrival-driven dispatcher.
 
@@ -296,6 +353,11 @@ class UDRConfig:
     #: multi-record intra-SE transaction (one begin/commit charge per
     #: partition per wave) instead of one transaction per write.
     coalesce_writes: bool = False
+    #: Shed/degrade under sustained overload (queue-depth EWMA with
+    #: hysteresis; see :class:`ShedPolicy`); ``None`` (the default) never
+    #: sheds -- dispatcher behaviour is bit-identical to not having the
+    #: feature.
+    shed_policy: Optional[ShedPolicy] = None
 
     # -- observability ------------------------------------------------------------------
     #: Completed requests buffered before the pipeline's metric batch is

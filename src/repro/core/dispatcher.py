@@ -42,14 +42,35 @@ Two load-path refinements ride on the queue:
   of one simulator event per ticket; each caller reads its own
   :attr:`DispatchTicket.response` after the shared event fires.
 
+Two overload defences complete the control loop (PR 7):
+
+* **deadline-aware waking**: the loop's sleep target is the earlier of the
+  frozen linger deadline and the earliest queued QoS deadline, so an
+  expiring ticket is answered ``TIME_LIMIT_EXCEEDED`` *at* its deadline
+  (``_expire_overdue`` runs at every wake-up), not at the next wave
+  formation; wave membership itself is slack-aware
+  (:meth:`~repro.core.pipeline.BatchAdmissionStage.order` sorts by
+  remaining deadline slack within each priority class).  Timeouts the loop
+  abandons -- a wave filling before its linger deadline, the queue
+  draining -- are cancelled
+  (:meth:`~repro.sim.events.Event.cancel`), so sustained saturation
+  cannot leak dead timeouts into the simulator's event heap;
+* **shed mode** (``UDRConfig.shed_policy``): a queue-depth EWMA with
+  trip/clear hysteresis (:class:`ShedController`).  While tripped, reads
+  may be served from slave replicas even for master-only client types and
+  bulk-class tickets are deferred from wave membership (never dropped).
+
 Observability (recorded straight into the deployment's metrics registry):
 ``dispatcher.enqueued`` / ``dispatcher.dispatched`` counters, wave counters
 (``dispatcher.waves``, split into ``.waves_full`` / ``.waves_lingered``),
 the ``dispatcher.queue_depth`` gauge (plus an all-time
 ``dispatcher.queue_depth_max``), a ``dispatcher.linger`` latency recorder
--- the per-request linger histogram -- plus, for the extensions, the
-``dispatcher.adaptive_budget`` histogram of chosen budgets and the
-``dispatcher.grouped_responses`` / ``dispatcher.grouped_tickets`` counters.
+-- the per-request linger histogram, queue-expired tickets included --
+plus, for the extensions, the ``dispatcher.adaptive_budget`` histogram of
+chosen budgets, the ``dispatcher.grouped_responses`` /
+``dispatcher.grouped_tickets`` counters, and the shed-mode family
+(``dispatcher.shed.activations`` / ``.active`` / ``.bulk_deferred`` /
+``.slave_reads``).
 """
 
 from __future__ import annotations
@@ -62,6 +83,7 @@ from repro.core.config import (
     ClientType,
     DispatchMode,
     Priority,
+    ShedPolicy,
     UDRConfig,
 )
 from repro.core.pipeline import BATCH_LINGER_TICK, BatchItem, OperationPipeline
@@ -83,7 +105,7 @@ class DispatchTicket:
     """
 
     __slots__ = ("item", "enqueued_at", "event", "source", "response",
-                 "completed_at")
+                 "completed_at", "expired_in_queue")
 
     def __init__(self, item: BatchItem, enqueued_at: float, event,
                  source=None):
@@ -93,6 +115,11 @@ class DispatchTicket:
         self.source = source
         self.response: Optional[LdapResponse] = None
         self.completed_at: Optional[float] = None
+        #: True when the dispatcher answered the ticket from
+        #: ``_expire_overdue`` (never dispatched).  The dispatcher records
+        #: the per-client failure itself in that case, so the session layer
+        #: must not count it a second time at settle.
+        self.expired_in_queue = False
 
     @property
     def done(self) -> bool:
@@ -164,6 +191,45 @@ class AdaptiveLingerController:
         return min(max(expected_fill, min_budget), max_budget)
 
 
+class ShedController:
+    """Queue-depth EWMA overload detector with trip/clear hysteresis.
+
+    Fed one observation per submit and per dispatched wave
+    (:meth:`observe`), it smooths the dispatcher's queue depth and flips
+    the deployment into **shed mode** when the smoothed depth reaches
+    ``ShedPolicy.trip_depth`` -- and back out only once it has fallen to
+    ``clear_depth``, so a load level hovering at the boundary cannot make
+    the mode chatter.  While active it raises
+    ``OperationPipeline.shed_active`` (slave reads for master-only client
+    types) and the dispatcher defers bulk-class tickets from wave
+    membership; ``dispatcher.shed.activations`` counts trips and the
+    ``dispatcher.shed.active`` gauge shows the current state.
+    """
+
+    __slots__ = ("policy", "pipeline", "metrics", "ewma", "active")
+
+    def __init__(self, policy: ShedPolicy, pipeline: OperationPipeline,
+                 metrics: MetricsRegistry):
+        self.policy = policy
+        self.pipeline = pipeline
+        self.metrics = metrics
+        self.ewma = 0.0
+        self.active = False
+
+    def observe(self, queue_depth: int) -> None:
+        alpha = self.policy.alpha
+        self.ewma = alpha * queue_depth + (1.0 - alpha) * self.ewma
+        if not self.active and self.ewma >= self.policy.trip_depth:
+            self.active = True
+            self.pipeline.shed_active = True
+            self.metrics.increment("dispatcher.shed.activations")
+            self.metrics.set_gauge("dispatcher.shed.active", 1)
+        elif self.active and self.ewma <= self.policy.clear_depth:
+            self.active = False
+            self.pipeline.shed_active = False
+            self.metrics.set_gauge("dispatcher.shed.active", 0)
+
+
 class BatchDispatcher:
     """The arrival-driven admission queue of one UDR deployment."""
 
@@ -179,18 +245,26 @@ class BatchDispatcher:
         self.adaptive = (AdaptiveLingerController(config.adaptive_linger,
                                                   config.batch_max_size)
                          if config.adaptive_linger is not None else None)
+        self.shed = (ShedController(config.shed_policy, pipeline, metrics)
+                     if config.shed_policy is not None else None)
         self._process = None
         self._wake = None
         #: Bumped by stop(); a running loop exits when its generation is
         #: stale, so stop()+start() can never leave two loops dispatching.
         self._generation = 0
-        #: The armed linger-deadline timeout and the ticket it guards;
-        #: reused across per-arrival wakeups while the oldest ticket is
-        #: unchanged, so a burst of arrivals inside one linger window does
-        #: not flood the event heap with dead timeouts.  The deadline is
-        #: frozen when the ticket becomes oldest (``_deadline_at``), so an
-        #: adaptive budget drifting between arrivals cannot re-open it.
+        #: The armed wake-up timeout and the instant it fires at; re-armed
+        #: only when the target instant moves, and *cancelled* whenever the
+        #: loop stops waiting on it (a wave fills early, the queue drains),
+        #: so saturation cannot leak dead timeouts into the event heap.
+        #: The wake target is the earlier of the frozen linger deadline and
+        #: the earliest queued QoS deadline -- the early wake is what lets
+        #: an expiring ticket be answered *at* its deadline instead of at
+        #: the next wave formation.
         self._deadline_timeout = None
+        self._timeout_at = 0.0
+        #: The ticket whose linger deadline is frozen (``_deadline_at``):
+        #: fixed when the ticket becomes oldest, so an adaptive budget
+        #: drifting between arrivals cannot re-open the window.
         self._deadline_ticket = None
         self._deadline_at = 0.0
         #: Per-source shared response events (the shared-wave respond path).
@@ -250,8 +324,9 @@ class BatchDispatcher:
         ``deadline`` (absolute virtual time) and ``retry_policy`` carry
         per-session QoS from the :mod:`repro.api` layer: a ticket still
         queued when its deadline passes is answered
-        ``TIME_LIMIT_EXCEEDED`` at the next wave formation *without*
-        occupying a wave slot or touching the pipeline.
+        ``TIME_LIMIT_EXCEEDED`` at the deadline itself (the dispatch loop
+        arms an early wake-up for it) *without* occupying a wave slot or
+        touching the pipeline.
         """
         self.start()
         if self.adaptive is not None:
@@ -270,6 +345,8 @@ class BatchDispatcher:
         self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
         self.metrics.set_gauge_max("dispatcher.queue_depth_max",
                                    len(self.queue))
+        if self.shed is not None:
+            self.shed.observe(len(self.queue))
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
         return ticket
@@ -293,19 +370,30 @@ class BatchDispatcher:
 
         Sleeps on an arrival event while idle; with work queued, dispatches
         immediately when the wave is full or the oldest request's linger
-        deadline has passed, otherwise sleeps until that deadline or the
-        next arrival -- whichever wakes it first.  The queue stays sorted
-        by arrival time (append-only), so ``queue[0]`` is always the oldest
-        waiting request even though priority selection removes from the
-        middle.  The loop exits when stop() bumped the generation past the
-        one it was started with.
+        deadline has passed, otherwise sleeps until the next decision
+        instant -- the linger deadline, the earliest queued QoS deadline
+        (the *early wake*: an expiring ticket is answered at its deadline
+        even if no wave forms then), or the next arrival, whichever comes
+        first.  A timeout the loop stops waiting on is cancelled, so the
+        event heap never accumulates dead linger deadlines under
+        saturation.  The queue stays sorted by arrival time (append-only),
+        so ``queue[0]`` is always the oldest waiting request even though
+        priority selection removes from the middle.  The loop exits when
+        stop() bumped the generation past the one it was started with.
         """
         while generation == self._generation:
             if not self.queue:
+                self._cancel_wake_timeout()
+                self._deadline_ticket = None
                 self._wake = self.sim.event("dispatcher-arrival")
                 yield self._wake
                 continue  # re-check the generation before dispatching
             while self.queue and generation == self._generation:
+                # Deadline propagation first: expired tickets are answered
+                # at the wake instant (their deadline), never dispatched.
+                self._expire_overdue()
+                if not self.queue:
+                    break
                 oldest = self.queue[0]
                 if self._deadline_ticket is not oldest:
                     # Freeze this wave's budget when its oldest ticket is
@@ -314,26 +402,62 @@ class BatchDispatcher:
                     self._deadline_ticket = oldest
                     self._deadline_at = oldest.enqueued_at + \
                         self.linger_budget()
-                    self._deadline_timeout = None
                 if len(self.queue) >= self.config.batch_max_size or \
                         self.sim.now >= self._deadline_at:
+                    self._cancel_wake_timeout()
                     yield from self._dispatch_wave()
                     continue
-                if self._deadline_timeout is None:
+                wake_at = self._deadline_at
+                earliest = self._earliest_qos_deadline()
+                if earliest is not None and earliest < wake_at:
+                    wake_at = earliest
+                if self._deadline_timeout is None or \
+                        self._timeout_at != wake_at:
+                    self._cancel_wake_timeout()
                     self._deadline_timeout = self.sim.timeout(
-                        self._deadline_at - self.sim.now)
+                        max(0.0, wake_at - self.sim.now))
+                    self._timeout_at = wake_at
                 self._wake = self.sim.event("dispatcher-arrival")
                 yield self.sim.any_of([self._deadline_timeout, self._wake])
+
+    def _cancel_wake_timeout(self) -> None:
+        """Withdraw the armed wake-up timeout (if any) from the event heap."""
+        if self._deadline_timeout is not None:
+            self._deadline_timeout.cancel()
+            self._deadline_timeout = None
+
+    def _earliest_qos_deadline(self) -> Optional[float]:
+        """The earliest QoS deadline among queued tickets, or ``None``.
+
+        Only consulted when arming a sleep, i.e. when the queue holds fewer
+        than ``batch_max_size`` tickets, so the scan is bounded by the wave
+        size.
+        """
+        earliest = None
+        for ticket in self.queue:
+            deadline = ticket.item.deadline
+            if deadline is not None and \
+                    (earliest is None or deadline < earliest):
+                earliest = deadline
+        return earliest
 
     def _expire_overdue(self) -> None:
         """Answer queued tickets whose deadline passed, without dispatching.
 
-        Runs at wave formation (deadline propagation, the session-QoS
-        contract): an expired ticket is completed with
-        ``TIME_LIMIT_EXCEEDED`` on the spot -- zero wave slots, zero
-        pipeline hops -- leaving the wave to the still-live work.  Sources
-        waiting on a grouped response event are woken so they can observe
-        the expiry.
+        Runs at every dispatch-loop wake-up (deadline propagation, the
+        session-QoS contract) -- and the loop arms an early-wake timeout at
+        the earliest queued QoS deadline, so expiry is answered *at* the
+        deadline, not at the next wave formation.  An expired ticket is
+        completed with ``TIME_LIMIT_EXCEEDED`` on the spot -- zero wave
+        slots, zero pipeline hops -- leaving the wave to the still-live
+        work.  The time the ticket spent queued is recorded into the
+        ``dispatcher.linger`` histogram (expiry is exactly when linger
+        stats matter most) and source-tagged tickets are counted under
+        their ``api.client.<source>.failed`` scope here, since they never
+        reach a wave; the session layer skips its own failure count for
+        these (``DispatchTicket.expired_in_queue``), so the failure is
+        counted once either way.  Sources waiting on a grouped response
+        event are woken so they can observe the expiry.
         """
         now = self.sim.now
         overdue = [ticket for ticket in self.queue
@@ -346,6 +470,7 @@ class BatchDispatcher:
                       if id(ticket) not in expired_ids]
         self.metrics.set_gauge("dispatcher.queue_depth", len(self.queue))
         self.metrics.increment("dispatcher.deadline_expired", len(overdue))
+        linger = self.metrics.latency("dispatcher.linger")
         sources = set()
         for ticket in overdue:
             response = LdapResponse(
@@ -355,8 +480,13 @@ class BatchDispatcher:
                 latency=now - ticket.enqueued_at)
             ticket.completed_at = now
             ticket.response = response
+            ticket.expired_in_queue = True
+            linger.record(now - ticket.enqueued_at)
             self.metrics.outcomes(ticket.item.client_type.value) \
                 .record_failure("deadline expired in dispatch queue")
+            if ticket.source is not None:
+                self.metrics.increment(
+                    f"api.client.{ticket.source}.failed")
             if ticket.source is None:
                 ticket.event.succeed(response)
             else:
@@ -367,11 +497,25 @@ class BatchDispatcher:
                 event.succeed(0)
 
     def _dispatch_wave(self):
-        """Generator: form one wave by weighted priority and execute it."""
-        self._expire_overdue()
+        """Generator: form one wave by weighted priority and execute it.
+
+        The caller (:meth:`_run`) has already expired overdue tickets.  In
+        shed mode, bulk-class tickets are deferred from membership while
+        any higher-class work is queued -- deferred, never dropped: a queue
+        holding only bulk work still dispatches it, so shedding cannot
+        starve bulk into a livelock.
+        """
         if not self.queue:
             return
-        ordered = self.pipeline.batch_admission.order(self.queue)
+        candidates = self.queue
+        if self.shed is not None and self.shed.active:
+            live = [ticket for ticket in candidates
+                    if ticket.item.priority_class() is not Priority.BULK]
+            if live and len(live) < len(candidates):
+                self.metrics.increment("dispatcher.shed.bulk_deferred",
+                                       len(candidates) - len(live))
+                candidates = live
+        ordered = self.pipeline.batch_admission.order(candidates)
         wave = ordered[:self.config.batch_max_size]
         selected = {id(ticket) for ticket in wave}
         self.queue = [ticket for ticket in self.queue
@@ -389,6 +533,8 @@ class BatchDispatcher:
             [ticket.item for ticket in wave])
         self.waves_dispatched += 1
         self.requests_dispatched += len(wave)
+        if self.shed is not None:
+            self.shed.observe(len(self.queue))
         grouped: Dict[object, int] = {}
         for ticket, response in zip(wave, responses):
             ticket.completed_at = self.sim.now
@@ -415,4 +561,4 @@ class BatchDispatcher:
 
 
 __all__ = ["AdaptiveLingerController", "BatchDispatcher", "DispatchTicket",
-           "DispatchMode"]
+           "DispatchMode", "ShedController"]

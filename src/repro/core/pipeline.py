@@ -428,15 +428,28 @@ class ReadPath(PipelineStage):
         if not reachable:
             return None
         master = replica_set.master_element_name
-        if not self.config.reads_from_slave(client_type):
+        if not self.config.reads_from_slave(client_type) and \
+                not self.pipeline.shed_active:
+            # Shed mode (sustained dispatcher overload) overrides a
+            # master-only read policy: serving from the nearest replica
+            # trades freshness for master capacity exactly while the queue
+            # needs it.
             return master if master in reachable else None
         # Prefer a copy co-located with the PoA, then the closest one.
+        choice = None
         for name in reachable:
             if replica_set.element(name).site == poa_site:
-                return name
-        return min(reachable,
-                   key=lambda name: self.network.mean_one_way_latency(
-                       poa_site, replica_set.element(name).site))
+                choice = name
+                break
+        if choice is None:
+            choice = min(reachable,
+                         key=lambda name: self.network.mean_one_way_latency(
+                             poa_site, replica_set.element(name).site))
+        if choice != master and \
+                not self.config.reads_from_slave(client_type):
+            # Only possible in shed mode: count the reads it diverted.
+            self.pipeline.batch.increment("dispatcher.shed.slave_reads")
+        return choice
 
     def _staleness(self, replica_set: ReplicaSet, copy_element: str,
                    key: str) -> Tuple[bool, int]:
@@ -911,16 +924,28 @@ class BatchAdmissionStage(PipelineStage):
     The dequeue is a weighted round-robin over the priority classes in
     descending order (``UDRConfig.priority_weights`` quanta per turn), FIFO
     within each class, so signalling traffic overtakes provisioning and bulk
-    without starving them.  The ordered queue is then cut into admission
-    waves of at most ``batch_max_size`` requests; within a wave the requests
-    of one client site share a single client-to-PoA transfer.
+    without starving them.  Within one class, deadline-carrying work is
+    ordered by remaining slack: the earlier absolute deadline goes first,
+    deadline-free work keeps its FIFO position at the back of the class --
+    so a wave that cannot take everything spends its slots on the requests
+    closest to expiring instead of answering them ``TIME_LIMIT_EXCEEDED``
+    a wave later.  With no deadlines in play the order is exactly the PR 6
+    weighted round-robin (the sort is stable and every key ties).  The
+    ordered queue is then cut into admission waves of at most
+    ``batch_max_size`` requests; within a wave the requests of one client
+    site share a single client-to-PoA transfer.
     """
 
     def order(self, slots: Sequence[_BatchSlot]) -> List[_BatchSlot]:
-        """The weighted-priority admission order (stable within a class)."""
+        """The weighted-priority admission order (slack-sorted in a class)."""
         queues: Dict[Priority, List[_BatchSlot]] = {p: [] for p in Priority}
         for slot in slots:
             queues[slot.item.priority_class()].append(slot)
+        infinity = float("inf")
+        for queue in queues.values():
+            if any(slot.item.deadline is not None for slot in queue):
+                queue.sort(key=lambda slot: slot.item.deadline
+                           if slot.item.deadline is not None else infinity)
         ordered: List[_BatchSlot] = []
         cursors = {priority: 0 for priority in Priority}
         remaining = len(slots)
@@ -1014,6 +1039,10 @@ class RetryStage(PipelineStage):
                 batch.increment("batch.retry_exhausted")
                 raise failure
             attempt += 1
+            # Count the attempt before deciding whether its backoff fits the
+            # deadline: a deadline-refused retry still *ran* (and failed) an
+            # attempt, and the response's ``attempts`` must say so.
+            ctx.attempts = attempt
             if ctx.deadline is not None and \
                     self.sim.now + policy.backoff(attempt) >= ctx.deadline:
                 # The backoff alone would outlive the deadline: answer now
@@ -1022,7 +1051,6 @@ class RetryStage(PipelineStage):
                 raise OperationFailure(ResultCode.TIME_LIMIT_EXCEEDED,
                                        "deadline expired before retry",
                                        retryable=False)
-            ctx.attempts = attempt
             batch.increment("batch.retries")
             yield self.sim.timeout(policy.backoff(attempt))
             if policy.relocate_on_retry:
@@ -1058,6 +1086,11 @@ class OperationPipeline:
         self.respond = RespondStage(self)
         self.batch_admission = BatchAdmissionStage(self)
         self.retry_stage = RetryStage(self)
+        #: Set by the dispatcher's shed controller while the deployment is
+        #: in shed mode; the read path consults it to allow slave reads for
+        #: master-only client types.  Plain attribute (not config) because
+        #: it flips at simulation time.
+        self.shed_active = False
 
     # -- cache plumbing ------------------------------------------------------------
 

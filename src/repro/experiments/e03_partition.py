@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.core.config import ClientType, PartitionPolicy, UDRConfig
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     read_request,
@@ -31,6 +32,7 @@ from repro.provisioning.system import ProvisioningSystem
 def _fe_phase(udr, profiles, operations, rng_name):
     """FE traffic: 80% reads / 20% dynamic-state writes from the home region."""
     rng = udr.sim.rng(rng_name)
+    pool = ClientPool(udr, prefix=rng_name)
     ok = 0
     for index in range(operations):
         profile = profiles[index % len(profiles)]
@@ -39,7 +41,7 @@ def _fe_phase(udr, profiles, operations, rng_name):
             request = read_request(profile)
         else:
             request = write_request(profile, servingMsc=f"msc-{index}")
-        response = drive(udr, udr.execute(
+        response = drive(udr, pool.call(
             request, ClientType.APPLICATION_FE, site))
         ok += int(response.ok)
     return ok / operations if operations else 1.0

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.config import ClientType, UDRConfig
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     read_request,
@@ -28,6 +29,7 @@ def _measure(allow_slave_reads: bool, subscribers: int, operations: int,
     config = UDRConfig(fe_reads_from_slave=allow_slave_reads, seed=seed)
     udr, profiles = build_loaded_udr(config, subscribers=subscribers,
                                      seed=seed)
+    pool = ClientPool(udr, prefix="e04")
     latencies = []
     for index in range(operations):
         profile = profiles[index % len(profiles)]
@@ -37,11 +39,11 @@ def _measure(allow_slave_reads: bool, subscribers: int, operations: int,
         away_site = site_in_region(udr, away_region)
         # A write lands on the master (home region), then the read comes from
         # the away region before replication has necessarily caught up.
-        drive(udr, udr.execute(
+        drive(udr, pool.call(
             write_request(profile, servingMsc=f"msc-{index}"),
             ClientType.APPLICATION_FE, home_site))
         start = udr.sim.now
-        response = drive(udr, udr.execute(
+        response = drive(udr, pool.call(
             read_request(profile), ClientType.APPLICATION_FE, away_site))
         if response.ok:
             latencies.append(udr.sim.now - start)

@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.config import ClientType, ReplicationMode, UDRConfig
-from repro.experiments.common import build_loaded_udr, drive, write_request
+from repro.experiments.common import (
+    ClientPool,
+    build_loaded_udr,
+    drive,
+    write_request,
+)
 from repro.experiments.runner import ExperimentResult
 from repro.sim import units
 
@@ -34,12 +39,13 @@ def _measure(mode: ReplicationMode, writes: int, seed: int,
     victims = [p for p in profiles
                if locator.locate("imsi", p.identities.imsi) == target_element]
     ps_site = udr.elements[target_element].site
+    pool = ClientPool(udr, prefix="e05")
     latencies = []
     expected_values = {}
     for index in range(writes):
         profile = victims[index % len(victims)]
         start = udr.sim.now
-        response = drive(udr, udr.execute(
+        response = drive(udr, pool.call(
             write_request(profile, svcCfu=f"+99{index:07d}"),
             ClientType.PROVISIONING, ps_site))
         if response.ok:

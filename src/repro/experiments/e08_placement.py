@@ -20,6 +20,7 @@ from typing import Dict
 
 from repro.core.config import ClientType, PlacementMode, UDRConfig
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     read_request,
@@ -40,6 +41,7 @@ def _measure(placement: PlacementMode, subscribers: int, operations: int,
     roaming = RoamingModel(config.regions, roaming_probability)
     placed = roaming.place_population(profiles, udr.sim.rng("e08.roaming"))
     rng = udr.sim.rng("e08.ops")
+    pool = ClientPool(udr, prefix="e08")
     latencies = []
     succeeded = 0
     for index in range(operations):
@@ -48,7 +50,7 @@ def _measure(placement: PlacementMode, subscribers: int, operations: int,
         request = read_request(profile) if rng.random() < 0.8 else \
             write_request(profile, servingMsc=f"msc-{index}")
         start = udr.sim.now
-        response = drive(udr, udr.execute(
+        response = drive(udr, pool.call(
             request, ClientType.APPLICATION_FE, site))
         if response.ok:
             succeeded += 1

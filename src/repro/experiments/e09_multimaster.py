@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.config import ClientType, PartitionPolicy, UDRConfig
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     site_in_region,
@@ -39,11 +40,12 @@ def _one_round(writes_per_side: int, seed: int):
     udr.network.apply_partition(partition)
     inside_site = site_in_region(udr, isolated_region)
     outside_site = site_in_region(udr, config.regions[0])
+    pool = ClientPool(udr, prefix="e09")
     attempted = succeeded = 0
     for index in range(writes_per_side):
         profile = victims[index % len(victims)]
         for side, site in (("inside", inside_site), ("outside", outside_site)):
-            response = drive(udr, udr.execute(
+            response = drive(udr, pool.call(
                 write_request(profile, svcCfu=f"+{side}-{index}"),
                 ClientType.PROVISIONING, site))
             attempted += 1

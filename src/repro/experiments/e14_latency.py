@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.core.config import ClientType, UDRConfig
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     read_request,
@@ -27,6 +28,7 @@ from repro.sim import units
 def _measure_reads(udr, profiles, client_type, from_home: bool,
                    operations: int) -> LatencyRecorder:
     recorder = LatencyRecorder()
+    pool = ClientPool(udr, prefix="e14")
     for index in range(operations):
         profile = profiles[index % len(profiles)]
         if from_home:
@@ -36,8 +38,8 @@ def _measure_reads(udr, profiles, client_type, from_home: bool,
                         if region != profile.home_region)
             site = site_in_region(udr, away)
         start = udr.sim.now
-        response = drive(udr, udr.execute(read_request(profile), client_type,
-                                          site))
+        response = drive(udr, pool.call(read_request(profile), client_type,
+                                        site))
         if response.ok:
             recorder.record(udr.sim.now - start)
     return recorder

@@ -58,7 +58,10 @@ def _measure(batch_max_size: int, operations: int,
     udr, profiles = build_loaded_udr(config, subscribers=48, seed=seed)
     items = _workload(udr, profiles, operations)
     start = udr.sim.now
-    responses = drive(udr, udr.execute_batch(items), horizon=7200.0)
+    # Mixed-client batches are a core-layer concern (sessions are
+    # per-client); reach the pipeline directly rather than the deprecated
+    # ``udr.execute_batch`` shim.
+    responses = drive(udr, udr.pipeline.execute_batch(items), horizon=7200.0)
     elapsed = udr.sim.now - start
     return elapsed, [response.result_code.name for response in responses]
 

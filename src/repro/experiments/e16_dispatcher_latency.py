@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.api.qos import QoSProfile
 from repro.core.config import ClientType, DispatchMode, UDRConfig
 from repro.core.pipeline import BatchItem
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     home_site_of,
@@ -61,9 +63,10 @@ def _workload(udr, profiles, operations: int) -> List[BatchItem]:
     return items
 
 
-def _wait_all(udr, tickets):
-    """Generator: block until every submitted ticket has its response."""
-    yield udr.sim.all_of([ticket.event for ticket in tickets])
+def _wait_all(udr, futures):
+    """Generator: block until every submitted future has its response."""
+    for future in futures:
+        yield from future.wait()
 
 
 def _run_dispatcher(arrival_rate: Optional[float], linger_ticks: int,
@@ -89,32 +92,34 @@ def _run_dispatcher(arrival_rate: Optional[float], linger_ticks: int,
                        coalesce_writes=coalesce, name=name)
     udr, profiles = build_loaded_udr(config, subscribers=48, seed=seed)
     items = _workload(udr, profiles, operations)
-    tickets = []
+    pool = ClientPool(udr, prefix="e16")
+    futures = []
+
+    def enqueue(item):
+        futures.append(pool.submit(item.request, item.client_type,
+                                   item.client_site,
+                                   qos=QoSProfile(priority=item.priority)))
 
     def arrivals():
         rng = udr.sim.rng("e16.arrivals")
         for item in items:
             yield udr.sim.timeout(rng.expovariate(arrival_rate))
-            tickets.append(udr.submit(item.request, item.client_type,
-                                      item.client_site,
-                                      priority=item.priority))
+            enqueue(item)
 
     start = udr.sim.now
     if arrival_rate is None:
         # Standing queue: everything arrives before the dispatcher wakes.
         for item in items:
-            tickets.append(udr.submit(item.request, item.client_type,
-                                      item.client_site,
-                                      priority=item.priority))
+            enqueue(item)
     else:
         drive(udr, arrivals(), horizon=HORIZON)
-    drive(udr, _wait_all(udr, tickets), horizon=HORIZON)
-    elapsed = max(ticket.completed_at for ticket in tickets) - start
-    latencies = sorted(ticket.latency for ticket in tickets)
+    drive(udr, _wait_all(udr, futures), horizon=HORIZON)
+    elapsed = max(future.completed_at for future in futures) - start
+    latencies = sorted(future.latency for future in futures)
     waves = udr.metrics.counter("dispatcher.waves")
     mean_wave = (udr.metrics.counter("dispatcher.dispatched") / waves
                  if waves else 0.0)
-    codes = [ticket.event.value.result_code.name for ticket in tickets]
+    codes = [future.result().result_code.name for future in futures]
     return (operations / elapsed, mean_wave,
             percentile(latencies, 0.50) * 1000.0,
             percentile(latencies, 0.99) * 1000.0, codes)
@@ -130,7 +135,10 @@ def _run_explicit(operations: int, seed: int) -> float:
     udr, profiles = build_loaded_udr(config, subscribers=48, seed=seed)
     items = _workload(udr, profiles, operations)
     start = udr.sim.now
-    drive(udr, udr.execute_batch(items), horizon=HORIZON)
+    # Mixed-client batches are a core-layer concern (sessions are
+    # per-client); reach the pipeline directly rather than the deprecated
+    # ``udr.execute_batch`` shim.
+    drive(udr, udr.pipeline.execute_batch(items), horizon=HORIZON)
     return operations / (udr.sim.now - start)
 
 
@@ -138,10 +146,11 @@ def _run_sequential_codes(operations: int, seed: int) -> List[str]:
     """Result codes of the same workload executed one by one (DIRECT)."""
     config = UDRConfig(seed=seed, name="e16-sequential")
     udr, profiles = build_loaded_udr(config, subscribers=48, seed=seed)
+    pool = ClientPool(udr, prefix="e16")
     codes = []
     for item in _workload(udr, profiles, operations):
-        response = drive(udr, udr.execute(item.request, item.client_type,
-                                          item.client_site), horizon=HORIZON)
+        response = drive(udr, pool.call(item.request, item.client_type,
+                                        item.client_site), horizon=HORIZON)
         codes.append(response.result_code.name)
     return codes
 

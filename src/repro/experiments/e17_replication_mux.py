@@ -37,8 +37,10 @@ from repro.core.config import (
     DispatchMode,
     UDRConfig,
 )
+from repro.api.qos import QoSProfile
 from repro.core.udr import UDRNetworkFunction
 from repro.experiments.common import (
+    ClientPool,
     build_loaded_udr,
     drive,
     read_request,
@@ -136,23 +138,25 @@ def _run_sweep_point(arrival_rate: float, linger_ticks: int,
                        name=f"e17-r{arrival_rate:g}-{label}")
     udr, profiles = build_loaded_udr(config, subscribers=48, seed=seed)
     items = _sweep_workload(udr, profiles, operations)
-    tickets = []
+    pool = ClientPool(udr, prefix="e17")
+    futures = []
 
     def arrivals():
         rng = udr.sim.rng("e17.arrivals")
         for item in items:
             yield udr.sim.timeout(rng.expovariate(arrival_rate))
-            tickets.append(udr.submit(item.request, item.client_type,
-                                      item.client_site,
-                                      priority=item.priority))
+            futures.append(pool.submit(
+                item.request, item.client_type, item.client_site,
+                qos=QoSProfile(priority=item.priority)))
 
     def wait_all():
-        yield udr.sim.all_of([ticket.event for ticket in tickets])
+        for future in futures:
+            yield from future.wait()
 
     start = udr.sim.now
     drive(udr, arrivals(), horizon=HORIZON)
     drive(udr, wait_all(), horizon=HORIZON)
-    elapsed = max(ticket.completed_at for ticket in tickets) - start
+    elapsed = max(future.completed_at for future in futures) - start
     return operations / elapsed
 
 
@@ -166,16 +170,17 @@ def _stale_read_fraction(mux_enabled: bool, subscribers: int,
                        name="e17-e04")
     udr, profiles = build_loaded_udr(config, subscribers=subscribers,
                                      seed=seed)
+    pool = ClientPool(udr, prefix="e17")
     for index in range(operations):
         profile = profiles[index % len(profiles)]
         home_site = site_in_region(udr, profile.home_region)
         away_region = next(region for region in config.regions
                            if region != profile.home_region)
         away_site = site_in_region(udr, away_region)
-        drive(udr, udr.execute(
+        drive(udr, pool.call(
             write_request(profile, servingMsc=f"msc-{index}"),
             ClientType.APPLICATION_FE, home_site))
-        drive(udr, udr.execute(
+        drive(udr, pool.call(
             read_request(profile), ClientType.APPLICATION_FE, away_site))
     consistency = udr.metrics.consistency(ClientType.APPLICATION_FE.value)
     return consistency.stale_read_fraction()
@@ -191,10 +196,11 @@ def _lost_transactions(mux_enabled: bool, writes: int, seed: int) -> int:
     victims = [p for p in profiles
                if locator.locate("imsi", p.identities.imsi) == target_element]
     ps_site = udr.elements[target_element].site
+    pool = ClientPool(udr, prefix="e17")
     expected_values = {}
     for index in range(writes):
         profile = victims[index % len(victims)]
-        response = drive(udr, udr.execute(
+        response = drive(udr, pool.call(
             write_request(profile, svcCfu=f"+88{index:07d}"),
             ClientType.PROVISIONING, ps_site))
         if response.ok:

@@ -12,9 +12,10 @@ signalling traffic must keep its latency budget.
 Five runs over one seeded trace (same arrival processes, same deployment
 name so the network latency streams match):
 
-* **legacy** -- both streams enter through the deprecated ``udr.submit``
-  shim: no sessions, no QoS, the flood rides the default provisioning
-  class and fills every wave it can;
+* **legacy** -- both streams enter as raw sourceless dispatcher tickets
+  (what the deprecated ``udr.submit`` shim produced): no sessions, no QoS,
+  the flood rides the default provisioning class and fills every wave it
+  can;
 * **session, no QoS** -- the same trace through sessions with empty
   profiles: the equivalence row (result codes must match legacy exactly);
 * **session + priority** -- the flood attaches as ``Priority.BULK``
@@ -125,20 +126,28 @@ def _wait_all(udr, session_like) -> None:
 
 def _run_legacy(signalling_ops: int, flood_ops: int, seed: int,
                 linger_ticks: int) -> Dict[str, object]:
-    """The undifferentiated path: everything through the legacy shim."""
+    """The undifferentiated path: sourceless, QoS-less dispatcher tickets.
+
+    This is exactly what the deprecated ``udr.submit`` shim did (minus its
+    ``api.legacy_calls`` bookkeeping, which CI now gates at zero for
+    experiment code): raw tickets with per-ticket events, no sessions, no
+    priority override, no deadline -- the baseline every sessioned row is
+    compared against.
+    """
     udr, profiles = _build(seed, linger_ticks)
     signalling, flood = _workload(udr, profiles, signalling_ops, flood_ops)
     sig_out: list = []
     flood_out: list = []
     sig_proc = udr.sim.process(_arrivals(
         udr, "e18.sig", SIGNALLING_RATE, signalling,
-        lambda op, site: udr.submit(op.to_request(),
-                                    ClientType.APPLICATION_FE, site),
+        lambda op, site: udr.dispatcher.submit(op.to_request(),
+                                               ClientType.APPLICATION_FE,
+                                               site),
         sig_out))
     flood_proc = udr.sim.process(_arrivals(
         udr, "e18.flood", FLOOD_RATE, flood,
-        lambda op, site: udr.submit(op.to_request(),
-                                    ClientType.PROVISIONING, site),
+        lambda op, site: udr.dispatcher.submit(op.to_request(),
+                                               ClientType.PROVISIONING, site),
         flood_out))
     drive(udr, _drain_events(udr, sig_proc, flood_proc, sig_out, flood_out),
           horizon=HORIZON)

@@ -35,6 +35,10 @@ class Simulation:
         self._queue: list = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: Scheduled-but-cancelled entries still sitting in the heap; when
+        #: they dominate, :meth:`_prune_cancelled` compacts the heap in one
+        #: pass instead of waiting for each to reach the top.
+        self._cancelled_scheduled = 0
         self.streams = RandomStreams(seed)
         self.seed = seed
 
@@ -47,6 +51,7 @@ class Simulation:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
+        self._prune_cancelled()
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
@@ -94,14 +99,44 @@ class Simulation:
 
     # -- execution -----------------------------------------------------------
 
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for scheduled, unprocessed events."""
+        self._cancelled_scheduled += 1
+
+    def _prune_cancelled(self) -> None:
+        """Drop cancelled entries from the heap (lazy deletion + compaction).
+
+        Cancellation (:meth:`~repro.sim.events.Event.cancel`) only marks the
+        event; the queue entry is discarded here -- from the top the moment
+        it would otherwise be the next to run, or in one compaction pass
+        when cancelled entries have come to outnumber live ones (so a
+        workload that cancels at a sustained rate keeps a bounded heap
+        instead of carrying every dead entry to its original fire time).
+        A cancelled event never advances the clock and never runs
+        callbacks.
+        """
+        queue = self._queue
+        if self._cancelled_scheduled > 32 and \
+                self._cancelled_scheduled * 2 > len(queue):
+            self._queue = [entry for entry in queue
+                           if not entry[3].cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_scheduled = 0
+            return
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+            if self._cancelled_scheduled > 0:
+                self._cancelled_scheduled -= 1
+
     def step(self) -> None:
-        """Process the single next event.
+        """Process the single next (non-cancelled) event.
 
         Raises
         ------
         IndexError
             If the queue is empty.
         """
+        self._prune_cancelled()
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
         event._process()
@@ -118,6 +153,9 @@ class Simulation:
             raise ValueError(
                 f"cannot run to {until}: simulation time is already {self._now}")
         while self._queue:
+            self._prune_cancelled()
+            if not self._queue:
+                break
             if until is not None and self._queue[0][0] > until:
                 break
             self.step()
@@ -144,7 +182,8 @@ class Simulation:
             raise ValueError(
                 f"cannot run to {limit}: simulation time is already {self._now}")
         while not event.triggered and self._queue:
-            if self._queue[0][0] > deadline:
+            self._prune_cancelled()
+            if not self._queue or self._queue[0][0] > deadline:
                 break
             self.step()
         return self._now

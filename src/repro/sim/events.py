@@ -61,6 +61,7 @@ class Event:
         self._exception: Optional[BaseException] = None
         self._status = EventStatus.PENDING
         self.defused = False
+        self.cancelled = False
 
     # -- state inspection ---------------------------------------------------
 
@@ -98,6 +99,22 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         self._trigger(value=value)
+        return self
+
+    def cancel(self) -> "Event":
+        """Withdraw a scheduled event before it is processed.
+
+        A cancelled event never runs its callbacks: the engine discards its
+        queue entry lazily (at the heap top, or in a bulk compaction when
+        cancelled entries come to dominate the heap), so cancellation is
+        O(1) and sustained cancellation cannot grow the heap.  The main
+        customer is the dispatcher's linger-deadline :class:`Timeout`,
+        which becomes stale whenever a wave fills before its deadline
+        fires.  Cancelling an already-processed event is a no-op.
+        """
+        if not self.cancelled and self.triggered and not self.processed:
+            self.sim._note_cancelled()
+        self.cancelled = True
         return self
 
     def fail(self, exception: BaseException) -> "Event":

@@ -1,0 +1,83 @@
+"""Runtime gate: experiment code issues zero legacy entry-point calls.
+
+``scripts/check_api_boundaries.py`` greps the experiment sources for the
+deprecated ``udr.execute``/``udr.submit``/``udr.call``/``udr.execute_batch``
+shims; this suite closes the loophole a grep cannot see (helpers, lambdas,
+indirection) by *running* representative experiments with every shim
+instrumented and asserting ``api.legacy_calls`` stays at zero.  Together
+they are the CI contract that the session API is the experiments' only
+front door.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClientType, UDRConfig
+from repro.core.udr import UDRNetworkFunction
+from repro.experiments import e14_latency, e15_batch_throughput, e18_session_qos
+from repro.experiments.common import (
+    ClientPool,
+    build_loaded_udr,
+    drive,
+    read_request,
+)
+
+
+@pytest.fixture
+def legacy_calls(monkeypatch):
+    """Record every legacy shim invocation on any UDR built while active."""
+    recorded = []
+    original = UDRNetworkFunction._count_legacy_call
+
+    def spy(self, entry_point):
+        recorded.append(entry_point)
+        original(self, entry_point)
+
+    monkeypatch.setattr(UDRNetworkFunction, "_count_legacy_call", spy)
+    return recorded
+
+
+class TestLegacyCallGate:
+    def test_spy_sees_a_legacy_call(self, legacy_calls):
+        """The instrumentation is live: one shim call is one recorded entry.
+
+        Without this, a rename of ``_count_legacy_call`` would turn the
+        whole gate into a silent no-op.
+        """
+        udr, profiles = build_loaded_udr(UDRConfig(seed=3), subscribers=4,
+                                         seed=3)
+        site = udr.topology.sites[0]
+        drive(udr, udr.execute(read_request(profiles[0]),
+                               ClientType.APPLICATION_FE, site))
+        assert legacy_calls == ["execute"]
+        assert udr.metrics.counter("api.legacy_calls") == 1
+        assert udr.metrics.counter("api.legacy_calls.execute") == 1
+
+    def test_session_traffic_counts_nothing(self, legacy_calls):
+        udr, profiles = build_loaded_udr(UDRConfig(seed=3), subscribers=4,
+                                         seed=3)
+        pool = ClientPool(udr, prefix="hygiene")
+        site = udr.topology.sites[0]
+        for profile in profiles:
+            response = drive(udr, pool.call(read_request(profile),
+                                            ClientType.APPLICATION_FE, site))
+            assert response.ok
+        assert legacy_calls == []
+        assert udr.metrics.counter("api.legacy_calls") == 0
+
+    def test_direct_mode_experiments_stay_legacy_free(self, legacy_calls):
+        """e14 (sequential reads) and e15 (explicit batches) end-to-end."""
+        e14_latency.run(subscribers=8, operations=6, seed=5)
+        e15_batch_throughput.run(batch_sizes=(1, 4), operations=16, seed=5)
+        assert legacy_calls == []
+
+    def test_dispatcher_mode_experiment_stays_legacy_free(self, legacy_calls):
+        """e18's arrival-driven flood, baseline arm included.
+
+        The baseline arm submits raw dispatcher tickets on purpose -- that
+        is the *core layer*, not a deprecated shim, and must not count.
+        """
+        e18_session_qos.run(deadline_budgets=(25,), signalling_ops=12,
+                            flood_ops=60, seed=7)
+        assert legacy_calls == []

@@ -358,7 +358,11 @@ class TestDeadlineMatrix:
         response = run_to_completion(
             udr, client.session().call(Read(profile.identities.imsi)))
         assert response.result_code is ResultCode.TIME_LIMIT_EXCEEDED
-        assert response.attempts == 0, "the backoff was never slept"
+        # The first attempt ran (and failed) before the backoff-vs-deadline
+        # refusal, and the accounting must say so; only the backoff itself
+        # was never slept.
+        assert response.attempts == 1, "the failed first attempt counts"
+        assert udr.sim.now < 0.01, "the backoff was never slept"
 
     def test_retry_policy_override_applies_to_single_operations(self):
         """Without a deadline the same session retries the transient
