@@ -1,0 +1,27 @@
+"""Bench E23: online reconciliation vs silent corruption."""
+
+from repro.experiments import e23_reconciliation
+
+from benchmarks.conftest import run_experiment
+
+
+def test_bench_e23_reconciliation(benchmark):
+    result = run_experiment(benchmark, e23_reconciliation.run)
+    # The acceptance bar of the CDC/reconciliation PR: every injected
+    # corruption kind (byte flip, locator drop, skipped apply) lands...
+    assert result.notes["all_corruptions_applied"]
+    # ...and is detected and repaired within the bounded window, under
+    # live dispatcher traffic...
+    assert result.notes["all_corruptions_repaired"]
+    assert result.notes["detection_within_bound"]
+    # ...with replicas and locators converged to master state by the end.
+    assert result.notes["replicas_converged_after_repair"]
+    assert result.notes["locators_converged_after_repair"]
+    # The plane is pay-to-arm: the clean reconciling arm repairs nothing
+    # and the reconciliation-off arm is bit-identical (PR 7 path).
+    assert result.notes["clean_arm_repairs_nothing"]
+    assert result.notes["off_arm_bit_identical"]
+    # And it is off the serving path: signalling p99 with reconciliation
+    # repairing corruption stays within 1.1x the off arm.
+    assert result.notes["p99_within_1_1x_off"]
+    benchmark.extra_info.update(result.notes)

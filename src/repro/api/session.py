@@ -313,6 +313,40 @@ class Session:
                 yield from future.wait()
         return self.completed
 
+    # -- audit / reconciliation surface ---------------------------------------
+
+    def history(self, identity: str, identity_type: str = "imsi"):
+        """The audit trail of one subscriber: who/what/when per mutation.
+
+        Answers from the CDC plane's
+        :class:`~repro.cdc.history.HistoryStore` (an operator console
+        query, not a simulated LDAP operation): the list of
+        :class:`~repro.cdc.history.HistoryEntry` for the record the
+        identity resolves to, oldest first -- empty when the identity is
+        unknown.  Requires ``UDRConfig.cdc``; raises ``RuntimeError``
+        otherwise, so a missing audit plane fails loudly instead of
+        answering "no history".
+        """
+        store = self.client.udr.history
+        if store is None:
+            raise RuntimeError(
+                "audit history is not enabled (set UDRConfig.cdc)")
+        self.client.metrics.increment("api.history.queries")
+        return store.history_of_identity(identity_type, identity)
+
+    def reconciliation_status(self) -> Dict[str, object]:
+        """The reconciler's per-round status snapshot (operator console).
+
+        ``{"enabled": False}`` when the deployment runs without a
+        reconciler; otherwise the round count, repair-log length and the
+        ``reconciliation.*`` counters as of the last completed round.
+        """
+        self.client.metrics.increment("api.reconciliation.status_queries")
+        reconciler = getattr(self.client.udr, "reconciler", None)
+        if reconciler is None:
+            return {"enabled": False}
+        return reconciler.status()
+
     @property
     def outstanding(self) -> int:
         return len(self._outstanding)

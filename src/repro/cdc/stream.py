@@ -1,0 +1,272 @@
+"""WAL-tap change stream: ordered, idempotent-by-commit-seq change events.
+
+The stream subscribes to *every* member copy's commit log of every data
+partition, exactly like the DIT catalog does
+(:meth:`repro.core.deployment.DeploymentBuilder._build_catalog`): each tap
+filters to records the copy itself committed (``record.origin`` equals the
+copy's own transaction-manager name), so replication applies -- which
+preserve the originating master's name -- never fold the same logical
+commit twice, and the wiring keeps working across fail-over, when a
+promoted copy starts committing under its own name.
+
+On top of the origin filter the stream deduplicates by ``commit_seq`` per
+partition, which makes delivery idempotent under re-delivery (a replayed
+or re-applied record with an already-folded sequence number is counted in
+``cdc.duplicates`` and dropped).  Per-partition event order is therefore
+the master's serialisation order -- the same order every slave applies.
+
+Every tap also maintains a **tapped-LSN cursor** per commit log: the
+highest LSN the stream has processed on that log.  The replication mux
+includes these cursors in its WAL-retention minimum
+(:meth:`repro.replication.mux.ReplicationMux.bind_cdc`), so retention can
+never truncate a record the stream has not seen -- a paused stream (e.g. a
+consumer catching up) pins the log instead of losing events, and
+:meth:`ChangeStream.resume` drains the buffered suffix through
+:meth:`~repro.storage.wal.WriteAheadLog.since`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.storage.records import RecordVersion
+from repro.storage.wal import LogRecord, WriteOperation
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One logical commit of one data partition, as seen by the CDC plane."""
+
+    partition_index: int
+    commit_seq: int
+    lsn: int
+    transaction_id: int
+    origin: str
+    timestamp: float
+    operations: Tuple[WriteOperation, ...]
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(operation.key for operation in self.operations)
+
+    def __repr__(self) -> str:
+        return (f"<ChangeEvent p{self.partition_index} "
+                f"seq={self.commit_seq} keys={list(self.keys)}>")
+
+
+def replay_events(events, store) -> int:
+    """Apply change events to a :class:`~repro.storage.engine.RecordStore`.
+
+    Installs each event's operations as :class:`RecordVersion`\\ s exactly
+    the way a replication apply would, so replaying a partition's full
+    stream (or its suffix past any checkpoint) into an empty (or
+    checkpointed) store reproduces the live store's state --
+    the property ``tests/test_cdc.py`` pins.  Returns the number of
+    versions applied.
+    """
+    applied = 0
+    for event in events:
+        for operation in event.operations:
+            store.apply_version(RecordVersion(
+                key=operation.key,
+                value=operation.value,
+                commit_seq=event.commit_seq,
+                transaction_id=event.transaction_id,
+                origin=event.origin,
+            ))
+            applied += 1
+    return applied
+
+
+class _Tap:
+    """One subscribed commit log (a member copy of one partition)."""
+
+    __slots__ = ("partition_index", "wal", "copy_name", "listener")
+
+    def __init__(self, partition_index: int, wal, copy_name: str, listener):
+        self.partition_index = partition_index
+        self.wal = wal
+        self.copy_name = copy_name
+        self.listener = listener
+
+
+class ChangeStream:
+    """Per-partition ordered change events folded from WAL commit hooks."""
+
+    def __init__(self, *, retention_events: Optional[int] = None,
+                 metrics=None):
+        if retention_events is not None and retention_events < 1:
+            raise ValueError("stream retention must be at least 1 event")
+        self.retention_events = retention_events
+        self.metrics = metrics
+        #: Folded events per partition, ascending ``commit_seq``.
+        self._events: Dict[int, List[ChangeEvent]] = {}
+        #: Highest folded ``commit_seq`` per partition (the dedupe line).
+        self._last_seq: Dict[int, int] = {}
+        self._taps: List[_Tap] = []
+        #: Tapped-LSN cursor per commit log, keyed by ``id(wal)``.
+        self._tapped_lsn: Dict[int, int] = {}
+        self._consumers: List[Callable[[ChangeEvent], None]] = []
+        self._paused = False
+        # Plain counters mirrored into metrics when bound; tests without a
+        # registry read these directly.
+        self.events_folded = 0
+        self.duplicates_skipped = 0
+        self.gap_records_lost = 0
+        self.events_evicted = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind_metrics(self, metrics) -> None:
+        self.metrics = metrics
+
+    def tap(self, partition_index: int, copy) -> None:
+        """Subscribe one member copy's commit log (origin-filtered).
+
+        The cursor starts at the log's current tail: the stream captures
+        commits from the moment it is wired, which the deployment builder
+        does before any subscriber is loaded.
+        """
+        copy_name = copy.transactions.name
+        wal = copy.wal
+        tap = _Tap(partition_index, wal, copy_name, None)
+
+        def on_commit(record: LogRecord) -> None:
+            if self._paused:
+                return
+            self._ingest(tap, record)
+
+        tap.listener = on_commit
+        wal.subscribe(on_commit)
+        self._taps.append(tap)
+        self._tapped_lsn.setdefault(id(wal), wal.last_lsn)
+
+    def close(self) -> None:
+        """Unsubscribe every tap (the stream stops folding)."""
+        for tap in self._taps:
+            tap.wal.unsubscribe(tap.listener)
+        self._taps = []
+
+    def subscribe(self, consumer: Callable[[ChangeEvent], None]) -> None:
+        """Run ``consumer(event)`` synchronously for every folded event."""
+        if consumer not in self._consumers:
+            self._consumers.append(consumer)
+
+    # -- folding ----------------------------------------------------------------
+
+    def _ingest(self, tap: _Tap, record: LogRecord) -> None:
+        # The cursor advances for every record seen on the log -- filtered
+        # replication applies included -- because the stream has *processed*
+        # that LSN; retention pinning only needs unseen records kept.
+        key = id(tap.wal)
+        if record.lsn > self._tapped_lsn.get(key, 0):
+            self._tapped_lsn[key] = record.lsn
+        if record.origin != tap.copy_name:
+            return
+        partition = tap.partition_index
+        last = self._last_seq.get(partition, 0)
+        if record.commit_seq <= last:
+            self.duplicates_skipped += 1
+            self._count("cdc.duplicates")
+            return
+        event = ChangeEvent(
+            partition_index=partition,
+            commit_seq=record.commit_seq,
+            lsn=record.lsn,
+            transaction_id=record.transaction_id,
+            origin=record.origin,
+            timestamp=record.timestamp,
+            operations=record.operations,
+        )
+        self._last_seq[partition] = record.commit_seq
+        events = self._events.setdefault(partition, [])
+        events.append(event)
+        if self.retention_events is not None and \
+                len(events) > self.retention_events:
+            del events[:len(events) - self.retention_events]
+            self.events_evicted += 1
+            self._count("cdc.stream.evicted")
+        self.events_folded += 1
+        self._count("cdc.events")
+        for consumer in tuple(self._consumers):
+            consumer(event)
+
+    # -- pause / resume ----------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop folding; cursors freeze, so retention pins the tapped logs."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Drain everything committed while paused, in log order per tap.
+
+        A gap -- the log's oldest retained record numbered past the cursor,
+        i.e. retention truncated records the stream never saw -- is counted
+        in ``cdc.gaps`` (``gap_records_lost``); with the mux's CDC-aware
+        retention bound this stays zero, which the property tests assert.
+        """
+        self._paused = False
+        for tap in self._taps:
+            cursor = self._tapped_lsn.get(id(tap.wal), 0)
+            pending = tap.wal.since(cursor)
+            if pending and cursor > 0:
+                lost = pending[0].lsn - (cursor + 1)
+                if lost > 0:
+                    self.gap_records_lost += lost
+                    self._count("cdc.gaps", lost)
+            for record in pending:
+                self._ingest(tap, record)
+
+    # -- cursors / reading --------------------------------------------------------
+
+    def cursor_for(self, wal) -> Optional[int]:
+        """The tapped-LSN cursor of ``wal``, or ``None`` when untapped.
+
+        The replication mux calls this from its retention pass; ``None``
+        leaves that log unconstrained by the CDC plane.
+        """
+        return self._tapped_lsn.get(id(wal))
+
+    def checkpoint(self, partition_index: int) -> int:
+        """The highest folded ``commit_seq`` of one partition (0 when none)."""
+        return self._last_seq.get(partition_index, 0)
+
+    def partitions(self) -> List[int]:
+        return sorted(self._events)
+
+    def events(self, partition_index: int) -> List[ChangeEvent]:
+        """All retained events of one partition, ascending ``commit_seq``."""
+        return list(self._events.get(partition_index, ()))
+
+    def events_since(self, partition_index: int,
+                     commit_seq: int) -> List[ChangeEvent]:
+        """Retained events with ``commit_seq`` strictly greater (ascending).
+
+        Mirrors :meth:`~repro.storage.wal.WriteAheadLog.since` index
+        arithmetic where the sequence is dense, falling back to a scan when
+        it is not (stream retention may drop a prefix).
+        """
+        events = self._events.get(partition_index)
+        if not events or commit_seq >= events[-1].commit_seq:
+            return []
+        first = events[0].commit_seq
+        if commit_seq < first:
+            return list(events)
+        index = commit_seq - first + 1
+        if 0 < index <= len(events) and \
+                events[index - 1].commit_seq == commit_seq:
+            return events[index:]
+        return [event for event in events if event.commit_seq > commit_seq]
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name, amount)
+
+    def __repr__(self) -> str:
+        return (f"<ChangeStream taps={len(self._taps)} "
+                f"events={self.events_folded} paused={self._paused}>")

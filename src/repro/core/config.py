@@ -255,6 +255,59 @@ class AdaptiveLingerPolicy:
             raise ValueError("fill_threshold must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class CdcPolicy:
+    """Change-data-capture plane: WAL-tap stream, audit history, reconciler.
+
+    Setting ``UDRConfig.cdc`` builds the CDC plane
+    (:mod:`repro.cdc`): a :class:`~repro.cdc.stream.ChangeStream` taps every
+    partition copy's commit log into ordered, idempotent-by-commit-seq
+    change events, a :class:`~repro.cdc.history.HistoryStore` keeps the
+    per-record who/what/when audit trail past ``wal_retention``, and --
+    with ``reconcile_interval`` set -- a
+    :class:`~repro.cdc.reconcile.Reconciler` process periodically diffs
+    master vs replica vs locator state with merkle-style partition digests
+    and repairs drift in place.  ``None`` (the default) builds none of it:
+    no WAL subscriptions, no retention pinning, no background process --
+    behaviour is bit-identical to not having the feature.
+    """
+
+    #: Virtual seconds between reconciliation rounds; ``None`` keeps the
+    #: stream and history without the background reconciler.
+    reconcile_interval: Optional[float] = None
+    #: Buckets of the merkle-style partition digest (mismatches narrow to
+    #: differing buckets, so repairs only walk suspect keys).
+    digest_buckets: int = 16
+    #: Simulated cost of digesting one partition copy.
+    digest_time: float = 1 * units.MILLISECOND
+    #: Simulated cost of repairing one confirmed-drift key.
+    repair_time: float = 0.5 * units.MILLISECOND
+    #: Exclude a slave element from read-path replica choice while its copy
+    #: is under repair (reads cannot observe half-repaired state).
+    quarantine_reads: bool = True
+    #: Per-record cap on retained audit entries; ``None`` keeps everything.
+    history_max_entries_per_record: Optional[int] = None
+    #: Per-partition cap on retained stream events; ``None`` keeps
+    #: everything (replay-from-any-checkpoint needs the full stream).
+    stream_retention_events: Optional[int] = None
+
+    def __post_init__(self):
+        if self.reconcile_interval is not None and self.reconcile_interval <= 0:
+            raise ValueError("reconcile interval must be positive")
+        if self.digest_buckets < 1:
+            raise ValueError("digest needs at least one bucket")
+        if self.digest_time < 0:
+            raise ValueError("digest time cannot be negative")
+        if self.repair_time < 0:
+            raise ValueError("repair time cannot be negative")
+        if self.history_max_entries_per_record is not None and \
+                self.history_max_entries_per_record < 1:
+            raise ValueError("history cap must be at least 1 entry")
+        if self.stream_retention_events is not None and \
+                self.stream_retention_events < 1:
+            raise ValueError("stream retention must be at least 1 event")
+
+
 @dataclass
 class UDRConfig:
     """Everything needed to build a UDR NF deployment.
@@ -358,6 +411,12 @@ class UDRConfig:
     #: sheds -- dispatcher behaviour is bit-identical to not having the
     #: feature.
     shed_policy: Optional[ShedPolicy] = None
+
+    # -- change-data-capture ------------------------------------------------------------
+    #: Build the CDC plane (WAL-tap change stream, audit history and --
+    #: with ``reconcile_interval`` set -- the online reconciler); ``None``
+    #: (the default) is bit-identical to not having the feature.
+    cdc: Optional[CdcPolicy] = None
 
     # -- observability ------------------------------------------------------------------
     #: Completed requests buffered before the pipeline's metric batch is

@@ -92,6 +92,7 @@ class Deployment:
         "channels", "replication_mux", "dual_replicators",
         "quorum_replicators", "locators", "points_of_access",
         "primary_partition_of_element", "placement_policy", "catalog",
+        "change_stream", "history_store",
     )
 
     def __init__(self, *, config: UDRConfig, topology: NetworkTopology,
@@ -109,7 +110,8 @@ class Deployment:
                  points_of_access: List[PointOfAccess],
                  primary_partition_of_element: Dict[str, int],
                  placement_policy: PlacementPolicy,
-                 catalog: Optional[DirectoryCatalog] = None):
+                 catalog: Optional[DirectoryCatalog] = None,
+                 change_stream=None, history_store=None):
         self.config = config
         self.topology = topology
         self.network = network
@@ -129,6 +131,8 @@ class Deployment:
         self.primary_partition_of_element = primary_partition_of_element
         self.placement_policy = placement_policy
         self.catalog = catalog
+        self.change_stream = change_stream
+        self.history_store = history_store
 
     # -- lookups -------------------------------------------------------------------
 
@@ -223,10 +227,15 @@ class DeploymentBuilder:
         self._build_clusters_and_elements()
         self._build_replica_sets()
         catalog = self._build_catalog()
+        change_stream, history_store = self._build_cdc()
         self._build_replicators()
         # Recovery notifications re-arm stalled replication links exactly
         # when their endpoint comes back, instead of a cadence retry.
         self.replication_mux.bind_availability(availability_manager)
+        if change_stream is not None:
+            # WAL retention never truncates past the CDC plane's slowest
+            # tapped-LSN cursor.
+            self.replication_mux.bind_cdc(change_stream.cursor_for)
         self._build_points_of_access()
         placement_policy = self._build_placement_policy()
         return Deployment(
@@ -240,7 +249,8 @@ class DeploymentBuilder:
             quorum_replicators=self.quorum_replicators, locators=self.locators,
             points_of_access=self.points_of_access,
             primary_partition_of_element=self.primary_partition_of_element,
-            placement_policy=placement_policy, catalog=catalog)
+            placement_policy=placement_policy, catalog=catalog,
+            change_stream=change_stream, history_store=history_store)
 
     # -- build steps ---------------------------------------------------------------
 
@@ -325,6 +335,27 @@ class DeploymentBuilder:
             for _element, copy in replica_set.members():
                 subscribe(partition_index, copy)
         return catalog
+
+    def _build_cdc(self):
+        """The CDC plane: change stream + audit history (``config.cdc``).
+
+        Taps every member copy's commit log exactly like the catalog does
+        (origin-filtered, so each logical commit folds once and the wiring
+        survives fail-over).  ``cdc=None`` builds nothing: no
+        subscriptions, no cursors, no retention pinning.
+        """
+        policy = self.config.cdc
+        if policy is None:
+            return None, None
+        from repro.cdc import ChangeStream, HistoryStore
+        stream = ChangeStream(retention_events=policy.stream_retention_events)
+        history = HistoryStore(
+            stream,
+            max_entries_per_record=policy.history_max_entries_per_record)
+        for partition_index, replica_set in self.replica_sets.items():
+            for _element, copy in replica_set.members():
+                stream.tap(partition_index, copy)
+        return stream, history
 
     def _build_replicators(self) -> None:
         # The mux is built unconditionally (its start is gated by

@@ -427,6 +427,21 @@ class ReadPath(PipelineStage):
                          poa_site, replica_set.element(name).site)]
         if not reachable:
             return None
+        quarantine = self.pipeline.read_quarantine
+        if quarantine:
+            # Copies under reconciliation repair are skipped while another
+            # live copy can serve.  The partition's own master is never
+            # filtered: repairs only touch slave copies, and an element
+            # quarantined as the slave of one partition may be the master
+            # of another (a fully quarantined set still answers: better a
+            # read racing a repair than an outage).
+            cleared = [name for name in reachable
+                       if name not in quarantine
+                       or name == replica_set.master_element_name]
+            if cleared and len(cleared) < len(reachable):
+                reachable = cleared
+                self.pipeline.batch.increment(
+                    "reconciliation.reads_steered")
         master = replica_set.master_element_name
         if not self.config.reads_from_slave(client_type) and \
                 not self.pipeline.shed_active:
@@ -1091,6 +1106,11 @@ class OperationPipeline:
         #: master-only client types.  Plain attribute (not config) because
         #: it flips at simulation time.
         self.shed_active = False
+        #: Element names whose partition copies are currently under
+        #: reconciliation repair (:class:`repro.cdc.reconcile.Reconciler`);
+        #: the read path avoids choosing them while another live copy can
+        #: serve, so reads cannot observe half-repaired replica state.
+        self.read_quarantine = set()
 
     # -- cache plumbing ------------------------------------------------------------
 

@@ -75,6 +75,9 @@ class UDRNetworkFunction:
         self.deployment.replication_mux.bind_metrics(self.metrics)
         if self.deployment.catalog is not None:
             self.deployment.catalog.bind_metrics(self.metrics)
+        if self.deployment.change_stream is not None:
+            self.deployment.change_stream.bind_metrics(self.metrics)
+            self.deployment.history_store.bind_metrics(self.metrics)
         self.location_caches = LocationCacheGroup(
             capacity=config.location_cache_capacity)
         self.pipeline = OperationPipeline(self.sim, config, self.deployment,
@@ -83,6 +86,16 @@ class UDRNetworkFunction:
                                             self.builder, self.location_caches)
         self.dispatcher = BatchDispatcher(self.sim, config, self.pipeline,
                                           self.metrics)
+        self.reconciler = None
+        if config.cdc is not None and \
+                config.cdc.reconcile_interval is not None:
+            # Imported here like the session layer: repro.cdc is a consumer
+            # of core structures, not a dependency of the build path.
+            from repro.cdc import Reconciler
+            self.reconciler = Reconciler(
+                self.sim, self.deployment, config.cdc, self.metrics,
+                history=self.deployment.history_store,
+                pipeline=self.pipeline)
 
         # The attribute surface predating the layer split: live views of the
         # deployment handle's collections.
@@ -103,6 +116,8 @@ class UDRNetworkFunction:
         self.points_of_access = deployment.points_of_access
         self.placement_policy = deployment.placement_policy
         self.catalog = deployment.catalog
+        self.change_stream = deployment.change_stream
+        self.history = deployment.history_store
         self.subscribers_loaded = 0
         #: Named client attachments (:meth:`attach`), the session API's
         #: per-caller handles.
@@ -116,8 +131,12 @@ class UDRNetworkFunction:
         self.controller.start()
         if self.config.dispatch_mode is DispatchMode.DISPATCHER:
             self.dispatcher.start()
+        if self.reconciler is not None:
+            self.reconciler.start()
 
     def stop(self) -> None:
+        if self.reconciler is not None:
+            self.reconciler.stop()
         self.dispatcher.stop()
         self.controller.stop()
         self.pipeline.flush_metrics()

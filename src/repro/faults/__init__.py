@@ -1,12 +1,21 @@
-"""Fault injection: element failures, site disasters and network partitions.
+"""Fault injection: element failures, site disasters, network partitions
+and silent data corruption.
 
 The CAP behaviour the paper analyses only shows up under faults, so the
 experiments need a controlled way to produce them: scheduled incidents (a
-backbone partition from t=60 s to t=90 s during a batch run), and stochastic
+backbone partition from t=60 s to t=90 s during a batch run), stochastic
 failure processes (storage elements failing with a given MTBF/MTTR) for the
-availability experiments.
+availability experiments, and -- for the reconciliation experiments --
+:class:`SilentCorruption` incidents that drift replica or locator state
+without tripping any health signal.
 """
 
+from repro.faults.corruption import (
+    CorruptionReport,
+    SilentCorruption,
+    apply_corruption,
+    flip_store_record,
+)
 from repro.faults.failures import (
     ElementFailureProcess,
     PartitionIncident,
@@ -15,9 +24,13 @@ from repro.faults.failures import (
 from repro.faults.injector import FaultInjector, FaultSchedule
 
 __all__ = [
+    "CorruptionReport",
     "ElementFailureProcess",
     "FaultInjector",
     "FaultSchedule",
     "PartitionIncident",
+    "SilentCorruption",
     "SiteDisaster",
+    "apply_corruption",
+    "flip_store_record",
 ]

@@ -12,6 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.faults.corruption import (
+    CorruptionReport,
+    SilentCorruption,
+    apply_corruption,
+)
 from repro.faults.failures import (
     ElementFailureProcess,
     PartitionIncident,
@@ -25,6 +30,7 @@ class FaultSchedule:
 
     partitions: List[PartitionIncident] = field(default_factory=list)
     disasters: List[SiteDisaster] = field(default_factory=list)
+    corruptions: List[SilentCorruption] = field(default_factory=list)
 
     def add_partition(self, incident: PartitionIncident) -> "FaultSchedule":
         self.partitions.append(incident)
@@ -34,9 +40,14 @@ class FaultSchedule:
         self.disasters.append(disaster)
         return self
 
+    def add_corruption(self, corruption: SilentCorruption) -> "FaultSchedule":
+        self.corruptions.append(corruption)
+        return self
+
     @property
     def empty(self) -> bool:
-        return not self.partitions and not self.disasters
+        return not self.partitions and not self.disasters and \
+            not self.corruptions
 
 
 class FaultInjector:
@@ -48,6 +59,11 @@ class FaultInjector:
         self.partitions_applied = 0
         self.disasters_applied = 0
         self.element_crashes = 0
+        self.corruptions_applied = 0
+        #: One report per scheduled corruption, in injection order --
+        #: experiments read ``applied_at`` off these to measure how long
+        #: the reconciler took to notice.
+        self.corruption_reports: List[CorruptionReport] = []
 
     # -- scheduled incidents -------------------------------------------------------
 
@@ -59,6 +75,11 @@ class FaultInjector:
         for disaster in self.schedule.disasters:
             self.udr.sim.process(self._run_disaster(disaster),
                                  name=f"fault:disaster:{disaster.site_name}")
+        for corruption in self.schedule.corruptions:
+            self.udr.sim.process(
+                self._run_corruption(corruption),
+                name=f"fault:corruption:{corruption.kind}"
+                     f"@{corruption.site_name}")
 
     def _run_partition(self, incident: PartitionIncident):
         sim = self.udr.sim
@@ -90,6 +111,33 @@ class FaultInjector:
                 poa.restore()
         for name in affected_elements:
             self.udr.recover_element(name)
+
+    # -- silent corruption ---------------------------------------------------------
+
+    def _run_corruption(self, corruption: SilentCorruption,
+                        max_attempts: int = 200):
+        """Apply one silent corruption at its scheduled time.
+
+        ``skip_apply`` needs an open shipment window (committed records
+        not yet applied on the slave); under live traffic one opens
+        within a replication interval or two, so the process retries on
+        that grid until it lands -- bounded so an idle deployment cannot
+        leak a spinning process.
+        """
+        sim = self.udr.sim
+        if corruption.at > sim.now:
+            yield sim.timeout(corruption.at - sim.now)
+        rng = sim.rng("faults.corruption")
+        report = apply_corruption(self.udr, corruption, rng)
+        attempts = 1
+        while not report.applied and corruption.kind == "skip_apply" and \
+                attempts < max_attempts:
+            yield sim.timeout(self.udr.config.replication_interval)
+            report = apply_corruption(self.udr, corruption, rng)
+            attempts += 1
+        if report.applied:
+            self.corruptions_applied += 1
+        self.corruption_reports.append(report)
 
     # -- stochastic element failures ----------------------------------------------------
 
@@ -134,4 +182,5 @@ class FaultInjector:
     def __repr__(self) -> str:
         return (f"<FaultInjector partitions={self.partitions_applied} "
                 f"disasters={self.disasters_applied} "
-                f"crashes={self.element_crashes}>")
+                f"crashes={self.element_crashes} "
+                f"corruptions={self.corruptions_applied}>")

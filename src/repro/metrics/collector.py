@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.metrics.availability import OperationOutcomes
 from repro.metrics.consistency import ConsistencyTracker
@@ -15,6 +15,14 @@ class MetricsRegistry:
     def __init__(self, name: str = "metrics"):
         self.name = name
         self._counters: Dict[str, int] = {}
+        #: Which counter names match each queried prefix.  Counter names are
+        #: a small, stable set while *values* churn on every request, so the
+        #: membership scan is cached per prefix and only the first increment
+        #: of a brand-new name extends it -- repeated
+        #: :meth:`counters_with_prefix` calls (the reconciler's per-round
+        #: status, the dispatcher's per-wave shed accounting) stop paying a
+        #: full-registry filter each time.
+        self._prefix_members: Dict[str, List[str]] = {}
         self._gauges: Dict[str, float] = {}
         self._latencies: Dict[str, LatencyRecorder] = {}
         self._outcomes: Dict[str, OperationOutcomes] = {}
@@ -23,17 +31,34 @@ class MetricsRegistry:
     # -- counters -------------------------------------------------------------
 
     def increment(self, name: str, amount: int = 1) -> int:
-        self._counters[name] = self._counters.get(name, 0) + amount
-        return self._counters[name]
+        counters = self._counters
+        if name in counters:
+            counters[name] += amount
+        else:
+            counters[name] = amount
+            for prefix, members in self._prefix_members.items():
+                if name.startswith(prefix):
+                    members.append(name)
+        return counters[name]
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
 
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
         """All counters whose name starts with ``prefix`` (e.g. per-priority
-        ``batch.priority.`` counters recorded by the batch pipeline)."""
-        return {name: value for name, value in self._counters.items()
-                if name.startswith(prefix)}
+        ``batch.priority.`` counters recorded by the batch pipeline).
+
+        Values are read live; the name scan is cached (see
+        ``_prefix_members``), so repeated calls for the same prefix cost
+        O(matches), not O(all counters).
+        """
+        members = self._prefix_members.get(prefix)
+        if members is None:
+            members = [name for name in self._counters
+                       if name.startswith(prefix)]
+            self._prefix_members[prefix] = members
+        counters = self._counters
+        return {name: counters[name] for name in members}
 
     # -- gauges -----------------------------------------------------------------
 

@@ -47,7 +47,10 @@ Three queue-health policies ride on the rounds:
   that grew past the limit is truncated through the *slowest shipped-LSN
   cursor* of its outgoing channels (capped at the durability watermark, so
   checkpoint/crash semantics are untouched), bounding log memory on long
-  runs without ever dropping an unshipped record.
+  runs without ever dropping an unshipped record.  A bound CDC stream
+  (:meth:`bind_cdc`) adds its tapped-LSN cursors to the same minimum, so
+  retention also never drops a record the change-data-capture plane has
+  not folded.
 """
 
 from __future__ import annotations
@@ -103,6 +106,9 @@ class ReplicationMux:
         #: The availability manager whose recovery notifications re-arm
         #: stalled links (``None`` falls back to cadence retries).
         self._availability = None
+        #: CDC cursor callback ``(wal) -> tapped LSN or None``; retention
+        #: never truncates past it (see :meth:`bind_cdc`).
+        self._cdc_cursor = None
         self._running = False
         #: Bumped by stop()/rebind(); an armed round whose generation is
         #: stale does nothing when it fires.
@@ -133,6 +139,20 @@ class ReplicationMux:
             return
         self._availability = availability_manager
         availability_manager.subscribe_recovery(self._on_recovery)
+
+    def bind_cdc(self, cursor_for) -> None:
+        """Pin WAL retention behind the CDC plane's tapped-LSN cursors.
+
+        ``cursor_for(wal)`` returns the change stream's highest processed
+        LSN on that log (``None`` when the log is untapped).  With the
+        binding in place, :meth:`_apply_retention` includes the cursor in
+        its safe-LSN minimum, so retention can never drop a record the
+        stream has not folded -- a paused stream (a consumer catching up)
+        pins the log instead of losing events.  Unbound (the default, and
+        whenever ``UDRConfig.cdc`` is ``None``) retention behaves exactly
+        as before.
+        """
+        self._cdc_cursor = cursor_for
 
     def _on_recovery(self, _component_name: str) -> None:
         if not self._running:
@@ -365,6 +385,10 @@ class ReplicationMux:
             if len(wal) <= self.wal_retention or not cursors:
                 continue
             safe_lsn = min(min(cursors), wal.durable_lsn)
+            if self._cdc_cursor is not None:
+                tapped = self._cdc_cursor(wal)
+                if tapped is not None:
+                    safe_lsn = min(safe_lsn, tapped)
             if safe_lsn <= 0:
                 continue
             dropped = wal.truncate_through(safe_lsn)

@@ -48,3 +48,60 @@ def run_process(sim, generator):
     if not process.ok:
         raise process.exception
     return process.value
+
+
+# -- seeded silent-corruption factories --------------------------------------------
+#
+# Shared by test_replication, test_cdc and test_reconciliation: every
+# corruption in the suite is built here from an explicit seed, so a failing
+# run replays bit-for-bit.
+
+def corruption_rng(seed=11):
+    """The deterministic victim-picking stream for corruption helpers."""
+    import random
+    return random.Random(seed)
+
+
+def flip_slave_record(replica_set, slave_name, key, seed=11):
+    """Byte-flip ``key``'s latest version on one slave copy (seeded)."""
+    from repro.faults import flip_store_record
+    store = replica_set.copy_on(slave_name).store
+    assert flip_store_record(store, key, corruption_rng(seed)), \
+        f"no versions of {key!r} on {slave_name}"
+    return store.latest(key)
+
+
+def site_of_slave(udr, partition_index=0, slave_offset=0):
+    """The site name hosting one slave copy of a partition."""
+    replica_set = udr.replica_sets[partition_index]
+    slave = replica_set.slave_names()[slave_offset]
+    return udr.elements[slave].site.name
+
+
+def site_of_master(udr, partition_index=0):
+    """The site name hosting the partition's current master copy."""
+    replica_set = udr.replica_sets[partition_index]
+    return udr.elements[replica_set.master_element_name].site.name
+
+
+def make_corruption(udr, kind, partition_index=0, at=0.0, target_key=None):
+    """A :class:`~repro.faults.SilentCorruption` aimed at a valid site.
+
+    ``byte_flip`` and ``skip_apply`` need a slave at the site;
+    ``locator_drop`` targets the site whose locator serves the master.
+    """
+    from repro.faults import SilentCorruption
+    if kind == "locator_drop":
+        site = site_of_master(udr, partition_index)
+    else:
+        site = site_of_slave(udr, partition_index)
+    return SilentCorruption(site_name=site, partition_index=partition_index,
+                            kind=kind, at=at, target_key=target_key)
+
+
+def inject_corruption(udr, kind, partition_index=0, seed=11, target_key=None):
+    """Build and immediately apply one corruption; returns the report."""
+    from repro.faults import apply_corruption
+    corruption = make_corruption(udr, kind, partition_index,
+                                 target_key=target_key)
+    return apply_corruption(udr, corruption, corruption_rng(seed))

@@ -1,0 +1,127 @@
+"""Counter registry stability: the cached prefix scan and the name universe.
+
+``MetricsRegistry.counters_with_prefix`` used to rebuild a filtered dict
+over *every* counter on every call -- a full-registry allocation the
+reconciler (once per round) and the dispatcher's shed accounting (once per
+wave) multiplied onto the hot path.  PR 8 caches the name->prefix
+membership and reads values live, so the fix is only safe if two things
+hold forever:
+
+* **equivalence** -- the cached scan returns exactly what the naive filter
+  would, under any interleaving of increments (new and existing names) and
+  queries (hypothesis property);
+* **stability** -- the CDC/reconciliation counter names emitted by a
+  representative run stay the pinned set, so a cached membership list
+  cannot silently diverge from what the subsystems actually emit.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import UDRConfig
+from repro.core.config import CdcPolicy
+from repro.metrics import MetricsRegistry
+
+from tests.conftest import build_udr
+from tests.helpers import inject_corruption
+
+names = st.sampled_from(
+    [f"{prefix}.{leaf}" for prefix in ("api", "api.client", "batch", "cdc")
+     for leaf in string.ascii_lowercase[:4]])
+prefixes = st.sampled_from(["api.", "api.client.", "batch.", "cdc.", "x."])
+
+
+def naive_with_prefix(registry, prefix):
+    return {name: value for name, value in registry._counters.items()
+            if name.startswith(prefix)}
+
+
+class TestPrefixScanEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("inc"), names, st.integers(1, 5)),
+        st.tuples(st.just("query"), prefixes, st.just(0))),
+        min_size=1, max_size=40))
+    def test_cached_scan_matches_naive_filter(self, steps):
+        registry = MetricsRegistry()
+        for kind, argument, amount in steps:
+            if kind == "inc":
+                registry.increment(argument, amount)
+            else:
+                assert registry.counters_with_prefix(argument) == \
+                    naive_with_prefix(registry, argument)
+        for prefix in ("api.", "api.client.", "batch.", "cdc.", "x.", ""):
+            assert registry.counters_with_prefix(prefix) == \
+                naive_with_prefix(registry, prefix)
+
+    def test_new_name_extends_a_cached_prefix(self):
+        registry = MetricsRegistry()
+        registry.increment("rec.a")
+        assert registry.counters_with_prefix("rec.") == {"rec.a": 1}
+        registry.increment("rec.b", 3)  # first appearance after the query
+        assert registry.counters_with_prefix("rec.") == \
+            {"rec.a": 1, "rec.b": 3}
+
+    def test_values_are_read_live_not_snapshotted(self):
+        registry = MetricsRegistry()
+        registry.increment("rec.a")
+        first = registry.counters_with_prefix("rec.")
+        registry.increment("rec.a", 9)
+        assert registry.counters_with_prefix("rec.") == {"rec.a": 10}
+        assert first == {"rec.a": 1}, "earlier snapshots stay unchanged"
+
+    def test_empty_prefix_and_unknown_prefix(self):
+        registry = MetricsRegistry()
+        assert registry.counters_with_prefix("nope.") == {}
+        registry.increment("one", 2)
+        assert registry.counters_with_prefix("") == {"one": 2}
+        assert registry.counters_with_prefix("nope.") == {}
+
+
+#: The CDC/reconciliation counter-name universe a representative corrupted
+#: run emits.  A rename or removal breaks dashboards and the reconciler's
+#: cached status surface alike -- extend deliberately, never rename.
+PINNED_CDC_COUNTERS = {
+    "cdc.events",
+    "cdc.history.entries",
+    "faults.corruption.injected",
+    "faults.corruption.byte_flip",
+    "faults.corruption.locator_drop",
+    "reconciliation.rounds",
+    "reconciliation.detected",
+    "reconciliation.repaired",
+    "reconciliation.locator_repaired",
+}
+
+
+class TestCounterNameStability:
+    def test_representative_run_emits_the_pinned_names(self):
+        config = UDRConfig(seed=7, cdc=CdcPolicy(reconcile_interval=1.0))
+        udr, _ = build_udr(config, subscribers=16)
+        udr.sim.run(until=0.5)
+        inject_corruption(udr, "byte_flip")
+        inject_corruption(udr, "locator_drop")
+        udr.sim.run(until=6.0)
+        emitted = set(udr.metrics.names()["counters"])
+        missing = PINNED_CDC_COUNTERS - emitted
+        assert not missing, f"pinned counters not emitted: {sorted(missing)}"
+
+    def test_reconciler_status_reads_the_round_snapshot(self):
+        """status() serves the per-round snapshot -- no registry scan per
+        call -- and the snapshot keys stay inside the pinned universe."""
+        config = UDRConfig(seed=7, cdc=CdcPolicy(reconcile_interval=1.0))
+        udr, _ = build_udr(config, subscribers=8)
+        udr.sim.run(until=2.5)
+        status = udr.reconciler.status()
+        assert status["counters"]
+        reconciliation_names = {name for name in PINNED_CDC_COUNTERS
+                                if name.startswith("reconciliation.")} \
+            | {"reconciliation.false_positive", "reconciliation.reads_steered"}
+        assert set(status["counters"]) <= reconciliation_names
+        # The snapshot is per round: mutating the registry between rounds
+        # does not change what status() serves.
+        udr.metrics.increment("reconciliation.rounds", 0)
+        before = dict(status["counters"])
+        udr.metrics.increment("reconciliation.detected", 100)
+        assert udr.reconciler.status()["counters"] == before

@@ -244,3 +244,156 @@ class TestShipmentBackpressure:
         sim.run(until=0.2)
         assert mux.shipments == 1
         assert channel.records_shipped == 10
+
+
+class TestCdcRetention:
+    """PR 8: the CDC plane's tapped-LSN cursors join the retention minimum."""
+
+    def build_cdc_link(self, **mux_kwargs):
+        from repro.cdc import ChangeStream
+        sim, network, elements, replica_set, channel, mux = \
+            build_link(**mux_kwargs)
+        stream = ChangeStream()
+        for _, copy in replica_set.members():
+            stream.tap(0, copy)
+        mux.bind_cdc(stream.cursor_for)
+        return sim, network, elements, replica_set, channel, mux, stream
+
+    def test_paused_stream_pins_retention(self):
+        sim, _network, _elements, replica_set, channel, mux, stream = \
+            self.build_cdc_link(wal_retention=3)
+        mux.start()
+        wal = replica_set.master_copy.wal
+        for index in range(6):
+            master_write(replica_set, f"k-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.2)
+        replica_set.master_copy.checkpointer.checkpoint(timestamp=sim.now)
+        master_write(replica_set, "k-live", {"v": 6}, timestamp=sim.now)
+        sim.run(until=0.4)
+        assert mux.wal_records_truncated >= 6, \
+            "a live stream (cursor at the tail) does not block retention"
+        stream.pause()
+        frozen = stream.cursor_for(wal)
+        for index in range(6):
+            master_write(replica_set, f"p-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.6)
+        replica_set.master_copy.checkpointer.checkpoint(timestamp=sim.now)
+        master_write(replica_set, "p-live", {"v": 99}, timestamp=sim.now)
+        sim.run(until=0.8)
+        # Everything past the frozen cursor is still in the log, shipped
+        # and durable or not.
+        assert wal.since(frozen), "paused cursor must pin the unseen suffix"
+        assert wal.records[0].lsn <= frozen + 1
+        stream.resume()
+        assert stream.gap_records_lost == 0
+        assert stream.checkpoint(0) == 14, "every commit folded, no gaps"
+
+    def test_unpinned_stream_allows_normal_truncation(self):
+        """A stream at the tail leaves retention exactly as without CDC."""
+        sim, _n, _e, replica_set, channel, mux, stream = \
+            self.build_cdc_link(wal_retention=2)
+        mux.start()
+        wal = replica_set.master_copy.wal
+        for index in range(8):
+            master_write(replica_set, f"k-{index}", {"v": index},
+                         timestamp=sim.now)
+        sim.run(until=0.2)
+        replica_set.master_copy.checkpointer.checkpoint(timestamp=sim.now)
+        master_write(replica_set, "k-8", {"v": 8}, timestamp=sim.now)
+        sim.run(until=0.4)
+        assert stream.cursor_for(wal) == wal.last_lsn
+        assert mux.wal_records_truncated >= 8
+        assert stream.checkpoint(0) == 9
+
+    def test_retention_never_truncates_past_cdc_cursor_property(self):
+        """Hypothesis: under any interleaving of writes, pauses, resumes
+        and checkpoint/retention rounds, every record the stream has not
+        seen is still in the log, and resume recovers the full sequence."""
+        from hypothesis import given, settings, strategies as st
+
+        actions = st.lists(
+            st.sampled_from(["write", "write", "write", "pause", "resume",
+                             "round"]),
+            min_size=1, max_size=25)
+
+        @settings(max_examples=20, deadline=None)
+        @given(actions=actions)
+        def run(actions):
+            sim, _n, _e, replica_set, channel, mux, stream = \
+                self.build_cdc_link(wal_retention=2)
+            mux.start()
+            wal = replica_set.master_copy.wal
+            writes = 0
+            for action in actions:
+                if action == "write":
+                    writes += 1
+                    master_write(replica_set, f"k-{writes % 4}",
+                                 {"v": writes}, timestamp=sim.now)
+                elif action == "pause":
+                    stream.pause()
+                elif action == "resume":
+                    stream.resume()
+                else:
+                    replica_set.master_copy.checkpointer.checkpoint(
+                        timestamp=sim.now)
+                    sim.run(until=sim.now + 0.2)
+                # The invariant: LSNs are dense from 1, one per write, so
+                # the log must still hold every record past the cursor.
+                cursor = stream.cursor_for(wal)
+                assert len(wal.since(cursor)) == writes - cursor
+            stream.resume()
+            assert stream.gap_records_lost == 0
+            assert stream.checkpoint(0) == writes
+            assert stream.events_folded == writes
+
+        run()
+
+    def test_cdc_off_leaves_no_trace(self):
+        """Regression: without ``UDRConfig.cdc`` nothing of the CDC plane
+        exists -- no taps, no cursor bound into retention, no counters."""
+        udr, _ = build_udr(UDRConfig(seed=5, wal_retention=10),
+                           subscribers=10)
+        assert udr.change_stream is None
+        assert udr.history is None
+        assert udr.reconciler is None
+        assert udr.replication_mux._cdc_cursor is None
+        names = udr.metrics.names()["counters"]
+        assert not any(name.startswith(("cdc.", "reconciliation."))
+                       for name in names)
+
+    def test_cdc_tap_is_passive_on_state_and_codes(self):
+        """The same seeded write trace lands on identical result codes and
+        identical store state with the CDC tap on (no reconciler) and off:
+        the stream observes, it never participates."""
+        from repro.api import Write
+        from repro.core import ClientType
+        from repro.core.config import CdcPolicy
+
+        def run_trace(cdc):
+            config = UDRConfig(seed=11, wal_retention=10,
+                               checkpoint_period=0.5, cdc=cdc)
+            udr, profiles = build_udr(config, subscribers=12)
+            client = udr.attach("ps", udr.topology.sites[0],
+                                client_type=ClientType.PROVISIONING)
+            session = client.session()
+            codes = []
+            for index, profile in enumerate(profiles):
+                response = run_to_completion(udr, session.call(
+                    Write(profile.identities.imsi, {"servingMsc": f"m-{index}"})))
+                codes.append(response.result_code)
+            udr.sim.run_for(2.0)
+            state = {}
+            for set_name, replica_set in udr.replica_sets.items():
+                for member in replica_set.member_names:
+                    copy = replica_set.copy_on(member)
+                    state[(set_name, member)] = {
+                        key: copy.store.get(key)
+                        for key in copy.store.keys()}
+            return codes, state
+
+        off_codes, off_state = run_trace(cdc=None)
+        on_codes, on_state = run_trace(cdc=CdcPolicy())
+        assert on_codes == off_codes
+        assert on_state == off_state

@@ -15,7 +15,12 @@ from repro.replication import (
 )
 from repro.storage import DataPartition, ReplicaRole, StorageElement
 
-from tests.helpers import build_replicated_partition, master_write, run_process
+from tests.helpers import (
+    build_replicated_partition,
+    flip_slave_record,
+    master_write,
+    run_process,
+)
 
 
 class TestReplicaSet:
@@ -187,6 +192,20 @@ class TestAsyncReplication:
         _master, pending = channel.pending_records()
         assert pending == []
         assert not channel.has_backlog(), "the cursor advanced past it"
+
+    def test_byte_flipped_slave_is_invisible_to_replication(self):
+        """Silent corruption does not re-open the shipping window: the
+        flipped version keeps its commit_seq, so the channel sees nothing
+        to ship -- which is exactly why the CDC reconciler exists."""
+        sim, network, _, _, replica_set = build_replicated_partition()
+        record = master_write(replica_set, "sub-1", {"v": 1, "msc": "a"})
+        replica_set.copy_on("se-1").transactions.apply_log_record(record)
+        flip_slave_record(replica_set, "se-1", "sub-1", seed=5)
+        channel = AsyncReplicationChannel(sim, network, replica_set, "se-1")
+        assert channel.pending_records() == ("se-0", [])
+        assert not channel.has_backlog(), "the cursor advanced past it"
+        assert replica_set.copy_on("se-1").store.read_committed("sub-1") != \
+            replica_set.master_copy.store.read_committed("sub-1")
 
     def test_inactive_when_slave_is_master(self):
         sim, network, _, _, replica_set = build_replicated_partition()
