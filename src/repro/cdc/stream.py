@@ -45,10 +45,18 @@ class ChangeEvent:
     origin: str
     timestamp: float
     operations: Tuple[WriteOperation, ...]
+    #: Promotion epoch that durably committed the record (0 before the
+    #: membership plane's first promotion).
+    epoch: int = 0
 
     @property
     def keys(self) -> Tuple[str, ...]:
         return tuple(operation.key for operation in self.operations)
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """Recency ordering key across promotion epochs."""
+        return (self.epoch, self.commit_seq)
 
     def __repr__(self) -> str:
         return (f"<ChangeEvent p{self.partition_index} "
@@ -74,6 +82,7 @@ def replay_events(events, store) -> int:
                 commit_seq=event.commit_seq,
                 transaction_id=event.transaction_id,
                 origin=event.origin,
+                epoch=event.epoch,
             ))
             applied += 1
     return applied
@@ -100,10 +109,14 @@ class ChangeStream:
             raise ValueError("stream retention must be at least 1 event")
         self.retention_events = retention_events
         self.metrics = metrics
-        #: Folded events per partition, ascending ``commit_seq``.
+        #: Folded events per partition, in stream (fold) order -- ascending
+        #: ``commit_seq`` within each promotion epoch.
         self._events: Dict[int, List[ChangeEvent]] = {}
-        #: Highest folded ``commit_seq`` per partition (the dedupe line).
+        #: Latest folded ``commit_seq`` per partition (the checkpoint).
         self._last_seq: Dict[int, int] = {}
+        #: Latest folded ``(epoch, commit_seq)`` per partition (the dedupe
+        #: line; epoch-aware because a promotion restarts commit numbering).
+        self._last_position: Dict[int, Tuple[int, int]] = {}
         self._taps: List[_Tap] = []
         #: Tapped-LSN cursor per commit log, keyed by ``id(wal)``.
         self._tapped_lsn: Dict[int, int] = {}
@@ -165,8 +178,8 @@ class ChangeStream:
         if record.origin != tap.copy_name:
             return
         partition = tap.partition_index
-        last = self._last_seq.get(partition, 0)
-        if record.commit_seq <= last:
+        last = self._last_position.get(partition, (0, 0))
+        if record.position <= last:
             self.duplicates_skipped += 1
             self._count("cdc.duplicates")
             return
@@ -178,8 +191,10 @@ class ChangeStream:
             origin=record.origin,
             timestamp=record.timestamp,
             operations=record.operations,
+            epoch=record.epoch,
         )
         self._last_seq[partition] = record.commit_seq
+        self._last_position[partition] = record.position
         events = self._events.setdefault(partition, [])
         events.append(event)
         if self.retention_events is not None and \
@@ -252,15 +267,21 @@ class ChangeStream:
         it is not (stream retention may drop a prefix).
         """
         events = self._events.get(partition_index)
-        if not events or commit_seq >= events[-1].commit_seq:
+        if not events:
             return []
-        first = events[0].commit_seq
-        if commit_seq < first:
+        if commit_seq <= 0 or commit_seq < events[0].commit_seq:
             return list(events)
+        first = events[0].commit_seq
         index = commit_seq - first + 1
         if 0 < index <= len(events) and \
                 events[index - 1].commit_seq == commit_seq:
             return events[index:]
+        # Fold order is stream order even across promotion epochs (where
+        # commit numbering can restart): resume strictly after the *latest*
+        # event carrying the cursor sequence.
+        for position in range(len(events) - 1, -1, -1):
+            if events[position].commit_seq == commit_seq:
+                return events[position + 1:]
         return [event for event in events if event.commit_seq > commit_seq]
 
     def _count(self, name: str, amount: int = 1) -> None:

@@ -13,6 +13,12 @@ its identity-location maps -- see :mod:`repro.directory.sync`).
 from repro.cluster.blade import Blade, ProcessKind
 from repro.cluster.blade_cluster import BladeCluster, ClusterLimits
 from repro.cluster.balancer import PointOfAccess
+from repro.cluster.detector import (
+    MembershipPlane,
+    MembershipStats,
+    PromotionProtocol,
+    PromotionRecord,
+)
 from repro.cluster.saf import AvailabilityManager, ComponentState
 
 __all__ = [
@@ -21,6 +27,10 @@ __all__ = [
     "BladeCluster",
     "ClusterLimits",
     "ComponentState",
+    "MembershipPlane",
+    "MembershipStats",
     "PointOfAccess",
+    "PromotionProtocol",
+    "PromotionRecord",
     "ProcessKind",
 ]

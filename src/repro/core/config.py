@@ -129,7 +129,7 @@ class RetryPolicy:
     max_retries: int = 2
     backoff_tick: float = 5 * units.MILLISECOND
     backoff_multiplier: float = 2.0
-    retry_codes: Tuple[str, ...] = ("BUSY", "UNAVAILABLE")
+    retry_codes: Tuple[str, ...] = ("BUSY", "UNAVAILABLE", "FENCED")
     relocate_on_retry: bool = True
 
     def __post_init__(self):
@@ -308,6 +308,63 @@ class CdcPolicy:
             raise ValueError("stream retention must be at least 1 event")
 
 
+@dataclass(frozen=True)
+class MembershipPolicy:
+    """Membership-and-fencing plane: lease detector, quorum promotion, epochs.
+
+    Setting ``UDRConfig.membership`` builds the
+    :class:`~repro.cluster.detector.MembershipPlane`: every site observes
+    every storage element with heartbeats on the sim clock, a master copy
+    holds a **lease** it renews only while its own site can reach a majority
+    of sites, and fail-over becomes a quorum-gated
+    :class:`~repro.cluster.detector.PromotionProtocol` that stamps each
+    promotion with a monotonically increasing **epoch** used to fence the
+    deposed master end-to-end (storage commit, replication shipment, CDC).
+    ``None`` (the default) keeps the oracle ``fail_over`` entry point
+    bit-identical to not having the feature: no heartbeat processes, no
+    epoch stamping, no fencing checks that can fire.
+    """
+
+    #: Virtual seconds between heartbeat/lease rounds.
+    heartbeat_interval: float = 100 * units.MILLISECOND
+    #: Consecutive missed heartbeats before an observer suspects an element
+    #: -- and, symmetrically, consecutive failed lease renewals before a
+    #: master copy fences itself.  The self-fencing side is what makes the
+    #: protocol split-brain-proof: a deposed master stops accepting writes
+    #: no later than the instant a quorum could first agree to promote.
+    lease_ticks: int = 3
+    #: Sites that must agree the master is gone before promotion; ``None``
+    #: derives a strict majority of ``total_sites``.
+    quorum: Optional[int] = None
+    #: Bounded wait for the promotion vote round-trips.  Ballots are
+    #: collected concurrently and the coordinator promotes as soon as a
+    #: quorum has answered; a ballot lost on the backbone must not stall
+    #: the promotion for the link's full loss timeout (1 s on the default
+    #: WAN profile -- several lease windows), so the vote wait is capped
+    #: here and an expired round simply retries on the next heartbeat.
+    vote_timeout: float = 300 * units.MILLISECOND
+    #: Re-home the deposed master's acked-but-unshipped tail onto the new
+    #: master when the old one rejoins (replayed as fresh current-epoch
+    #: commits, skipping keys the new epoch already superseded).
+    rejoin_handoff: bool = True
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.lease_ticks < 1:
+            raise ValueError("lease_ticks must be at least 1")
+        if self.quorum is not None and self.quorum < 1:
+            raise ValueError("quorum must be at least 1 site")
+        if self.vote_timeout <= 0:
+            raise ValueError("vote timeout must be positive")
+
+    def quorum_for(self, total_sites: int) -> int:
+        """The promotion quorum for a deployment of ``total_sites`` sites."""
+        if self.quorum is not None:
+            return min(self.quorum, total_sites)
+        return total_sites // 2 + 1
+
+
 @dataclass
 class UDRConfig:
     """Everything needed to build a UDR NF deployment.
@@ -418,6 +475,13 @@ class UDRConfig:
     #: (the default) is bit-identical to not having the feature.
     cdc: Optional[CdcPolicy] = None
 
+    # -- membership / fencing -------------------------------------------------------------
+    #: Build the membership-and-fencing plane (lease-based failure detector,
+    #: quorum-gated promotion with epoch fencing); ``None`` (the default)
+    #: keeps the oracle fail-over path bit-identical to not having the
+    #: feature.
+    membership: Optional[MembershipPolicy] = None
+
     # -- observability ------------------------------------------------------------------
     #: Completed requests buffered before the pipeline's metric batch is
     #: flushed to the registry; 1 (the default) flushes per request.
@@ -472,6 +536,12 @@ class UDRConfig:
                     f"priority weight of {name!r} must be at least 1")
         if self.metrics_batch_size < 1:
             raise ValueError("metrics batch size must be at least 1")
+        if self.membership is not None and \
+                self.membership.quorum is not None and \
+                self.membership.quorum > self.total_sites:
+            raise ValueError(
+                f"membership quorum {self.membership.quorum} impossible "
+                f"with {self.total_sites} sites")
 
     # -- derived quantities ------------------------------------------------------------
 

@@ -41,6 +41,10 @@ class ClusterController:
         self.builder = builder
         self.caches = caches
         self.started = False
+        #: Set by the façade when ``config.membership`` is enabled; the
+        #: membership plane's promotion protocol stamps every fail-over
+        #: with a fresh epoch and fences the deposed master.
+        self.membership = None
         for element in deployment.elements.values():
             deployment.availability_manager.manage(
                 element.name,
@@ -128,22 +132,31 @@ class ClusterController:
                 current = target.latest(key)
                 if newest is None:
                     continue
-                if current is None or current.commit_seq < newest.commit_seq:
+                if current is None or current.position < newest.position:
+                    # Position order -- ``(epoch, commit_seq)`` -- so a
+                    # rejoining deposed master's stale high sequence numbers
+                    # never shadow the new epoch's writes.
                     target.apply_version(newest)
 
-    def fail_over(self, element_name: str) -> Dict[int, str]:
+    def fail_over(self, element_name: str,
+                  candidates: Optional[List[str]] = None,
+                  trigger: str = "oracle") -> Dict[int, str]:
         """Promote new masters for every partition mastered on ``element_name``.
 
         Cached locations pointing at the failed element are dropped from
         every PoA's cache so the next request re-resolves through the
-        locator.
+        locator.  ``candidates`` restricts the promotion pool (the
+        membership plane passes the quorum-side members); with
+        ``config.membership`` enabled this method is the *internal arm* of
+        the :class:`~repro.cluster.detector.PromotionProtocol`, which
+        epoch-stamps every promotion it performs.
         """
         promotions: Dict[int, str] = {}
         for index, replica_set in self.deployment.replica_sets.items():
             if replica_set.master_element_name != element_name:
                 continue
             try:
-                promotions[index] = replica_set.fail_over()
+                promotions[index] = replica_set.fail_over(candidates)
             except ReplicationError:
                 continue
         if promotions:
@@ -151,6 +164,9 @@ class ClusterController:
             # A new master means a new commit log to wake on and a new
             # (master site, slave site) link for the partition's shipments.
             self.deployment.replication_mux.rebind()
+            if self.membership is not None:
+                self.membership.register_promotions(element_name, promotions,
+                                                    trigger=trigger)
         return promotions
 
     # -- restoration ---------------------------------------------------------------

@@ -74,7 +74,7 @@ from repro.net.topology import Site
 from repro.replication.errors import MasterUnreachable, NotEnoughReplicas
 from repro.replication.replica_set import ReplicaSet
 from repro.sim import units
-from repro.storage.errors import RecordNotFound, WriteConflict
+from repro.storage.errors import FencedError, RecordNotFound, WriteConflict
 from repro.core.config import (
     ClientType,
     LocationMode,
@@ -116,7 +116,7 @@ class OperationContext:
     __slots__ = ("request", "client_type", "client_site", "start", "poa",
                  "plan", "located_element", "entries", "served_from",
                  "priority", "attempts", "location_resolved", "deadline",
-                 "retry_policy", "next_cursor", "has_more")
+                 "retry_policy", "next_cursor", "has_more", "epoch")
 
     def __init__(self, request: LdapRequest, client_type: ClientType,
                  client_site: Site, start: float,
@@ -148,6 +148,9 @@ class OperationContext:
         #: Keyset cursor and continuation flag of a paged SEARCH page.
         self.next_cursor: Optional[str] = None
         self.has_more = False
+        #: Promotion epoch of the mastership that served a write (0 while
+        #: the membership plane has never promoted, or for reads).
+        self.epoch = 0
 
     def expired(self, now: float) -> bool:
         """Whether the request's deadline (if any) has passed."""
@@ -216,6 +219,12 @@ class LdapPlanStage(PipelineStage):
     """LDAP server processing: request translation and service time."""
 
     def run(self, ctx: OperationContext):
+        if not ctx.poa.available:
+            # The PoA was up when the plan stage picked it but went down
+            # (site disaster, balancer failure) during the client hop; a
+            # retry relocates to a surviving PoA.
+            raise OperationFailure(ResultCode.UNAVAILABLE,
+                                   f"PoA {ctx.poa.name} failed in flight")
         server = ctx.poa.select_server()
         failure = self.translate(ctx, server)
         yield self.sim.timeout(server.service_time())
@@ -237,6 +246,14 @@ class LdapPlanStage(PipelineStage):
         """Generator: one server and one service-time charge for a site
         group; translation is still per request (each may fail
         independently, recorded on its slot)."""
+        if not poa.available:
+            # Mid-flight PoA loss fails the whole site group retryably
+            # (each request relocates) instead of killing the wave.
+            for slot in slots:
+                slot.failure = OperationFailure(
+                    ResultCode.UNAVAILABLE,
+                    f"PoA {poa.name} failed in flight")
+            return
         server = poa.select_server()
         yield self.sim.timeout(server.service_time())
         for slot in slots:
@@ -724,6 +741,7 @@ class WritePath(PipelineStage):
             synchronous_commit=self.config.synchronous_commit))
 
         key, record, prior_value = self._apply_write(plan, copy)
+        ctx.epoch = copy.transactions.epoch
 
         # Synchronous replication modes add their commit-path cost here.
         if record is not None and \
@@ -768,10 +786,20 @@ class WritePath(PipelineStage):
             # Transaction.write already aborted the transaction.
             raise OperationFailure(ResultCode.BUSY,
                                    "write conflict, retry") from None
+        except FencedError as error:
+            # Transaction.write already aborted; the retry stage re-locates
+            # and lands the write on the copy the new epoch promoted.
+            raise OperationFailure(ResultCode.FENCED,
+                                   f"write copy fenced: {error}") from None
         except OperationFailure:
             transaction.abort()
             raise
-        record = transaction.commit(timestamp=self.sim.now)
+        try:
+            record = transaction.commit(timestamp=self.sim.now)
+        except FencedError as error:
+            # Fenced between apply and commit: nothing was installed.
+            raise OperationFailure(ResultCode.FENCED,
+                                   f"write copy fenced: {error}") from None
         return key, record, prior_value
 
     def apply_plan(self, transaction, plan: OperationPlan, copy):
@@ -1429,15 +1457,16 @@ class OperationPipeline:
         try:
             _key, prior_value = self.write_path.apply_plan(
                 group.transaction, plan, group.copy)
-        except WriteConflict:
+        except (WriteConflict, FencedError) as error:
             # The no-wait lock grab lost against a transaction *outside* the
-            # wave and aborted the shared transaction: every record applied
-            # so far is discarded through no fault of its own.  Undo their
-            # eager identity bookkeeping and re-drive each through the
-            # per-record write path (their first attempt never committed, so
-            # this is completion, not a retry); only the record that hit the
-            # conflict answers BUSY, retryable under the policy -- exactly
-            # the sequential outcome.
+            # wave (or the membership plane fenced the copy mid-wave) and
+            # aborted the shared transaction: every record applied so far is
+            # discarded through no fault of its own.  Undo their eager
+            # identity bookkeeping and re-drive each through the per-record
+            # write path (their first attempt never committed, so this is
+            # completion, not a retry); only the record that hit the
+            # conflict/fence answers BUSY/FENCED, retryable under the
+            # policy -- exactly the sequential outcome.
             del groups[partition_index]
             self.batch.increment("batch.coalesced.aborts")
             for undo in reversed(group.undos):
@@ -1451,12 +1480,16 @@ class OperationPipeline:
                     yield from self.retry_stage.run(member.ctx)
                 except OperationFailure as member_failure:
                     member.failure = member_failure
+            if isinstance(error, FencedError):
+                return OperationFailure(ResultCode.FENCED,
+                                        "write copy fenced, retry")
             return OperationFailure(ResultCode.BUSY, "write conflict, retry")
         except OperationFailure as failure:
             group.transaction.rollback_to(savepoint)
             self.batch.increment("batch.coalesced.rollbacks")
             return failure
         group.slots.append(slot)
+        ctx.epoch = group.copy.transactions.epoch
         self.batch.increment("batch.coalesced.records")
         poa = ctx.poa
         if plan.kind is PlanKind.CREATE:
@@ -1544,7 +1577,27 @@ class OperationPipeline:
         so lookups must not diverge between the two modes."""
         yield self.sim.timeout(group.element.service_times.commit_charge(
             self.config.synchronous_commit))
-        record = group.transaction.commit(timestamp=self.sim.now)
+        try:
+            record = group.transaction.commit(timestamp=self.sim.now)
+        except FencedError:
+            # Fenced between apply and flush: nothing committed.  Undo the
+            # eager bookkeeping and re-drive each member through the
+            # per-record path, which relocates to the new epoch's master.
+            self.batch.increment("batch.coalesced.fenced")
+            for undo in reversed(group.undos):
+                undo()
+            for member in group.slots:
+                member.ctx.located_element = None
+                member.ctx.location_resolved = False
+                member.ctx.entries = []
+                try:
+                    yield from self.retry_stage.run(
+                        member.ctx,
+                        pending_failure=OperationFailure(
+                            ResultCode.FENCED, "write copy fenced"))
+                except OperationFailure as member_failure:
+                    member.failure = member_failure
+            return
         self.batch.increment("batch.coalesced.groups")
         if record is not None and \
                 self.config.replication_mode is not ReplicationMode.ASYNCHRONOUS:

@@ -84,6 +84,15 @@ class UDRNetworkFunction:
                                           self.metrics, self.location_caches)
         self.controller = ClusterController(self.sim, config, self.deployment,
                                             self.builder, self.location_caches)
+        self.membership = None
+        if config.membership is not None:
+            # Imported lazily like the reconciler: the detector is a consumer
+            # of the built deployment, not a dependency of the build path.
+            from repro.cluster.detector import MembershipPlane
+            self.membership = MembershipPlane(self.sim, config,
+                                              self.deployment,
+                                              self.controller)
+            self.controller.membership = self.membership.protocol
         self.dispatcher = BatchDispatcher(self.sim, config, self.pipeline,
                                           self.metrics)
         self.reconciler = None
@@ -133,8 +142,12 @@ class UDRNetworkFunction:
             self.dispatcher.start()
         if self.reconciler is not None:
             self.reconciler.start()
+        if self.membership is not None:
+            self.membership.start()
 
     def stop(self) -> None:
+        if self.membership is not None:
+            self.membership.stop()
         if self.reconciler is not None:
             self.reconciler.stop()
         self.dispatcher.stop()

@@ -10,6 +10,13 @@ availability experiments, and -- for the reconciliation experiments --
 without tripping any health signal.
 """
 
+from repro.faults.chaos import (
+    CampaignReport,
+    ChaosCampaign,
+    InvariantChecker,
+    InvariantViolation,
+    run_campaigns,
+)
 from repro.faults.corruption import (
     CorruptionReport,
     SilentCorruption,
@@ -24,13 +31,18 @@ from repro.faults.failures import (
 from repro.faults.injector import FaultInjector, FaultSchedule
 
 __all__ = [
+    "CampaignReport",
+    "ChaosCampaign",
     "CorruptionReport",
     "ElementFailureProcess",
     "FaultInjector",
     "FaultSchedule",
+    "InvariantChecker",
+    "InvariantViolation",
     "PartitionIncident",
     "SilentCorruption",
     "SiteDisaster",
     "apply_corruption",
     "flip_store_record",
+    "run_campaigns",
 ]

@@ -49,6 +49,54 @@ class FaultSchedule:
         return not self.partitions and not self.disasters and \
             not self.corruptions
 
+    def validate(self) -> "FaultSchedule":
+        """Reject schedules with overlapping incidents on the same target.
+
+        Two disasters on one site, or two partition incidents sharing an
+        affected site, with intersecting ``[start, end)`` windows compose
+        ambiguously (which heal wins?), and two identical corruptions are
+        a double-injection -- all three are almost certainly authoring
+        mistakes, so the injector refuses to start them.  Cross-category
+        overlap (a partition during a disaster) stays legal: compound
+        faults are exactly what chaos campaigns are for.
+        """
+        def overlapping(a_start, a_end, b_start, b_end) -> bool:
+            return a_start < b_end and b_start < a_end
+
+        by_site: dict = {}
+        for disaster in self.disasters:
+            for other in by_site.get(disaster.site_name, []):
+                if overlapping(disaster.start, disaster.end,
+                               other.start, other.end):
+                    raise ValueError(
+                        f"overlapping disasters on site "
+                        f"{disaster.site_name!r}: [{other.start}, "
+                        f"{other.end}) and [{disaster.start}, "
+                        f"{disaster.end})")
+            by_site.setdefault(disaster.site_name, []).append(disaster)
+        for index, first in enumerate(self.partitions):
+            for second in self.partitions[index + 1:]:
+                if not overlapping(first.start, first.end,
+                                   second.start, second.end):
+                    continue
+                shared = first.partition.affected_sites() & \
+                    second.partition.affected_sites()
+                if shared:
+                    names = sorted(site.name for site in shared)
+                    raise ValueError(
+                        f"overlapping partition incidents share "
+                        f"site(s) {names}")
+        seen = set()
+        for corruption in self.corruptions:
+            key = (corruption.site_name, corruption.kind, corruption.at,
+                   getattr(corruption, "target_key", None))
+            if key in seen:
+                raise ValueError(
+                    f"duplicate corruption {corruption.kind!r} at "
+                    f"t={corruption.at} on site {corruption.site_name!r}")
+            seen.add(key)
+        return self
+
 
 class FaultInjector:
     """Applies a :class:`FaultSchedule` (and optional random crashes) to a UDR."""
@@ -68,18 +116,49 @@ class FaultInjector:
     # -- scheduled incidents -------------------------------------------------------
 
     def start(self) -> None:
-        """Schedule every incident of the fault schedule as a process."""
+        """Schedule every incident of the fault schedule as a process.
+
+        The schedule is validated first (:meth:`FaultSchedule.validate`),
+        then spawned in a deterministic order: ascending start time, and
+        within one tick a *seeded* shuffle (its own rng stream, so the
+        draw count never perturbs traffic randomness).  Same-tick faults
+        therefore fire in the same order on every run of a seed, while
+        different seeds still explore different interleavings -- which is
+        what makes chaos campaigns replayable.
+        """
+        self.schedule.validate()
+        incidents = []
         for incident in self.schedule.partitions:
-            self.udr.sim.process(self._run_partition(incident),
-                                 name=f"fault:partition@{incident.start}")
+            incidents.append((
+                incident.start, 0, incident.partition.name,
+                self._run_partition(incident),
+                f"fault:partition@{incident.start}"))
         for disaster in self.schedule.disasters:
-            self.udr.sim.process(self._run_disaster(disaster),
-                                 name=f"fault:disaster:{disaster.site_name}")
+            incidents.append((
+                disaster.start, 1, disaster.site_name,
+                self._run_disaster(disaster),
+                f"fault:disaster:{disaster.site_name}"))
         for corruption in self.schedule.corruptions:
-            self.udr.sim.process(
+            incidents.append((
+                corruption.at, 2, f"{corruption.kind}@{corruption.site_name}",
                 self._run_corruption(corruption),
-                name=f"fault:corruption:{corruption.kind}"
-                     f"@{corruption.site_name}")
+                f"fault:corruption:{corruption.kind}"
+                f"@{corruption.site_name}"))
+        incidents.sort(key=lambda item: (item[0], item[1], item[2]))
+        rng = self.udr.sim.rng("faults.schedule-order")
+        start = 0
+        while start < len(incidents):
+            end = start
+            while end < len(incidents) and \
+                    incidents[end][0] == incidents[start][0]:
+                end += 1
+            if end - start > 1:
+                group = incidents[start:end]
+                rng.shuffle(group)
+                incidents[start:end] = group
+            start = end
+        for _, _, _, generator, name in incidents:
+            self.udr.sim.process(generator, name=name)
 
     def _run_partition(self, incident: PartitionIncident):
         sim = self.udr.sim
@@ -143,14 +222,24 @@ class FaultInjector:
 
     def run_element_failures(self, process: ElementFailureProcess,
                              horizon: float, element_names=None,
-                             fail_over: bool = True) -> int:
+                             fail_over: Optional[bool] = None) -> int:
         """Schedule stochastic crashes for elements up to ``horizon``.
 
         Returns the number of crash events scheduled.  Each crash triggers
         the SAF manager (repair after the process' MTTR); when ``fail_over``
         is set the partitions mastered on the crashed element are failed over
         to a surviving copy immediately, as the real system would.
+
+        ``fail_over=None`` (the default) is membership-aware: the oracle
+        fail-over fires only when the deployment has *no* membership plane
+        (``config.membership is None``) -- with the plane running, its
+        lease-based detector is the component that notices the crash and
+        drives the quorum promotion, so an instant oracle call would dodge
+        exactly the machinery under test.  Pass an explicit ``True`` or
+        ``False`` to override either way.
         """
+        if fail_over is None:
+            fail_over = getattr(self.udr, "membership", None) is None
         rng = self.udr.sim.rng("faults.element-failures")
         names = list(element_names or self.udr.elements)
         scheduled = 0

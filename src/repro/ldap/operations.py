@@ -28,6 +28,9 @@ class ResultCode(enum.Enum):
     UNWILLING_TO_PERFORM = 53
     ENTRY_ALREADY_EXISTS = 68
     OTHER = 80
+    #: Private-extension range (RFC 4511 reserves 118+ for APIs): the write
+    #: reached a copy deposed by a newer promotion epoch; retry re-locates.
+    FENCED = 118
 
     @property
     def is_success(self) -> bool:

@@ -169,13 +169,20 @@ class Network:
         return site in self._failed_sites
 
     def reachable(self, source: Site, destination: Site) -> bool:
-        """Can a message currently flow from ``source`` to ``destination``?"""
+        """Can a message currently flow from ``source`` to ``destination``?
+
+        Direction-aware: an asymmetric partition
+        (:meth:`~repro.net.partition.NetworkPartition.blocks`) can leave
+        ``source -> destination`` open while the reverse path is cut, which
+        is exactly the crash-vs-partition ambiguity the membership plane's
+        detector has to disambiguate.
+        """
         if source in self._failed_sites or destination in self._failed_sites:
             return False
         if source == destination:
             return True
         for partition in self._partitions:
-            if partition.separates(source, destination):
+            if partition.blocks(source, destination):
                 return False
         return True
 

@@ -25,9 +25,17 @@ class NetworkPartition:
         isolated side.
     name:
         Label used in reports.
+    asymmetric:
+        One-way failure mode: traffic *from* the first group towards other
+        groups still flows, but nothing reaches the first group from
+        outside (a broken return path / unidirectional link loss).  This is
+        the crash-vs-partition ambiguity the membership plane's failure
+        detector must disambiguate -- an element behind an asymmetric cut
+        can still be heard from, yet cannot be probed.
     """
 
-    def __init__(self, groups: Sequence[Iterable[Site]], name: str = "partition"):
+    def __init__(self, groups: Sequence[Iterable[Site]],
+                 name: str = "partition", asymmetric: bool = False):
         frozen: List[FrozenSet[Site]] = [frozenset(group) for group in groups]
         frozen = [group for group in frozen if group]
         if not frozen:
@@ -39,6 +47,7 @@ class NetworkPartition:
             seen |= group
         self.groups: List[FrozenSet[Site]] = frozen
         self.name = name
+        self.asymmetric = asymmetric
 
     # -- constructors ---------------------------------------------------------
 
@@ -46,6 +55,17 @@ class NetworkPartition:
     def isolating(cls, *sites: Site, name: str = "isolation") -> "NetworkPartition":
         """Partition that cuts the given sites off from everything else."""
         return cls([sites], name=name)
+
+    @classmethod
+    def one_way(cls, *sites: Site,
+                name: str = "one-way cut") -> "NetworkPartition":
+        """Asymmetric cut: ``sites`` can still send, but receive nothing.
+
+        Models a unidirectional link loss -- the named sites' outbound
+        traffic (heartbeats included) is delivered, while every probe or
+        transfer *towards* them is dropped.
+        """
+        return cls([sites], name=name, asymmetric=True)
 
     @classmethod
     def splitting_regions(cls, topology: NetworkTopology,
@@ -68,8 +88,26 @@ class NetworkPartition:
         return -1
 
     def separates(self, a: Site, b: Site) -> bool:
-        """True if the partition prevents ``a`` and ``b`` from communicating."""
+        """True if the partition prevents ``a`` and ``b`` from communicating.
+
+        Symmetric view: an asymmetric partition still *separates* the pair
+        in one direction, so this stays True for it; direction-sensitive
+        callers use :meth:`blocks`.
+        """
         return self.group_of(a) != self.group_of(b)
+
+    def blocks(self, source: Site, destination: Site) -> bool:
+        """True if traffic *from* ``source`` *to* ``destination`` is dropped.
+
+        Equals :meth:`separates` for symmetric partitions; an asymmetric
+        partition only drops traffic directed at its first group (outbound
+        from it still flows).
+        """
+        if self.group_of(source) == self.group_of(destination):
+            return False
+        if not self.asymmetric:
+            return True
+        return self.group_of(destination) == 0
 
     def affected_sites(self) -> FrozenSet[Site]:
         """All sites explicitly named by the partition."""

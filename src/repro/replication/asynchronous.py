@@ -72,6 +72,9 @@ class AsyncReplicationChannel:
         self.records_shipped = 0
         self.batches_shipped = 0
         self.stalled_rounds = 0
+        #: Shipped records rejected because the slave had already applied a
+        #: newer promotion epoch (a deposed master's in-flight shipment).
+        self.fenced_drops = 0
         #: Polling-loop wakeups (the cadence cost the mux eliminates).
         self.wakeups = 0
         self.last_ship_time: Optional[float] = None
@@ -168,10 +171,10 @@ class AsyncReplicationChannel:
             # Idle: nothing committed since the last round (the common case).
             return master_name, []
         examined = master_copy.wal.since(shipped_lsn)[:self.batch_limit]
-        applied_seq = self.replica_set.copy_on(
-            self.slave_element_name).store.last_applied_seq
+        applied_position = self.replica_set.copy_on(
+            self.slave_element_name).store.last_applied_position
         pending = [record for record in examined
-                   if record.commit_seq > applied_seq]
+                   if record.position > applied_position]
         if not pending and examined:
             # Everything examined is already on the slave: advance past it
             # (only past what was actually examined -- a batch-limit
@@ -192,7 +195,13 @@ class AsyncReplicationChannel:
         slave_copy = self.replica_set.copy_on(self.slave_element_name)
         applied = 0
         for record in records:
-            if record.commit_seq <= slave_copy.store.last_applied_seq:
+            applied_position = slave_copy.store.last_applied_position
+            if record.position <= applied_position:
+                if record.epoch < applied_position[0]:
+                    # A deposed master's shipment raced the promotion: the
+                    # slave already carries a newer epoch, so the stale
+                    # records are dropped instead of installed.
+                    self.fenced_drops += 1
                 continue
             slave_copy.transactions.apply_log_record(record)
             applied += 1
@@ -255,10 +264,10 @@ class AsyncReplicationChannel:
         shipped_lsn = self._shipped_lsn.get(master_name, 0)
         if master_copy.wal.last_lsn == shipped_lsn:
             return ReplicationLag(records=0, seconds=0.0)
-        applied_seq = self.replica_set.copy_on(
-            self.slave_element_name).store.last_applied_seq
+        applied_position = self.replica_set.copy_on(
+            self.slave_element_name).store.last_applied_position
         pending = [record for record in master_copy.wal.since(shipped_lsn)
-                   if record.commit_seq > applied_seq]
+                   if record.position > applied_position]
         if not pending:
             return ReplicationLag(records=0, seconds=0.0)
         oldest = pending[0].timestamp

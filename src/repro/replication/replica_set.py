@@ -104,16 +104,22 @@ class ReplicaSet:
         return self.element(self._master_element).available
 
     def most_up_to_date(self, candidates: Optional[List[str]] = None) -> Optional[str]:
-        """Name of the candidate member with the highest applied commit."""
+        """Name of the candidate member with the highest applied commit.
+
+        Recency is ordered by ``(epoch, commit_seq)``: after a quorum
+        promotion the new master's sequence numbers can overlap the deposed
+        master's unshipped tail, and the copy carrying the newest *epoch*
+        is the one whose history won.
+        """
         names = candidates if candidates is not None else self.available_members()
         best_name = None
-        best_seq = -1
+        best_position = (-1, -1)
         for name in names:
             if name not in self._members:
                 continue
             copy = self.copy_on(name)
-            if copy.store.last_applied_seq > best_seq:
-                best_seq = copy.store.last_applied_seq
+            if copy.store.last_applied_position > best_position:
+                best_position = copy.store.last_applied_position
                 best_name = name
         return best_name
 

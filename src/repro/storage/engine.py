@@ -26,6 +26,7 @@ class RecordStore:
         self._dirty: Dict[str, Dict[int, Any]] = {}
         self._live_bytes = 0
         self._last_applied_seq = 0
+        self._last_applied_epoch = 0
 
     # -- committed state --------------------------------------------------------
 
@@ -34,12 +35,27 @@ class RecordStore:
         """Highest commit sequence number applied to this copy."""
         return self._last_applied_seq
 
+    @property
+    def last_applied_epoch(self) -> int:
+        """Promotion epoch of the newest version applied to this copy."""
+        return self._last_applied_epoch
+
+    @property
+    def last_applied_position(self) -> tuple:
+        """Recency watermark ordered across promotion epochs."""
+        return (self._last_applied_epoch, self._last_applied_seq)
+
     def apply_version(self, version: RecordVersion) -> None:
         """Install a committed version (from a local commit or replication)."""
         chain = self._versions.setdefault(version.key, [])
         previous = chain[-1] if chain else None
         chain.append(version)
-        self._last_applied_seq = max(self._last_applied_seq, version.commit_seq)
+        # The watermark orders across promotion epochs: a new master's
+        # commit numbering can overlap the deposed master's unshipped tail,
+        # so (epoch, seq) -- not seq alone -- defines recency.
+        if version.position > self.last_applied_position:
+            self._last_applied_epoch = version.epoch
+            self._last_applied_seq = version.commit_seq
         # RAM accounting: replace the previous latest version's footprint.
         if previous is not None and not previous.is_delete:
             self._live_bytes -= previous.size()
@@ -139,6 +155,7 @@ class RecordStore:
         self._dirty.clear()
         self._live_bytes = 0
         self._last_applied_seq = 0
+        self._last_applied_epoch = 0
         for key, value in snapshot.items():
             self.apply_version(RecordVersion(
                 key=key, value=value, commit_seq=commit_seq,

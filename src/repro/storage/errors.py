@@ -57,3 +57,21 @@ class StorageElementUnavailable(StorageError):
         super().__init__(f"storage element {element_name!r} is {reason}")
         self.element_name = element_name
         self.reason = reason
+
+
+class FencedError(StorageError):
+    """A write reached a copy fenced at a newer epoch.
+
+    Raised by the transaction manager when the membership plane has deposed
+    this copy's mastership (a newer epoch exists, or the copy self-fenced
+    after losing quorum contact): the in-flight write must not commit here.
+    The pipeline maps it to the ``FENCED`` result code so the retry stage
+    re-locates and lands the write on the new master.
+    """
+
+    def __init__(self, copy_name, epoch, reason="fenced"):
+        super().__init__(
+            f"copy {copy_name!r} is {reason} at epoch {epoch}")
+        self.copy_name = copy_name
+        self.epoch = epoch
+        self.reason = reason

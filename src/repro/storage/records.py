@@ -51,6 +51,12 @@ class RecordVersion:
     origin:
         Name of the replica where the write was originally accepted; used by
         multi-master conflict detection to distinguish divergent histories.
+    epoch:
+        Promotion epoch of the mastership that committed this version
+        (0 until the membership plane performs its first promotion).
+        Version recency is ordered by ``(epoch, commit_seq)`` so a new
+        master's commits supersede a deposed master's unshipped tail even
+        when their sequence numbers overlap.
     """
 
     key: str
@@ -58,6 +64,12 @@ class RecordVersion:
     commit_seq: int
     transaction_id: int
     origin: str = ""
+    epoch: int = 0
+
+    @property
+    def position(self) -> tuple:
+        """Recency ordering key across promotion epochs."""
+        return (self.epoch, self.commit_seq)
 
     @property
     def is_delete(self) -> bool:

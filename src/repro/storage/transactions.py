@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.storage.engine import RecordStore
 from repro.storage.errors import (
+    FencedError,
     RecordNotFound,
     TransactionStateError,
     WriteConflict,
@@ -132,6 +133,11 @@ class Transaction:
     def write(self, key: str, value: Any) -> None:
         """Write (create or replace) a record."""
         self._require_active()
+        if self._manager.fenced:
+            self._manager.fenced_rejections += 1
+            self.abort(reason="copy is fenced")
+            raise FencedError(self._manager.name, self._manager.epoch,
+                              reason=self._manager.fence_reason)
         try:
             self._manager.locks.acquire(self.transaction_id, key,
                                         LockMode.EXCLUSIVE)
@@ -189,6 +195,13 @@ class Transaction:
         Read-only transactions return ``None`` (nothing to log or replicate).
         """
         self._require_active()
+        if self._writes and self._manager.fenced:
+            # The membership plane fenced this copy while the transaction
+            # was in flight: the deposed master must not durably commit.
+            self._manager.fenced_rejections += 1
+            self.abort(reason="copy fenced before commit")
+            raise FencedError(self._manager.name, self._manager.epoch,
+                              reason=self._manager.fence_reason)
         record = self._manager._commit(self, timestamp=timestamp)
         self.state = TransactionState.COMMITTED
         return record
@@ -222,6 +235,41 @@ class TransactionManager:
         self.commits = 0
         self.aborts = 0
         self.read_only_commits = 0
+        #: Promotion epoch stamped into this copy's commits (0 until the
+        #: membership plane performs a promotion involving this copy).
+        self.epoch = 0
+        #: While fenced, write transactions are rejected with
+        #: :class:`~repro.storage.errors.FencedError` (reads still serve).
+        self.fenced = False
+        self.fence_reason = "fenced"
+        self.fenced_rejections = 0
+
+    # -- epoch fencing ---------------------------------------------------------
+
+    def promote_epoch(self, epoch: int) -> None:
+        """This copy is the master of ``epoch``: stamp commits, lift fences."""
+        if epoch < self.epoch:
+            raise ValueError(
+                f"epoch cannot move backwards ({epoch} < {self.epoch})")
+        self.epoch = epoch
+        self.fenced = False
+        self.fence_reason = "fenced"
+
+    def fence(self, epoch: int, reason: str = "deposed by promotion") -> None:
+        """A newer epoch deposed this copy: reject its in-flight writes."""
+        self.epoch = max(self.epoch, epoch)
+        self.fenced = True
+        self.fence_reason = reason
+
+    def self_fence(self, reason: str = "lease lost") -> None:
+        """The copy lost quorum contact and fences itself pre-emptively."""
+        self.fenced = True
+        self.fence_reason = reason
+
+    def unfence(self) -> None:
+        """Lift a self-imposed fence (quorum contact regained, same epoch)."""
+        self.fenced = False
+        self.fence_reason = "fenced"
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -269,6 +317,7 @@ class TransactionManager:
                 operations=operations,
                 origin=self.name,
                 timestamp=timestamp,
+                epoch=self.epoch,
             )
             for operation in operations:
                 self.store.apply_version(RecordVersion(
@@ -277,6 +326,7 @@ class TransactionManager:
                     commit_seq=commit_seq,
                     transaction_id=transaction.transaction_id,
                     origin=self.name,
+                    epoch=self.epoch,
                 ))
             self.commits += 1
             return record
@@ -306,6 +356,7 @@ class TransactionManager:
                 commit_seq=record.commit_seq,
                 transaction_id=record.transaction_id,
                 origin=record.origin,
+                epoch=record.epoch,
             ))
         self._next_commit_seq = max(self._next_commit_seq,
                                     record.commit_seq + 1)

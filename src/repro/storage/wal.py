@@ -40,10 +40,18 @@ class LogRecord:
     operations: Tuple[WriteOperation, ...]
     origin: str = ""
     timestamp: float = 0.0
+    #: Promotion epoch of the mastership that committed the transaction
+    #: (0 until the membership plane performs its first promotion).
+    epoch: int = 0
 
     @property
     def keys(self) -> Tuple[str, ...]:
         return tuple(operation.key for operation in self.operations)
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """Recency ordering key across promotion epochs."""
+        return (self.epoch, self.commit_seq)
 
     def __repr__(self) -> str:
         return (f"<LogRecord lsn={self.lsn} tx={self.transaction_id} "
@@ -67,7 +75,8 @@ class WriteAheadLog:
 
     def append(self, transaction_id: int, commit_seq: int,
                operations: Tuple[WriteOperation, ...],
-               origin: str = "", timestamp: float = 0.0) -> LogRecord:
+               origin: str = "", timestamp: float = 0.0,
+               epoch: int = 0) -> LogRecord:
         """Append a committed transaction and return its log record."""
         record = LogRecord(
             lsn=self._next_lsn,
@@ -76,6 +85,7 @@ class WriteAheadLog:
             operations=tuple(operations),
             origin=origin,
             timestamp=timestamp,
+            epoch=epoch,
         )
         self._next_lsn += 1
         self._records.append(record)
@@ -91,6 +101,7 @@ class WriteAheadLog:
             operations=record.operations,
             origin=record.origin,
             timestamp=record.timestamp,
+            epoch=record.epoch,
         )
         self._next_lsn += 1
         self._records.append(copy)
@@ -121,7 +132,12 @@ class WriteAheadLog:
 
     @property
     def last_lsn(self) -> int:
-        return self._records[-1].lsn if self._records else 0
+        # An empty log is not necessarily a fresh log: retention may have
+        # truncated every record (all durable and shipped), and a crash
+        # cuts back to the durable prefix.  In both cases the durability
+        # watermark is the highest surviving LSN; only a never-written
+        # log reports 0.
+        return self._records[-1].lsn if self._records else self._durable_lsn
 
     def since(self, lsn: int) -> List[LogRecord]:
         """Records with LSN strictly greater than ``lsn`` (oldest first).

@@ -1,0 +1,242 @@
+"""Chaos campaigns: schedule validation, determinism, clean invariants.
+
+* **validation** -- :meth:`FaultSchedule.validate` rejects overlapping
+  same-target incidents and duplicate corruptions, while cross-category
+  compound faults stay legal;
+* **determinism** -- same-tick incidents fire in a stable seeded order,
+  and the same ``(simulation seed, campaign seed)`` pair replays the
+  identical campaign: incidents, promotions, commit counts and verdict;
+* **the checker bites** -- a planted split-brain write is caught, so a
+  clean campaign verdict means something;
+* **campaigns run clean** -- seeded campaigns over a membership-enabled
+  deployment under live traffic finish with zero split-brain writes,
+  zero acked writes lost, and converged replicas/locators.
+"""
+
+import pytest
+
+from repro.api.operations import Read, Write
+from repro.core import ClientType, UDRConfig
+from repro.core.config import MembershipPolicy
+from repro.core.udr import UDRNetworkFunction
+from repro.faults import (
+    ChaosCampaign,
+    FaultInjector,
+    FaultSchedule,
+    InvariantChecker,
+    PartitionIncident,
+    SilentCorruption,
+    SiteDisaster,
+    run_campaigns,
+)
+from repro.net import NetworkPartition
+from repro.subscriber import SubscriberGenerator
+
+from tests.conftest import build_udr
+
+DURATION = 8.0
+
+
+def chaos_udr(seed=3, subscribers=18, traffic_until=None, rate=40.0):
+    """A started membership-enabled deployment with optional live traffic."""
+    config = UDRConfig(seed=seed, name="chaos-test",
+                       membership=MembershipPolicy())
+    udr = UDRNetworkFunction(config)
+    udr.start()
+    generator = SubscriberGenerator(config.regions, seed=seed)
+    profiles = generator.generate(subscribers)
+    udr.load_subscriber_base(profiles)
+    if traffic_until is not None:
+        sessions = [udr.attach(f"fe-{site.name}", site,
+                               client_type=ClientType.APPLICATION_FE)
+                    .session()
+                    for site in udr.topology.sites]
+
+        def traffic():
+            rng = udr.sim.rng("chaos.traffic")
+            index = 0
+            while udr.sim.now < traffic_until:
+                yield udr.sim.timeout(rng.expovariate(rate))
+                profile = profiles[index % len(profiles)]
+                operation = Write(profile.identities.imsi,
+                                  {"servingMsc": f"m-{index}"}) \
+                    if index % 3 else Read(profile.identities.imsi)
+                sessions[index % len(sessions)].submit(operation)
+                index += 1
+
+        udr.sim.process(traffic(), name="chaos:traffic")
+    return udr
+
+
+class TestScheduleValidation:
+    def test_overlapping_disasters_on_one_site_are_rejected(self):
+        schedule = FaultSchedule() \
+            .add_disaster(SiteDisaster("spain-dc1", start=1.0, duration=3.0)) \
+            .add_disaster(SiteDisaster("spain-dc1", start=2.0, duration=3.0))
+        with pytest.raises(ValueError, match="overlapping disasters"):
+            schedule.validate()
+
+    def test_sequential_disasters_on_one_site_are_fine(self):
+        FaultSchedule() \
+            .add_disaster(SiteDisaster("spain-dc1", start=1.0, duration=1.0)) \
+            .add_disaster(SiteDisaster("spain-dc1", start=3.0, duration=1.0)) \
+            .validate()
+
+    def test_overlapping_partitions_sharing_a_site_are_rejected(self):
+        udr, _ = build_udr(UDRConfig(seed=3), subscribers=6)
+        site = udr.topology.sites[0]
+        schedule = FaultSchedule() \
+            .add_partition(PartitionIncident(
+                NetworkPartition.isolating(site), start=1.0, duration=2.0)) \
+            .add_partition(PartitionIncident(
+                NetworkPartition.one_way(site), start=2.0, duration=2.0))
+        with pytest.raises(ValueError, match="share"):
+            schedule.validate()
+
+    def test_overlapping_partitions_of_disjoint_sites_are_fine(self):
+        udr, _ = build_udr(UDRConfig(seed=3), subscribers=6)
+        first, second = udr.topology.sites[0], udr.topology.sites[1]
+        FaultSchedule() \
+            .add_partition(PartitionIncident(
+                NetworkPartition.isolating(first), start=1.0, duration=2.0)) \
+            .add_partition(PartitionIncident(
+                NetworkPartition.isolating(second), start=1.5, duration=2.0)) \
+            .validate()
+
+    def test_duplicate_corruptions_are_rejected(self):
+        schedule = FaultSchedule() \
+            .add_corruption(SilentCorruption("spain-dc1", 0, "byte_flip",
+                                             at=1.0)) \
+            .add_corruption(SilentCorruption("spain-dc1", 0, "byte_flip",
+                                             at=1.0))
+        with pytest.raises(ValueError, match="duplicate corruption"):
+            schedule.validate()
+
+    def test_cross_category_overlap_is_a_legal_compound_fault(self):
+        udr, _ = build_udr(UDRConfig(seed=3), subscribers=6)
+        site = udr.topology.sites[0]
+        FaultSchedule() \
+            .add_partition(PartitionIncident(
+                NetworkPartition.isolating(site), start=1.0, duration=2.0)) \
+            .add_disaster(SiteDisaster(site.name, start=1.5, duration=2.0)) \
+            .add_corruption(SilentCorruption(site.name, 0, "byte_flip",
+                                             at=2.0)) \
+            .validate()
+
+    def test_injector_start_validates(self):
+        udr, _ = build_udr(UDRConfig(seed=3), subscribers=6)
+        schedule = FaultSchedule() \
+            .add_disaster(SiteDisaster("spain-dc1", start=1.0, duration=3.0)) \
+            .add_disaster(SiteDisaster("spain-dc1", start=2.0, duration=3.0))
+        with pytest.raises(ValueError):
+            FaultInjector(udr, schedule).start()
+
+
+class TestScheduleDeterminism:
+    @staticmethod
+    def _spawn_order(seed):
+        udr, _ = build_udr(UDRConfig(seed=seed), subscribers=6)
+        sites = udr.topology.sites
+        schedule = FaultSchedule() \
+            .add_partition(PartitionIncident(
+                NetworkPartition.isolating(sites[0]), start=1.0,
+                duration=0.5)) \
+            .add_partition(PartitionIncident(
+                NetworkPartition.isolating(sites[1]), start=1.0,
+                duration=0.5)) \
+            .add_disaster(SiteDisaster(sites[2].name, start=1.0,
+                                       duration=0.5)) \
+            .add_corruption(SilentCorruption(sites[0].name, 0, "byte_flip",
+                                             at=1.0))
+        names = []
+        original = udr.sim.process
+
+        def recording(generator, name=None, **kwargs):
+            names.append(name)
+            return original(generator, name=name, **kwargs)
+
+        udr.sim.process = recording
+        FaultInjector(udr, schedule).start()
+        udr.sim.process = original
+        return names
+
+    def test_same_tick_incidents_fire_in_a_stable_seeded_order(self):
+        first = self._spawn_order(seed=3)
+        second = self._spawn_order(seed=3)
+        assert first == second
+        assert len(first) == 4
+
+    def test_different_seeds_explore_different_interleavings(self):
+        orders = {tuple(self._spawn_order(seed=seed))
+                  for seed in range(10)}
+        assert len(orders) > 1
+
+    def test_same_campaign_seed_replays_identically(self):
+        reports = [
+            ChaosCampaign(chaos_udr(traffic_until=DURATION), seed=5,
+                          duration=DURATION, incidents=3, quiesce=3.0).run()
+            for _ in range(2)]
+        assert reports[0].incidents == reports[1].incidents
+        assert reports[0].summary() == reports[1].summary()
+        assert reports[0].origin_commits == reports[1].origin_commits
+
+    def test_campaign_validates_its_own_plan(self):
+        campaign = ChaosCampaign(chaos_udr(), seed=5, duration=DURATION,
+                                 incidents=3)
+        campaign.plan().validate()
+
+    def test_campaign_rejects_bad_parameters(self):
+        udr = chaos_udr()
+        with pytest.raises(ValueError):
+            ChaosCampaign(udr, seed=1, duration=0)
+        with pytest.raises(ValueError):
+            ChaosCampaign(udr, seed=1, incidents=0)
+
+
+class TestInvariantChecker:
+    def test_planted_split_brain_write_is_caught(self):
+        udr = chaos_udr()
+        checker = InvariantChecker(udr)
+        replica_set = udr.replica_sets[0]
+        slave = replica_set.slave_names()[0]
+        transaction = replica_set.copy_on(slave).transactions.begin()
+        transaction.write("rogue", {"v": 1})
+        transaction.commit(timestamp=udr.sim.now)
+        assert checker.split_brain_writes == 1
+        assert any(violation.kind == "split_brain_write"
+                   for violation in checker.violations)
+        checker.close()
+
+    def test_closed_checker_stops_listening(self):
+        udr = chaos_udr()
+        checker = InvariantChecker(udr)
+        checker.close()
+        replica_set = udr.replica_sets[0]
+        slave = replica_set.slave_names()[0]
+        transaction = replica_set.copy_on(slave).transactions.begin()
+        transaction.write("rogue", {"v": 1})
+        transaction.commit(timestamp=udr.sim.now)
+        assert checker.split_brain_writes == 0
+
+    def test_quiet_deployment_passes_the_final_check(self):
+        udr = chaos_udr(traffic_until=1.0)
+        checker = InvariantChecker(udr)
+        udr.sim.run(until=udr.sim.now + 3.0)
+        replicas, locators = checker.final_check()
+        assert replicas and locators
+        assert checker.violations == []
+        checker.close()
+
+
+class TestCampaignsRunClean:
+    def test_seeded_campaigns_are_clean_under_live_traffic(self):
+        reports = run_campaigns(
+            lambda seed: chaos_udr(seed=seed, traffic_until=DURATION),
+            seeds=(1, 2, 3), duration=DURATION, incidents=3, quiesce=3.0)
+        for report in reports:
+            assert report.clean, report.violations
+            assert report.split_brain_writes == 0
+            assert report.acked_writes_lost == 0
+            assert report.replicas_converged and report.locators_converged
+            assert report.origin_commits > 0
+        assert any(report.promotions > 0 for report in reports)

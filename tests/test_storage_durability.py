@@ -72,6 +72,19 @@ class TestWriteAheadLog:
         assert [r.keys for r in lost] == [("b",)]
         assert wal.last_lsn == 1
 
+    def test_fully_truncated_log_keeps_its_high_water_mark(self):
+        # Retention can drop *every* record (all durable and shipped); the
+        # log must not report last_lsn=0, or the next checkpoint would try
+        # to move the durability watermark backwards and blow up.
+        _, wal, manager, checkpointer = make_copy()
+        for i in range(3):
+            commit_write(manager, f"k{i}", {"v": i})
+        checkpointer.checkpoint()
+        assert wal.truncate_through(wal.durable_lsn) == 3
+        assert len(wal) == 0
+        assert wal.last_lsn == 3
+        assert checkpointer.checkpoint() == 3
+
     def test_record_at_lookup(self):
         _, wal, manager, _ = make_copy()
         record = commit_write(manager, "a", {"v": 1})
