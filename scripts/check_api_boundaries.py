@@ -7,62 +7,44 @@ Usage::
 
 The session API (``repro.api``) is the single front door: experiments and
 examples issue typed operations (``Read``/``Search``/``Write``/
-``Provision``), and the LDAP encoding lives only in the API layer and the
-deprecation shims.  This check greps ``src/repro/experiments/`` and
-``examples/`` for two kinds of erosion and exits non-zero on any hit, so
-the boundary cannot decay silently.  CI runs it next to the tier-1 suite.
+``Provision``), never hand-built ``*Request`` objects or the deprecated
+``udr.execute``/``udr.submit``/``udr.call``/``udr.execute_batch`` shims.
 
-* direct ``*Request(...)`` construction (hand-built LDAP encoding);
-* calls into the deprecated ``udr.execute``/``udr.submit``/``udr.call``/
-  ``udr.execute_batch`` shims -- experiment code rides sessions
-  (``ClientPool``) or reaches the core layers (``udr.pipeline``,
-  ``udr.dispatcher``) explicitly, and ``api.legacy_calls`` stays zero
-  (``tests/test_experiment_api_hygiene.py`` asserts it at runtime).
+This script is a thin shim over the reprolint API-boundary checker
+(``repro.analysis.checkers.api_boundary``, rules API001/API002) so CI has
+exactly one source of truth for the boundary.  The grep it replaced missed
+aliased imports and matched comments; the AST checker resolves import
+origins and call receivers.  The runtime backstop is unchanged:
+``tests/test_experiment_api_hygiene.py`` runs representative experiments
+with every shim instrumented and asserts ``api.legacy_calls == 0``.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import LintEngine  # noqa: E402  (path bootstrap above)
+from repro.analysis.checkers import ApiBoundaryChecker  # noqa: E402
+
 CHECKED_DIRS = ("src/repro/experiments", "examples")
-#: Raw-request constructors that must not appear outside the API layer and
-#: the shims.  Word-boundary + open paren, so type annotations and imports
-#: (which are fine) do not match.
-FORBIDDEN = re.compile(
-    r"\b(SearchRequest|ModifyRequest|AddRequest|DeleteRequest|LdapRequest)"
-    r"\s*\(")
-#: The deprecated pre-session entry points.  Call-shaped (open paren), so
-#: docstrings and comments explaining the migration do not match.
-LEGACY_SHIMS = re.compile(
-    r"\budr\.(execute|submit|call|execute_batch)\s*\(")
-
-
-def violations():
-    for directory in CHECKED_DIRS:
-        for path in sorted((ROOT / directory).rglob("*.py")):
-            for number, line in enumerate(
-                    path.read_text().splitlines(), start=1):
-                if FORBIDDEN.search(line):
-                    yield (path.relative_to(ROOT), number, line.strip(),
-                           "raw LDAP request construction")
-                if LEGACY_SHIMS.search(line):
-                    yield (path.relative_to(ROOT), number, line.strip(),
-                           "deprecated legacy entry point")
 
 
 def main() -> int:
-    found = list(violations())
-    for path, number, line, kind in found:
-        print(f"{path}:{number}: {kind}: {line}", file=sys.stderr)
-    if found:
-        print(f"\n{len(found)} violation(s): experiments and examples must "
-              f"issue typed repro.api operations (Read/Search/Write/"
-              f"Provision) through sessions -- not hand-built LDAP requests "
-              f"or the deprecated udr.execute/submit/call/execute_batch "
-              f"shims.", file=sys.stderr)
+    engine = LintEngine(ROOT, checkers=[ApiBoundaryChecker()])
+    report = engine.run(paths=[ROOT / name for name in CHECKED_DIRS
+                               if (ROOT / name).is_dir()])
+    for finding in report.findings:
+        print(finding.render(), file=sys.stderr)
+    if report.findings:
+        print(f"\n{len(report.findings)} violation(s): experiments and "
+              f"examples must issue typed repro.api operations (Read/"
+              f"Search/Write/Provision) through sessions -- not hand-built "
+              f"LDAP requests or the deprecated udr.execute/submit/call/"
+              f"execute_batch shims.", file=sys.stderr)
         return 1
     print("api boundary clean: no raw LDAP requests or legacy entry points "
           f"in {', '.join(CHECKED_DIRS)}")

@@ -1,0 +1,54 @@
+"""Pluggable reprolint checkers.
+
+A checker is a class with a ``RULES`` table (rule id -> one-line
+description) and a ``check(module: ParsedModule) -> Iterable[Finding]``
+method.  :func:`default_checkers` instantiates the shipped set; the engine
+accepts any sequence of checker instances, so a new invariant is one new
+module here plus a registration line below (see ARCHITECTURE.md, "Static
+analysis & invariants").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.layering import LayeringChecker
+from repro.analysis.checkers.metric_registry import MetricRegistryChecker
+from repro.analysis.checkers.api_boundary import ApiBoundaryChecker
+from repro.analysis.checkers.exceptions import ExceptionHygieneChecker
+
+#: Checker classes shipped with the framework, in report order.
+ALL_CHECKERS = (
+    DeterminismChecker,
+    LayeringChecker,
+    MetricRegistryChecker,
+    ApiBoundaryChecker,
+    ExceptionHygieneChecker,
+)
+
+
+def default_checkers() -> List[Checker]:
+    return [cls() for cls in ALL_CHECKERS]
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """Every known rule id and its one-line description."""
+    catalogue: Dict[str, str] = {}
+    for cls in ALL_CHECKERS:
+        catalogue.update(cls.RULES)
+    return catalogue
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ApiBoundaryChecker",
+    "Checker",
+    "DeterminismChecker",
+    "ExceptionHygieneChecker",
+    "LayeringChecker",
+    "MetricRegistryChecker",
+    "default_checkers",
+    "rule_catalogue",
+]

@@ -1,0 +1,21 @@
+"""The checker interface."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.analysis.findings import Finding
+
+
+class Checker:
+    """One invariant family: a rule table plus an AST pass."""
+
+    #: rule id -> one-line description (drives ``--list-rules`` and docs).
+    RULES: Dict[str, str] = {}
+
+    def check(self, module) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,111 @@
+"""Exception hygiene: no swallowed failures, no dropped causal chains.
+
+Failures in this repo carry structure: storage raises ``FencedError`` with
+the fencing epoch on it, the pipeline maps exception types to
+``ResultCode`` values, and the retry stage keys re-location off exactly
+those types.  Two handler shapes destroy that structure:
+
+``EXC001``
+    A bare ``except:`` (or ``except Exception/BaseException:``) whose body
+    only ``pass``es/``continue``s -- the handler swallows *every* failure,
+    including ``ResultCode``-bearing ones the pipeline must see and the
+    ``KeyboardInterrupt``-family a bare except also eats.
+
+``EXC002``
+    Raising a *new* exception inside an ``except`` handler without ``from``
+    -- the implicit-context re-raise drops the deliberate causal chain, so
+    a ``FencedError``'s epoch (and any ``ResultCode`` mapping on the
+    original) is no longer reachable from the surfaced error.  Use
+    ``raise New(...) from err`` (or an explicit ``from None`` when the
+    cause is genuinely irrelevant).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+
+#: Handler types that catch everything (plus ``None`` for bare except).
+CATCH_ALL_NAMES = {"Exception", "BaseException"}
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in CATCH_ALL_NAMES
+    return False
+
+
+def _body_only_swallows(body: List[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Pass) or \
+                isinstance(statement, ast.Continue):
+            continue
+        if isinstance(statement, ast.Expr) and \
+                isinstance(statement.value, ast.Constant):
+            continue  # docstring / ellipsis placeholder
+        return False
+    return True
+
+
+class ExceptionHygieneChecker(Checker):
+
+    RULES = {
+        "EXC001": "catch-all except handler swallows ResultCode-bearing "
+                  "failures",
+        "EXC002": "raise inside an except handler without 'from' drops "
+                  "the causal chain (and any fencing epoch on it)",
+    }
+
+    def check(self, module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_catch_all(node) and _body_only_swallows(node.body):
+                findings.append(Finding(
+                    rule="EXC001", path=module.rel_path, line=node.lineno,
+                    message="catch-all handler silently swallows every "
+                            "failure, including ResultCode-bearing ones",
+                    hint="catch the specific exception types, or record/"
+                         "re-raise the failure"))
+            findings.extend(self._check_chain_drops(module, node))
+        return findings
+
+    def _check_chain_drops(self, module,
+                           handler: ast.ExceptHandler) -> Iterable[Finding]:
+        for node in _scoped_raises(handler.body):
+            if node.exc is None or node.cause is not None:
+                continue  # bare re-raise, or explicit from X / from None
+            if not isinstance(node.exc, ast.Call):
+                continue  # ``raise err`` re-raises the caught object
+            yield Finding(
+                rule="EXC002", path=module.rel_path, line=node.lineno,
+                message="new exception raised in an except handler "
+                        "without 'from' -- the original failure (and "
+                        "any fencing epoch it carries) is dropped",
+                hint="raise ... from <caught>, or an explicit "
+                     "'from None' when the cause is irrelevant")
+
+
+def _scoped_raises(body: List[ast.stmt]) -> Iterable[ast.Raise]:
+    """Every ``raise`` executing in this handler's own frame.
+
+    Skips nested function/class bodies (their raises run in a different
+    frame, later) and nested except handlers (which report their own
+    findings) -- but still descends into ``try`` bodies, loops and
+    conditionals, whose raises do execute here.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda, ast.ExceptHandler)):
+            continue
+        if isinstance(node, ast.Raise):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

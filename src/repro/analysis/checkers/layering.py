@@ -1,0 +1,222 @@
+"""Layering: the declared package DAG of ``layers.toml``, enforced.
+
+Fencing epochs ride WAL positions, CDC rides replication cursors, the API
+rides the core -- the whole correctness story assumes the package layers
+stack one way.  ``grep``-era enforcement missed ``from repro.api import
+session as s``; this checker resolves every import through the alias-aware
+:class:`~repro.analysis.imports.ImportTable` (including lazy
+function-local imports, which are real runtime edges) and validates each
+edge against ``analysis/layers.toml``:
+
+``LAY000``
+    The declaration itself is broken: a package references an undeclared
+    package, or the declared graph has a cycle.  Reported against the
+    config file so a bad edit cannot silently disable the checker.
+
+``LAY001``
+    A module imports a repro package its layer is not granted.
+
+``LAY002``
+    A module belongs to a package missing from the ``[layers]`` table but
+    imports from repro -- new packages must be placed in the DAG before
+    they grow dependencies.
+
+``if TYPE_CHECKING:`` imports never execute and are exempt; deliberate
+runtime exceptions are module-scoped grants under ``[exceptions]`` with a
+justification comment in the TOML.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+
+DEFAULT_LAYERS_FILE = Path(__file__).resolve().parent.parent / "layers.toml"
+
+
+def parse_layers_toml(text: str) -> Tuple[Dict[str, List[str]],
+                                          Dict[str, List[str]]]:
+    """Parse the restricted TOML subset layers.toml uses.
+
+    Handled: ``[section]`` headers, ``key = [ "a", "b" ]`` (single line or
+    spanning lines), quoted keys, ``#`` comments.  A hand-rolled parser
+    keeps the linter dependency-free on every supported interpreter
+    (``tomllib`` is 3.11+ and this repo supports 3.9).
+    """
+    layers: Dict[str, List[str]] = {}
+    exceptions: Dict[str, List[str]] = {}
+    section: Optional[Dict[str, List[str]]] = None
+    pending_key: Optional[str] = None
+    pending_items: List[str] = []
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if pending_key is not None:
+            pending_items.extend(_quoted_strings(line))
+            if line.endswith("]"):
+                if section is not None:
+                    section[pending_key] = pending_items
+                pending_key, pending_items = None, []
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            section = {"layers": layers, "exceptions": exceptions}.get(name)
+            continue
+        if "=" in line:
+            key, _, value = line.partition("=")
+            key = key.strip().strip('"').strip("'")
+            value = value.strip()
+            if value.startswith("[") and not value.endswith("]"):
+                pending_key = key
+                pending_items = _quoted_strings(value)
+                continue
+            if section is not None:
+                section[key] = _quoted_strings(value)
+    return layers, exceptions
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    for char in line:
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def _quoted_strings(fragment: str) -> List[str]:
+    items: List[str] = []
+    rest = fragment
+    while '"' in rest:
+        _, _, rest = rest.partition('"')
+        item, quote, rest = rest.partition('"')
+        if not quote:
+            break
+        items.append(item)
+    return items
+
+
+def find_cycle(graph: Dict[str, List[str]]) -> Optional[List[str]]:
+    """A cycle in the declared graph, or ``None`` when it is a DAG."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    stack: List[str] = []
+
+    def visit(node: str) -> Optional[List[str]]:
+        colour[node] = GREY
+        stack.append(node)
+        for dep in graph.get(node, []):
+            if dep not in graph:
+                continue
+            if colour[dep] == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if colour[dep] == WHITE:
+                cycle = visit(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if colour[node] == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return None
+
+
+class LayeringChecker(Checker):
+
+    RULES = {
+        "LAY000": "layers.toml itself is invalid (unknown package "
+                  "reference or declared cycle)",
+        "LAY001": "import crosses the declared layer DAG",
+        "LAY002": "package missing from the layers.toml DAG imports "
+                  "from repro",
+    }
+
+    def __init__(self, layers_file: Optional[Path] = None):
+        self.layers_file = Path(layers_file or DEFAULT_LAYERS_FILE)
+        self.layers, self.exceptions = parse_layers_toml(
+            self.layers_file.read_text(encoding="utf-8"))
+        self.config_findings = list(self._validate_config())
+
+    def _validate_config(self) -> Iterable[Finding]:
+        config_path = self.layers_file.name
+        for package, deps in sorted(self.layers.items()):
+            for dep in deps:
+                if dep not in self.layers:
+                    yield Finding(
+                        rule="LAY000", path=config_path, line=1,
+                        message=f"[layers] {package} references undeclared "
+                                f"package {dep!r}",
+                        hint="declare the package in layers.toml")
+        cycle = find_cycle(self.layers)
+        if cycle:
+            yield Finding(
+                rule="LAY000", path=config_path, line=1,
+                message="declared layer graph has a cycle: "
+                        + " -> ".join(cycle),
+                hint="break the cycle; the layer map must be a DAG")
+
+    def check(self, module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if module.module_name == "repro.__init__":
+            # The root package only re-exports the version marker.
+            return findings
+        if self.config_findings and module.rel_path.startswith("src/repro/"):
+            # Report config breakage once, against the first repro module,
+            # rather than silently checking against a broken map.
+            findings.extend(self.config_findings)
+            self.config_findings = []
+        package = module.package
+        if package is None:
+            return findings
+        allowed = self.layers.get(package)
+        granted_prefixes = self._granted(module.module_name)
+        for record in module.imports.repro_dependencies():
+            if record.type_only:
+                continue
+            target = self._target_package(record.module)
+            if target is None or target == package:
+                continue
+            if any(record.module == prefix or
+                   record.module.startswith(prefix + ".")
+                   for prefix in granted_prefixes):
+                continue
+            if allowed is None:
+                findings.append(Finding(
+                    rule="LAY002", path=module.rel_path, line=record.line,
+                    message=f"package {package!r} is not declared in "
+                            f"layers.toml but imports repro.{target}",
+                    hint="add the package to the [layers] DAG"))
+                continue
+            if target not in allowed:
+                findings.append(Finding(
+                    rule="LAY001", path=module.rel_path, line=record.line,
+                    message=f"layer {package!r} may not import "
+                            f"repro.{target} (allowed: "
+                            f"{', '.join(allowed) or 'nothing'})",
+                    hint="invert the dependency or grant a justified "
+                         "[exceptions] entry in layers.toml"))
+        return findings
+
+    def _granted(self, module_name: Optional[str]) -> List[str]:
+        if not module_name:
+            return []
+        return self.exceptions.get(module_name, [])
+
+    @staticmethod
+    def _target_package(module: str) -> Optional[str]:
+        parts = module.split(".")
+        if len(parts) < 2 or parts[0] != "repro":
+            return None
+        return parts[1]

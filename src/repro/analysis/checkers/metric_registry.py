@@ -1,0 +1,118 @@
+"""Metric hygiene: every emitted metric name must be registered.
+
+The benchmark gates, the pinned-counter stability tests and every
+dashboard key on *exact* metric names; a typo (``replication.mux.wakeup``
+vs ``.wakeups``) silently splits a counter in two and zeroes a gate.  The
+registry (``analysis/metric_registry.txt``) is generated from the tree and
+seeded from the pinned universe in ``tests/test_metrics_stability.py`` --
+regenerate with ``scripts/generate_metric_registry.py`` -- so adding a
+metric is a deliberate, reviewable one-line diff.
+
+``MET001``
+    A string literal passed to a collector emission method
+    (``increment``/``set_gauge``/``latency``/``histogram``/... or the
+    ``_count`` wrapper convention) that matches no registry entry.
+
+``MET002``
+    An f-string metric name whose literal skeleton (interpolations
+    wildcarded to ``*``) matches no registry pattern -- catches typos in
+    the fixed parts of dynamic names like ``api.client.{name}.requests``.
+
+Names forwarded through plain variables are wrapper plumbing and are
+skipped: the literal is checked where it is written, which is where typos
+are made.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.findings import Finding
+
+DEFAULT_REGISTRY_FILE = Path(__file__).resolve().parent.parent / \
+    "metric_registry.txt"
+
+#: Collector methods that *emit* under a name (reads are unconstrained).
+EMISSION_METHODS = {
+    "increment", "set_gauge", "set_gauge_max", "latency", "histogram",
+    "outcomes", "consistency", "_count",
+}
+
+
+def load_registry(path: Path) -> List[str]:
+    entries: List[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.append(line)
+    return entries
+
+
+def pattern_to_regex(pattern: str) -> "re.Pattern[str]":
+    """A registry entry as a regex; ``*`` matches one-or-more characters."""
+    return re.compile(
+        "^" + ".+".join(re.escape(part) for part in pattern.split("*"))
+        + "$")
+
+
+class MetricRegistryChecker(Checker):
+
+    RULES = {
+        "MET001": "metric name literal not in the generated registry",
+        "MET002": "f-string metric name matches no registry pattern",
+    }
+
+    def __init__(self, registry_file: Optional[Path] = None):
+        self.registry_file = Path(registry_file or DEFAULT_REGISTRY_FILE)
+        self.entries = load_registry(self.registry_file)
+        self._patterns = [pattern_to_regex(entry) for entry in self.entries]
+
+    def known(self, name: str) -> bool:
+        """True when ``name`` (possibly itself wildcarded) is registered.
+
+        An f-string skeleton like ``api.client.*.requests`` matches a
+        registry pattern because ``.+`` happily consumes the ``*``
+        placeholder character; exact names match exactly.
+        """
+        return any(pattern.match(name) for pattern in self._patterns)
+
+    def check(self, module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in EMISSION_METHODS:
+                continue
+            for name in self._candidate_names(node.args[0]):
+                findings.extend(self._check_name(module, node, name))
+        return findings
+
+    def _candidate_names(self, arg: ast.expr) -> Iterable[str]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield arg.value
+        elif isinstance(arg, ast.JoinedStr):
+            yield "".join(
+                value.value if isinstance(value, ast.Constant) else "*"
+                for value in arg.values)
+        elif isinstance(arg, ast.IfExp):
+            # ``"a" if flag else "b"`` -- both arms are emitted names.
+            yield from self._candidate_names(arg.body)
+            yield from self._candidate_names(arg.orelse)
+        # Plain variables are wrapper plumbing: skipped by design.
+
+    def _check_name(self, module, node: ast.Call,
+                    name: str) -> Iterable[Finding]:
+        if not name or self.known(name):
+            return
+        rule = "MET002" if "*" in name else "MET001"
+        yield Finding(
+            rule=rule, path=module.rel_path, line=node.lineno,
+            message=f"metric name {name!r} is not in the metric registry",
+            hint="fix the typo, or register the new name via "
+                 "scripts/generate_metric_registry.py --update")

@@ -1,0 +1,86 @@
+"""Structured lint findings and inline suppressions.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+sort by ``(path, line, rule)`` so reports and baselines are stable across
+runs, and :meth:`Finding.baseline_key` is the identity used by the
+``--baseline`` burn-down file (message text deliberately excluded, so a
+reworded message does not resurrect a baselined finding).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: ``# reprolint: disable=RULE1,RULE2 -- justification`` anywhere on a line.
+SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?:\s*--\s*(?P<why>\S.*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str            #: rule id, e.g. ``DET001``
+    path: str            #: repo-relative posix path
+    line: int            #: 1-based line number
+    message: str         #: what is wrong
+    hint: str = ""       #: how to fix it
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def baseline_key(self) -> str:
+        """Identity of this finding in a baseline file."""
+        return f"{self.path}|{self.rule}|{self.line}"
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# reprolint: disable=...`` comment.
+
+    A trailing comment suppresses findings on its own line; a comment
+    standing alone on a line suppresses findings on the next line.
+    Suppressions are first-class report output: the engine counts them and
+    flags unjustified ones (no `` -- why`` trailer), so the escape hatch is
+    visible in every lint run instead of rotting silently in the tree.
+    """
+
+    path: str
+    line: int             #: line the comment sits on
+    applies_to: int       #: line whose findings it suppresses
+    rules: Tuple[str, ...]
+    justification: str = ""
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+    def render(self) -> str:
+        status = "justified" if self.justified else "UNJUSTIFIED"
+        return (f"{self.path}:{self.line}: suppresses "
+                f"{','.join(self.rules)} [{status}]")
+
+
+def parse_suppressions(path: str, lines: List[str]) -> List[Suppression]:
+    """Extract every inline suppression comment from a file's lines."""
+    found: List[Suppression] = []
+    for number, line in enumerate(lines, start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(rule.strip() for rule in match.group(1).split(","))
+        standalone = not line[:match.start()].strip()
+        found.append(Suppression(
+            path=path, line=number,
+            applies_to=number + 1 if standalone else number,
+            rules=rules, justification=match.group("why") or ""))
+    return found

@@ -1,0 +1,163 @@
+"""Alias-aware import resolution for AST checkers.
+
+The grep this framework replaces missed ``from repro.api import session as
+s`` and ``import time as t`` -- any aliased import defeated it.  The
+:class:`ImportTable` walks a module's ``import``/``from ... import``
+statements (resolving relative imports against the module's own dotted
+name) and maps every locally bound name to the fully qualified dotted path
+it came from, so checkers reason about *origins*, not surface spellings.
+
+Two views are kept because they genuinely differ:
+
+* **bindings** -- ``import repro.api`` binds the name ``repro``; alias
+  resolution of call targets must follow the bound name.
+* **dependencies** -- the same statement *executes* ``repro.api``; the
+  layering checker must see the full dotted module, not the binding.
+
+Imports guarded by ``if TYPE_CHECKING:`` are recorded but marked
+type-only: they never execute, so the layering checker exempts them while
+determinism checkers (which look at call sites, not imports) are
+unaffected.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One imported origin: the bound local name and the dotted source."""
+
+    local: str       #: name bound in this module (after ``as`` renaming)
+    origin: str      #: dotted origin the binding resolves to
+    module: str      #: dotted module whose execution this import triggers
+    line: int
+    type_only: bool  #: bound under ``if TYPE_CHECKING:``
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class ImportTable:
+    """Every import in one module, with aliases resolved to origins."""
+
+    def __init__(self, tree: ast.AST, module_name: Optional[str] = None):
+        self.module_name = module_name
+        self.bindings: Dict[str, ImportRecord] = {}
+        self.records: List[ImportRecord] = []
+        self._collect(tree, type_only=False)
+
+    # -- construction ------------------------------------------------------
+
+    def _collect(self, node: ast.AST, type_only: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    if alias.asname:
+                        local, origin = alias.asname, alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` -- but executes a.b.
+                        local = origin = alias.name.split(".")[0]
+                    self._record(local, origin, alias.name, child.lineno,
+                                 type_only)
+            elif isinstance(child, ast.ImportFrom):
+                base = self._resolve_from_base(child)
+                for alias in child.names:
+                    if alias.name == "*":
+                        self._record("*", base, base, child.lineno,
+                                     type_only)
+                        continue
+                    local = alias.asname or alias.name
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    self._record(local, origin, base or origin,
+                                 child.lineno, type_only)
+            elif isinstance(child, ast.If) and \
+                    _is_type_checking_test(child.test):
+                for stmt in child.body:
+                    self._collect(_statement_module(stmt), type_only=True)
+                for stmt in child.orelse:
+                    self._collect(_statement_module(stmt), type_only)
+            else:
+                self._collect(child, type_only)
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> str:
+        """The absolute dotted base of a ``from X import ...`` statement."""
+        if not node.level:
+            return node.module or ""
+        # Relative import: resolve against this module's dotted name.  The
+        # linted file is never a package ``__init__`` under its own name
+        # (those are parsed as ``pkg.__init__``), so one trailing component
+        # is the module itself and each extra level strips one more.
+        if not self.module_name:
+            return node.module or ""
+        # Drop the module's own (or literal ``__init__``) final component:
+        # level 1 then addresses the containing package directly.
+        parts = self.module_name.split(".")[:-1]
+        extra = node.level - 1
+        if extra:
+            parts = parts[:len(parts) - extra]
+        if node.module:
+            parts = parts + [node.module]
+        return ".".join(parts)
+
+    def _record(self, local: str, origin: str, module: str, line: int,
+                type_only: bool) -> None:
+        entry = ImportRecord(local=local, origin=origin, module=module,
+                             line=line, type_only=type_only)
+        self.records.append(entry)
+        if local != "*":
+            self.bindings[local] = entry
+
+    # -- queries -----------------------------------------------------------
+
+    def origin_of(self, local: str) -> Optional[str]:
+        entry = self.bindings.get(local)
+        return entry.origin if entry else None
+
+    def resolve_call_target(self, func: ast.expr) -> Optional[str]:
+        """The dotted origin a call target resolves to, alias-aware.
+
+        ``pc()`` after ``from time import perf_counter as pc`` resolves to
+        ``time.perf_counter``; ``t.sleep`` after ``import time as t``
+        resolves to ``time.sleep``.  Unresolvable targets (locals, computed
+        attributes) return ``None``.
+        """
+        chain = attribute_chain(func)
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        origin = self.origin_of(head)
+        if origin is None:
+            return None
+        return ".".join([origin, *rest])
+
+    def repro_dependencies(self) -> List[ImportRecord]:
+        """Every import record whose executed module lives under repro."""
+        return [entry for entry in self.records
+                if entry.module == "repro" or
+                entry.module.startswith("repro.")]
+
+
+def _statement_module(stmt: ast.stmt) -> ast.Module:
+    return ast.Module(body=[stmt], type_ignores=[])
+
+
+def attribute_chain(node: ast.expr) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for computed receivers."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts

@@ -13,17 +13,12 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.directory.errors import UnknownIdentity
 from repro.directory.identity_map import IdentityLocationMap
+# Re-exported for the many importers that treat the directory as the home
+# of identity namespaces; the definition lives in the LDAP layer so the
+# ldap <-> directory import edge points one way only (reprolint LAY001).
+from repro.ldap.identity import IdentityType
 
-
-class IdentityType:
-    """Identity namespaces used by 3GPP subscriber data."""
-
-    IMSI = "imsi"
-    MSISDN = "msisdn"
-    IMPU = "impu"
-    IMPI = "impi"
-
-    ALL = (IMSI, MSISDN, IMPU, IMPI)
+__all__ = ["IdentityType", "MultiIndexDirectory"]
 
 
 class MultiIndexDirectory:

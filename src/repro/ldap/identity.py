@@ -1,0 +1,26 @@
+"""Identity namespaces used by 3GPP subscriber data.
+
+"Data location uses identity-location maps since the UDR must support
+multiple indexes (one index per subscriber identity, i.e. MSISDN, IMSI,
+IMPU etc.)" -- paper, section 3.3.1.
+
+This lives in the LDAP layer (the bottom of the directory stack) because
+both the schema and the data-location directory key off it: the schema
+maps LDAP attribute names onto these namespaces and the directory builds
+one identity-location map per namespace.  Keeping it here keeps the layer
+DAG acyclic -- ``directory`` imports ``ldap``, never the reverse
+(enforced by reprolint rule LAY001 against ``analysis/layers.toml``).
+"""
+
+from __future__ import annotations
+
+
+class IdentityType:
+    """Identity namespaces used by 3GPP subscriber data."""
+
+    IMSI = "imsi"
+    MSISDN = "msisdn"
+    IMPU = "impu"
+    IMPI = "impi"
+
+    ALL = (IMSI, MSISDN, IMPU, IMPI)

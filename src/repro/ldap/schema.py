@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.directory.indexes import IdentityType
 from repro.ldap.dn import DistinguishedName
+from repro.ldap.identity import IdentityType
 
 
 class SubscriberSchema:

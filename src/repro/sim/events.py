@@ -306,9 +306,10 @@ class AllOf(_Condition):
     def _on_child(self, child: Event) -> None:
         if self.triggered:
             return
-        if not child.ok:
+        exc = child.exception
+        if exc is not None:
             child.defused = True
-            self.fail(child.exception)
+            self.fail(exc)
             return
         self._pending -= 1
         if self._pending == 0:
@@ -328,8 +329,9 @@ class AnyOf(_Condition):
     def _on_child(self, child: Event) -> None:
         if self.triggered:
             return
-        if not child.ok:
+        exc = child.exception
+        if exc is not None:
             child.defused = True
-            self.fail(child.exception)
+            self.fail(exc)
             return
         self.succeed((child, child._value))

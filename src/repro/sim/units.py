@@ -30,17 +30,17 @@ TIB = 1024 * GIB
 # --- convenience -----------------------------------------------------------
 
 
-def milliseconds(value):
+def milliseconds(value: float) -> float:
     """Convert a value expressed in milliseconds to simulation seconds."""
     return value * MILLISECOND
 
 
-def to_milliseconds(seconds):
+def to_milliseconds(seconds: float) -> float:
     """Convert simulation seconds to milliseconds (for reporting)."""
     return seconds / MILLISECOND
 
 
-def availability_from_downtime(downtime, period=YEAR):
+def availability_from_downtime(downtime: float, period: float = YEAR) -> float:
     """Return availability as a fraction given total downtime over a period.
 
     ``availability_from_downtime(5 * MINUTE + 15 * SECOND)`` is roughly
@@ -52,7 +52,7 @@ def availability_from_downtime(downtime, period=YEAR):
     return 1.0 - downtime / period
 
 
-def downtime_budget(availability, period=YEAR):
+def downtime_budget(availability: float, period: float = YEAR) -> float:
     """Return the downtime budget for an availability target over a period.
 
     The paper's 99.999% target over one year allows about 315 seconds of
